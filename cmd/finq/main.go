@@ -1,0 +1,217 @@
+// Command finq parses, evaluates, and analyzes relational-calculus queries
+// over the library's domains.
+//
+// Usage:
+//
+//	finq domains
+//	finq decide -domain <name> "<sentence>"
+//	finq eval -domain <name> [-state file.json] [-mode active|enumerate] "<formula>"
+//	finq translate -domain <name> -state file.json "<formula>"
+//	finq saferange -state file.json "<formula>"
+//
+// State files are JSON: {"relations": {"F": [["adam","abel"]]},
+// "constants": {"c": "1"}}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	finq "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "domains":
+		for _, d := range finq.Domains() {
+			fmt.Printf("%-12s %s\n", d.Name, d.Doc)
+		}
+	case "decide":
+		err = runDecide(os.Args[2:])
+	case "eval":
+		err = runEval(os.Args[2:])
+	case "translate":
+		err = runTranslate(os.Args[2:])
+	case "saferange":
+		err = runSafeRange(os.Args[2:])
+	case "algebra":
+		err = runAlgebra(os.Args[2:])
+	case "repl":
+		err = runREPL(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  finq domains
+  finq decide    -domain <name> "<sentence>"
+  finq eval      -domain <name> [-state file.json] [-mode active|enumerate] "<formula>"
+  finq translate -domain <name> -state file.json "<formula>"
+  finq saferange -state file.json "<formula>"
+  finq algebra   -domain <name> -state file.json "<safe-range formula>"
+  finq repl      -domain <name> [-state file.json]`)
+}
+
+func loadDomainAndFormula(fs *flag.FlagSet, args []string) (finq.DomainInfo, *finq.Formula, *flag.FlagSet, error) {
+	domainName := fs.String("domain", "eq", "domain name (see `finq domains`)")
+	if err := fs.Parse(args); err != nil {
+		return finq.DomainInfo{}, nil, nil, err
+	}
+	if fs.NArg() != 1 {
+		return finq.DomainInfo{}, nil, nil, fmt.Errorf("expected exactly one formula argument")
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return finq.DomainInfo{}, nil, nil, err
+	}
+	f, err := d.Parse(fs.Arg(0))
+	if err != nil {
+		return finq.DomainInfo{}, nil, nil, err
+	}
+	return d, f, fs, nil
+}
+
+func loadState(d finq.DomainInfo, path string) (*finq.State, error) {
+	if path == "" {
+		return finq.NewState(finq.MustScheme(map[string]int{})), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return finq.ParseState(d, data)
+}
+
+func runDecide(args []string) error {
+	fs := flag.NewFlagSet("decide", flag.ContinueOnError)
+	d, f, _, err := loadDomainAndFormula(fs, args)
+	if err != nil {
+		return err
+	}
+	v, err := finq.Decide(d, f)
+	if err != nil {
+		return err
+	}
+	fmt.Println(v)
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	domainName := fs.String("domain", "eq", "domain name")
+	statePath := fs.String("state", "", "state JSON file")
+	mode := fs.String("mode", "active", "evaluation mode: active or enumerate")
+	rows := fs.Int("rows", 100, "row budget for -mode enumerate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one formula argument")
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return err
+	}
+	f, err := d.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := loadState(d, *statePath)
+	if err != nil {
+		return err
+	}
+	var ans *finq.Answer
+	switch *mode {
+	case "active":
+		ans, err = finq.EvalActive(d, st, f)
+	case "enumerate":
+		budget := finq.DefaultBudget
+		budget.Rows = *rows
+		ans, err = finq.Enumerate(d, st, f, budget)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("free variables: %v\n", ans.Vars)
+	for _, row := range ans.Rows.Tuples() {
+		fmt.Println(" ", row)
+	}
+	fmt.Printf("%d rows, complete=%v\n", ans.Rows.Len(), ans.Complete)
+	return nil
+}
+
+func runTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ContinueOnError)
+	domainName := fs.String("domain", "eq", "domain name")
+	statePath := fs.String("state", "", "state JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one formula argument")
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return err
+	}
+	f, err := d.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := loadState(d, *statePath)
+	if err != nil {
+		return err
+	}
+	pure, err := finq.Translate(d, st, f)
+	if err != nil {
+		return err
+	}
+	fmt.Println(pure)
+	return nil
+}
+
+func runSafeRange(args []string) error {
+	fs := flag.NewFlagSet("saferange", flag.ContinueOnError)
+	domainName := fs.String("domain", "eq", "domain name")
+	statePath := fs.String("state", "", "state JSON file (supplies the scheme)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one formula argument")
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return err
+	}
+	f, err := d.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := loadState(d, *statePath)
+	if err != nil {
+		return err
+	}
+	report := finq.SafeRange(st.Scheme(), f)
+	if report.Safe {
+		fmt.Println("safe-range (hence domain-independent and finite)")
+		return nil
+	}
+	fmt.Printf("not safe-range; unranged variables: %v\n", report.Unranged)
+	return nil
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	finq "repro"
+	"repro/internal/algebra"
+)
+
+// runAlgebra compiles a safe-range query to a relational algebra plan,
+// prints it, and evaluates it against the state.
+func runAlgebra(args []string) error {
+	fs := flag.NewFlagSet("algebra", flag.ContinueOnError)
+	domainName := fs.String("domain", "eq", "domain name")
+	statePath := fs.String("state", "", "state JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one formula argument")
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return err
+	}
+	f, err := d.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st, err := loadState(d, *statePath)
+	if err != nil {
+		return err
+	}
+	plan, err := algebra.Compile(st.Scheme(), f)
+	if err != nil {
+		return err
+	}
+	fmt.Println("plan:", plan.String())
+	table, err := plan.Eval(&algebra.Ctx{St: st, Dom: d.Domain})
+	if err != nil {
+		return err
+	}
+	fmt.Println("result:", table.String())
+	return nil
+}
+
+// runREPL is an interactive session: one domain, one state, commands for
+// evaluation, safety, and quantifier elimination.
+func runREPL(args []string) error {
+	fs := flag.NewFlagSet("repl", flag.ContinueOnError)
+	domainName := fs.String("domain", "eq", "domain name")
+	statePath := fs.String("state", "", "state JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return err
+	}
+	st, err := loadState(d, *statePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("finq repl — domain %s (%s)\n", d.Name, d.Doc)
+	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | help | quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest := line, ""
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			cmd, rest = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		if err := replCommand(d, st, cmd, rest); err != nil {
+			if err == errQuit {
+				return nil
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
+	parse := func() (*finq.Formula, error) {
+		if rest == "" {
+			return nil, fmt.Errorf("%s needs a formula", cmd)
+		}
+		return d.Parse(rest)
+	}
+	switch cmd {
+	case "quit", "exit", "q":
+		return errQuit
+	case "help":
+		fmt.Println("eval <f>      active-domain evaluation")
+		fmt.Println("enum <f>      §1.1 enumeration (complete on finite queries)")
+		fmt.Println("safety <f>    relative safety in the current state")
+		fmt.Println("qe <f>        quantifier elimination")
+		fmt.Println("decide <f>    truth of a pure sentence")
+		fmt.Println("saferange <f> syntactic range-restriction analysis")
+		fmt.Println("state         print the current state")
+		return nil
+	case "state":
+		fmt.Print(st)
+		return nil
+	case "eval":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		ans, err := finq.EvalActive(d, st, f)
+		if err != nil {
+			return err
+		}
+		printAnswer(ans)
+		return nil
+	case "enum":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		ans, err := finq.Enumerate(d, st, f, finq.DefaultBudget)
+		if err != nil {
+			return err
+		}
+		printAnswer(ans)
+		return nil
+	case "safety":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		v, err := finq.RelativeSafety(d, st, f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+		return nil
+	case "qe":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		g, err := finq.Eliminate(d, f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g)
+		return nil
+	case "decide":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		v, err := finq.Decide(d, f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+		return nil
+	case "saferange":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		r := finq.SafeRange(st.Scheme(), f)
+		if r.Safe {
+			fmt.Println("safe-range")
+		} else {
+			fmt.Println("not safe-range; unranged:", r.Unranged)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+func printAnswer(ans *finq.Answer) {
+	for _, row := range ans.Rows.Tuples() {
+		fmt.Println(" ", row)
+	}
+	fmt.Printf("%d rows, complete=%v\n", ans.Rows.Len(), ans.Complete)
+}

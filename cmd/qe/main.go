@@ -1,0 +1,51 @@
+// Command qe performs quantifier elimination over the library's decidable
+// domains and prints the quantifier-free result — the engine behind every
+// decision procedure in the paper (Presburger/Cooper for N< and its
+// extensions, Mal'cev for N', the Reach Theory of Traces for T).
+//
+// Usage:
+//
+//	qe -domain <name> "<formula>"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	finq "repro"
+)
+
+func main() {
+	domainName := flag.String("domain", "presburger", "domain name (eq, nless, presburger, nsucc, traces)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, `usage: qe -domain <name> "<formula>"`)
+		os.Exit(2)
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		fail(err)
+	}
+	f, err := d.Parse(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	g, err := finq.Eliminate(d, f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(g)
+	if g.Sentence() && g.QuantifierFree() {
+		v, err := finq.Decide(d, f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("sentence value: %v\n", v)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command safety exercises the paper's safety machinery: relative safety
+// of a query in a state (decidable for the positive domains, budgeted for
+// the trace domain), the Theorem 3.3 halting reduction, and Theorem 3.1
+// totality verification.
+//
+// Usage:
+//
+//	safety relative -domain <name> -state file.json "<formula>"
+//	safety halting  -machine "<word>" -input <w>
+//	safety totality -machine "<word>" -candidate "<formula>"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	finq "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "relative":
+		err = runRelative(os.Args[2:])
+	case "halting":
+		err = runHalting(os.Args[2:])
+	case "totality":
+		err = runTotality(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safety:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  safety relative -domain <name> [-state file.json] "<formula>"
+  safety halting  -machine "<word>" -input <w>
+  safety totality -machine "<word>" -candidate "<formula>"`)
+}
+
+func runRelative(args []string) error {
+	fs := flag.NewFlagSet("relative", flag.ContinueOnError)
+	domainName := fs.String("domain", "eq", "domain name")
+	statePath := fs.String("state", "", "state JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one formula argument")
+	}
+	d, err := finq.Lookup(*domainName)
+	if err != nil {
+		return err
+	}
+	f, err := d.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	st := finq.NewState(finq.MustScheme(map[string]int{}))
+	if *statePath != "" {
+		data, err := os.ReadFile(*statePath)
+		if err != nil {
+			return err
+		}
+		st, err = finq.ParseState(d, data)
+		if err != nil {
+			return err
+		}
+	}
+	v, err := finq.RelativeSafety(d, st, f)
+	if err != nil {
+		return err
+	}
+	switch v {
+	case finq.Holds:
+		fmt.Println("finite in this state")
+	case finq.Fails:
+		fmt.Println("infinite in this state")
+	default:
+		fmt.Println("unknown (budget exhausted or query shape unrecognized — Theorem 3.3 rules out a decider)")
+	}
+	return nil
+}
+
+func runHalting(args []string) error {
+	fs := flag.NewFlagSet("halting", flag.ContinueOnError)
+	machine := fs.String("machine", "", "encoded machine word")
+	input := fs.String("input", "", "input word over {1,&}")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, st, err := finq.HaltingToRelativeSafety(*machine, *input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reduction query: %v\n", f)
+	d := finq.MustLookup("traces")
+	v, err := finq.RelativeSafety(d, st, f)
+	if err != nil {
+		return err
+	}
+	switch v {
+	case finq.Holds:
+		fmt.Println("query finite ⟺ machine halts on the input: HALTS")
+	case finq.Fails:
+		fmt.Println("query infinite ⟺ machine diverges on the input: DIVERGES (certified loop)")
+	default:
+		fmt.Println("unknown within budget — exactly the Theorem 3.3 obstruction")
+	}
+	return nil
+}
+
+func runTotality(args []string) error {
+	fs := flag.NewFlagSet("totality", flag.ContinueOnError)
+	machine := fs.String("machine", "", "encoded machine word")
+	candidate := fs.String("candidate", "", "candidate formula over the trace domain (uses constant c)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := finq.MustLookup("traces")
+	// "c" is the Theorem 3.1 database constant.
+	cand, err := d.ParseWithConstants(*candidate, "c")
+	if err != nil {
+		return err
+	}
+	ok, err := finq.VerifyTotality(*machine, cand)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("equivalence sentence TRUE: candidate denotes P(M,c,x) in every state;")
+		fmt.Println("if the candidate is finite, the machine is certified total (Theorem 3.1)")
+	} else {
+		fmt.Println("equivalence sentence FALSE: candidate does not denote this machine's totality query")
+	}
+	return nil
+}

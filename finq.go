@@ -1,0 +1,307 @@
+// Package finq is the public API of this reproduction of Stolboushkin &
+// Taitslin, "Finite Queries Do Not Have Effective Syntax" (PODS 1995 /
+// Information and Computation 153, 1999).
+//
+// It exposes the paper's objects as a library:
+//
+//   - seven domains — the pure-equality domain, N< (naturals with order),
+//     full Presburger arithmetic, ℤ with order, N' (naturals with
+//     successor), words with shortlex order, and the paper's trace domain
+//     T — each recursive, each with a decision procedure for its
+//     first-order theory built on quantifier elimination;
+//   - relational database schemes and states (Codd's model) and query
+//     evaluation: active-domain semantics and the paper's §1.1 enumeration
+//     algorithm that computes finite answers over any decidable domain;
+//   - the safety toolbox: syntactic safe-range analysis, the finitization
+//     syntax of Theorem 2.2, relative-safety deciders for the positive
+//     domains (Theorems 2.5 and 2.6), and the negative machinery over T —
+//     totality queries, Theorem 3.1 equivalence sentences, and the
+//     Theorem 3.3 halting reduction.
+//
+// Quickstart:
+//
+//	d, _ := finq.Lookup("eq")
+//	scheme := finq.MustScheme(map[string]int{"F": 2})
+//	st := finq.NewState(scheme)
+//	st.Insert("F", finq.Word("adam"), finq.Word("abel"))
+//	f, _ := d.Parse("exists y. F(x, y)")
+//	ans, _ := finq.EvalActive(d, st, f)
+package finq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/domains/eqdom"
+	"repro/internal/domains/nless"
+	"repro/internal/domains/nsucc"
+	"repro/internal/domains/wordlex"
+	"repro/internal/domains/zless"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/presburger"
+	"repro/internal/query"
+	"repro/internal/traces"
+)
+
+// Re-exported core types. The facade keeps one import for applications;
+// the internal packages remain the implementation.
+type (
+	// Formula is a first-order formula.
+	Formula = logic.Formula
+	// Term is a first-order term.
+	Term = logic.Term
+	// Scheme is a database scheme.
+	Scheme = db.Scheme
+	// State is a database state.
+	State = db.State
+	// Tuple is a relation row.
+	Tuple = db.Tuple
+	// Relation is a finite relation.
+	Relation = db.Relation
+	// Value is a domain element.
+	Value = domain.Value
+	// Answer is a computed query answer.
+	Answer = query.Answer
+	// Verdict is a three-valued semi-decision outcome.
+	Verdict = domain.Verdict
+	// SafeRangeReport is the output of the safe-range analysis.
+	SafeRangeReport = core.SafeRangeReport
+)
+
+// Verdict values.
+const (
+	Holds   = domain.Holds
+	Fails   = domain.Fails
+	Unknown = domain.Unknown
+)
+
+// Word returns a string-valued domain element (equality and trace domains).
+func Word(s string) Value { return domain.Word(s) }
+
+// Nat returns a natural-number element (arithmetic domains).
+func Nat(n int64) Value { return domain.Int(n) }
+
+// NewScheme builds a database scheme.
+func NewScheme(relations map[string]int, constants ...string) (*Scheme, error) {
+	return db.NewScheme(relations, constants...)
+}
+
+// MustScheme is NewScheme panicking on error.
+func MustScheme(relations map[string]int, constants ...string) *Scheme {
+	return db.MustScheme(relations, constants...)
+}
+
+// NewState returns the empty state of a scheme.
+func NewState(scheme *Scheme) *State { return db.NewState(scheme) }
+
+// DomainInfo bundles a domain with its decision procedure, quantifier
+// eliminator, enumeration, and parser configuration.
+type DomainInfo struct {
+	// Name identifies the domain: "eq", "nless", "presburger", "nsucc",
+	// or "traces".
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Domain is the recursive interpretation.
+	Domain domain.Domain
+	// Decider decides pure-domain sentences.
+	Decider domain.Decider
+	// Eliminator performs quantifier elimination.
+	Eliminator domain.Eliminator
+	// Enumerator enumerates the universe (nil if unsupported).
+	Enumerator domain.Enumerator
+	// parserOpts classifies identifiers when parsing formulas.
+	parserOpts parser.Options
+}
+
+// Parse parses a formula in the domain's concrete syntax.
+func (d DomainInfo) Parse(src string) (*Formula, error) {
+	return parser.ParseWith(src, d.parserOpts)
+}
+
+// ParseWithConstants parses a formula treating the given identifiers as
+// constant symbols (for example database constants like "c"); all other
+// plain identifiers in term position remain variables.
+func (d DomainInfo) ParseWithConstants(src string, constants ...string) (*Formula, error) {
+	opts := parser.Options{
+		Constants: map[string]bool{},
+		Functions: d.parserOpts.Functions,
+	}
+	for _, c := range constants {
+		opts.Constants[c] = true
+	}
+	return parser.ParseWith(src, opts)
+}
+
+var registry = []DomainInfo{
+	{
+		Name: "eq", Doc: "infinite domain with equality only",
+		Domain: eqdom.Domain{}, Decider: eqdom.Decider(),
+		Eliminator: eqdom.Eliminator{}, Enumerator: eqdom.Domain{},
+	},
+	{
+		Name: "nless", Doc: "natural numbers with <",
+		Domain: nless.Domain{}, Decider: nless.Decider(),
+		Eliminator: nless.Eliminator{}, Enumerator: nless.Domain{},
+	},
+	{
+		Name: "presburger", Doc: "natural numbers with <, ≤, +, −, divisibility",
+		Domain: presburger.Domain{}, Decider: presburger.Decider(),
+		Eliminator: presburger.Eliminator{}, Enumerator: presburger.Domain{},
+		parserOpts: parser.Options{Functions: map[string]bool{
+			presburger.FuncAdd: true, presburger.FuncSub: true,
+			presburger.FuncMul: true, presburger.FuncNeg: true,
+		}},
+	},
+	{
+		Name: "zless", Doc: "integers with <, +, −, divisibility",
+		Domain: zless.Domain{}, Decider: zless.Decider(),
+		Eliminator: zless.Eliminator(), Enumerator: zless.Domain{},
+		parserOpts: parser.Options{Functions: map[string]bool{
+			presburger.FuncAdd: true, presburger.FuncSub: true,
+			presburger.FuncMul: true, presburger.FuncNeg: true,
+		}},
+	},
+	{
+		Name: "nsucc", Doc: "natural numbers with successor (no order)",
+		Domain: nsucc.Domain{}, Decider: nsucc.Decider(),
+		Eliminator: nsucc.Eliminator{}, Enumerator: nsucc.Domain{},
+		parserOpts: parser.Options{Functions: nsucc.ParserOptions()},
+	},
+	{
+		Name: "wordlex", Doc: "words over {a,b} with shortlex order",
+		Domain: wordlex.Domain{}, Decider: wordlex.Decider(),
+		Eliminator: wordlex.Eliminator{}, Enumerator: wordlex.Domain{},
+	},
+	{
+		Name: "traces", Doc: "the paper's trace domain T (Section 3)",
+		Domain: traces.Domain{}, Decider: traces.Decider(),
+		Eliminator: traces.Eliminator{}, Enumerator: traces.Domain{},
+		parserOpts: parser.Options{Functions: traces.ParserOptions()},
+	},
+}
+
+// Domains lists the registered domains.
+func Domains() []DomainInfo { return append([]DomainInfo(nil), registry...) }
+
+// Lookup finds a domain by name.
+func Lookup(name string) (DomainInfo, error) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DomainInfo{}, fmt.Errorf("finq: unknown domain %q (have eq, nless, presburger, zless, nsucc, traces)", name)
+}
+
+// MustLookup is Lookup panicking on error.
+func MustLookup(name string) DomainInfo {
+	d, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Translate rewrites a query into a pure domain formula relative to a state
+// (the §1.1 / [AGSS86] technique).
+func Translate(d DomainInfo, st *State, f *Formula) (*Formula, error) {
+	return query.Translate(d.Domain, st, f)
+}
+
+// EvalActive evaluates a query under active-domain semantics.
+func EvalActive(d DomainInfo, st *State, f *Formula) (*Answer, error) {
+	return query.EvalActive(d.Domain, st, f)
+}
+
+// EnumerationBudget bounds Enumerate.
+type EnumerationBudget = query.EnumerationBudget
+
+// DefaultBudget is a budget suitable for interactive use.
+var DefaultBudget = query.DefaultBudget
+
+// Enumerate runs the paper's §1.1 query-answering algorithm: complete on
+// finite (safe) queries, budget-capped on infinite ones.
+func Enumerate(d DomainInfo, st *State, f *Formula, budget EnumerationBudget) (*Answer, error) {
+	en, ok := d.Domain.(query.Enumerable)
+	if !ok || d.Enumerator == nil {
+		return nil, fmt.Errorf("finq: domain %s does not support enumeration", d.Name)
+	}
+	return query.EnumerationAnswer(en, d.Decider, st, f, budget)
+}
+
+// Decide decides a pure-domain sentence.
+func Decide(d DomainInfo, sentence *Formula) (bool, error) {
+	return d.Decider.Decide(sentence)
+}
+
+// Eliminate returns a quantifier-free equivalent of f over the domain.
+func Eliminate(d DomainInfo, f *Formula) (*Formula, error) {
+	return d.Eliminator.Eliminate(f)
+}
+
+// SafeRange runs the syntactic range-restriction analysis.
+func SafeRange(scheme *Scheme, f *Formula) SafeRangeReport {
+	return core.SafeRange(scheme, f)
+}
+
+// Finitize returns the Theorem 2.2 finitization of f (meaningful over
+// extensions of N<).
+func Finitize(f *Formula) *Formula { return core.Finitize(f) }
+
+// RelativeSafety decides (or semi-decides) whether f's answer is finite in
+// state st over the domain: decidable for eq, nless, presburger, and nsucc;
+// a budgeted semi-decision for traces (Theorem 3.3 makes a decider
+// impossible).
+func RelativeSafety(d DomainInfo, st *State, f *Formula) (Verdict, error) {
+	switch d.Name {
+	case "eq":
+		finite, err := core.RelativeSafetyEq(st, f)
+		return boolVerdict(finite), err
+	case "nless", "presburger":
+		finite, err := core.RelativeSafetyPresburger(st, f)
+		return boolVerdict(finite), err
+	case "nsucc":
+		finite, err := core.RelativeSafetyNsucc(st, f)
+		return boolVerdict(finite), err
+	case "zless":
+		finite, err := core.RelativeSafetyIntegers(st, f)
+		return boolVerdict(finite), err
+	case "wordlex":
+		finite, err := core.RelativeSafetyWordlex(st, f)
+		return boolVerdict(finite), err
+	case "traces":
+		return core.RelativeSafetyTraces(st, f, core.DefaultTracesBudget)
+	}
+	return Unknown, fmt.Errorf("finq: no relative-safety procedure for domain %q", d.Name)
+}
+
+func boolVerdict(b bool) Verdict {
+	if b {
+		return Holds
+	}
+	return Fails
+}
+
+// TotalityQuery returns the Theorem 3.1 query M(x) := P(M, c, x) over the
+// trace domain, with "c" a database constant.
+func TotalityQuery(machineWord string) *Formula { return core.TotalityQuery(machineWord) }
+
+// TotalityScheme returns the one-constant scheme of Theorem 3.1.
+func TotalityScheme() *Scheme { return core.TotalityScheme() }
+
+// VerifyTotality decides the Theorem 3.1 equivalence sentence between a
+// machine's totality query and a candidate formula; truth certifies the
+// machine total whenever the candidate is finite.
+func VerifyTotality(machineWord string, candidate *Formula) (bool, error) {
+	return core.VerifyTotality(machineWord, candidate)
+}
+
+// HaltingToRelativeSafety is the Theorem 3.3 reduction from the halting
+// problem to relative safety over T.
+func HaltingToRelativeSafety(machineWord, input string) (*Formula, *State, error) {
+	return core.HaltingToRelativeSafety(machineWord, input)
+}

@@ -1,0 +1,661 @@
+// Package algebra implements a relational algebra — the evaluation backend
+// Codd's relational completeness theorem pairs with the calculus — and a
+// compiler from safe-range calculus formulas to algebra expressions.
+//
+// The paper's positive syntaxes (active-domain restriction, finitization,
+// safe range) matter in practice because their members evaluate by plain
+// algebra plans like the ones here: every safe-range query compiles, every
+// compiled plan computes the natural-semantics answer, and tests cross-check
+// plans against the calculus evaluator.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+)
+
+// Ctx supplies an expression evaluation with a database state and the
+// domain interpretation (for constants and domain predicates).
+type Ctx struct {
+	St  *db.State
+	Dom domain.Domain
+}
+
+// constValue resolves a constant name: database constants through the
+// state, everything else through the domain.
+func (c *Ctx) constValue(name string) (domain.Value, error) {
+	if c.St.Scheme().HasConstant(name) {
+		return c.St.Constant(name)
+	}
+	return c.Dom.ConstValue(name)
+}
+
+// Table is a named-column relation, the value of an algebra expression.
+type Table struct {
+	Cols []string
+	rows map[string][]domain.Value
+}
+
+// NewTable returns an empty table with the given columns.
+func NewTable(cols []string) *Table {
+	return &Table{Cols: append([]string(nil), cols...), rows: map[string][]domain.Value{}}
+}
+
+// Add inserts a row (copied).
+func (t *Table) Add(row []domain.Value) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("algebra: row width %d, table width %d", len(row), len(t.Cols))
+	}
+	t.rows[db.Tuple(row).Key()] = append([]domain.Value(nil), row...)
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the rows sorted by key.
+func (t *Table) Rows() [][]domain.Value {
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]domain.Value, len(keys))
+	for i, k := range keys {
+		out[i] = t.rows[k]
+	}
+	return out
+}
+
+// Has reports row membership.
+func (t *Table) Has(row []domain.Value) bool {
+	_, ok := t.rows[db.Tuple(row).Key()]
+	return ok
+}
+
+// colIndex maps column names to positions.
+func (t *Table) colIndex() map[string]int {
+	idx := make(map[string]int, len(t.Cols))
+	for i, c := range t.Cols {
+		idx[c] = i
+	}
+	return idx
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("(" + strings.Join(t.Cols, ", ") + ")")
+	for _, row := range t.Rows() {
+		b.WriteString(" " + db.Tuple(row).String())
+	}
+	return b.String()
+}
+
+// Expr is a relational algebra expression.
+type Expr interface {
+	// Columns returns the output column names in order.
+	Columns() []string
+	// Eval computes the expression's value.
+	Eval(ctx *Ctx) (*Table, error)
+	// String renders the plan.
+	String() string
+}
+
+// Base scans a database relation, naming its columns.
+type Base struct {
+	Rel  string
+	Cols []string
+}
+
+// Columns implements Expr.
+func (b *Base) Columns() []string { return b.Cols }
+
+// Eval implements Expr.
+func (b *Base) Eval(ctx *Ctx) (*Table, error) {
+	rel, err := ctx.St.Relation(b.Rel)
+	if err != nil {
+		return nil, err
+	}
+	if rel.Arity() != len(b.Cols) {
+		return nil, fmt.Errorf("algebra: %s has arity %d, got %d column names", b.Rel, rel.Arity(), len(b.Cols))
+	}
+	if err := distinctCols(b.Cols); err != nil {
+		return nil, err
+	}
+	out := NewTable(b.Cols)
+	for _, row := range rel.Tuples() {
+		if err := out.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (b *Base) String() string {
+	return fmt.Sprintf("%s(%s)", b.Rel, strings.Join(b.Cols, ","))
+}
+
+// Lit is a literal table: constant rows given by constant names, resolved
+// at evaluation time.
+type Lit struct {
+	Cols []string
+	Rows [][]string
+}
+
+// Columns implements Expr.
+func (l *Lit) Columns() []string { return l.Cols }
+
+// Eval implements Expr.
+func (l *Lit) Eval(ctx *Ctx) (*Table, error) {
+	if err := distinctCols(l.Cols); err != nil {
+		return nil, err
+	}
+	out := NewTable(l.Cols)
+	for _, names := range l.Rows {
+		if len(names) != len(l.Cols) {
+			return nil, fmt.Errorf("algebra: literal row width mismatch")
+		}
+		row := make([]domain.Value, len(names))
+		for i, n := range names {
+			v, err := ctx.constValue(n)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		if err := out.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (l *Lit) String() string {
+	return fmt.Sprintf("lit(%s)x%d", strings.Join(l.Cols, ","), len(l.Rows))
+}
+
+// Select filters rows by a condition.
+type Select struct {
+	In   Expr
+	Cond Cond
+}
+
+// Columns implements Expr.
+func (s *Select) Columns() []string { return s.In.Columns() }
+
+// Eval implements Expr.
+func (s *Select) Eval(ctx *Ctx) (*Table, error) {
+	in, err := s.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	idx := in.colIndex()
+	out := NewTable(in.Cols)
+	for _, row := range in.Rows() {
+		ok, err := s.Cond.Holds(ctx, idx, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if err := out.Add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (s *Select) String() string {
+	return fmt.Sprintf("select[%s](%s)", s.Cond.String(), s.In.String())
+}
+
+// Project keeps the named columns (in the given order), deduplicating rows.
+type Project struct {
+	In   Expr
+	Cols []string
+}
+
+// Columns implements Expr.
+func (p *Project) Columns() []string { return p.Cols }
+
+// Eval implements Expr.
+func (p *Project) Eval(ctx *Ctx) (*Table, error) {
+	in, err := p.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	idx := in.colIndex()
+	positions := make([]int, len(p.Cols))
+	for i, c := range p.Cols {
+		pos, ok := idx[c]
+		if !ok {
+			return nil, fmt.Errorf("algebra: project on missing column %q", c)
+		}
+		positions[i] = pos
+	}
+	out := NewTable(p.Cols)
+	for _, row := range in.Rows() {
+		slim := make([]domain.Value, len(positions))
+		for i, pos := range positions {
+			slim[i] = row[pos]
+		}
+		if err := out.Add(slim); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (p *Project) String() string {
+	return fmt.Sprintf("project[%s](%s)", strings.Join(p.Cols, ","), p.In.String())
+}
+
+// Rename renames one column.
+type Rename struct {
+	In       Expr
+	From, To string
+}
+
+// Columns implements Expr.
+func (r *Rename) Columns() []string {
+	out := append([]string(nil), r.In.Columns()...)
+	for i, c := range out {
+		if c == r.From {
+			out[i] = r.To
+		}
+	}
+	return out
+}
+
+// Eval implements Expr.
+func (r *Rename) Eval(ctx *Ctx) (*Table, error) {
+	in, err := r.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]string(nil), in.Cols...)
+	found := false
+	for i, c := range cols {
+		if c == r.From {
+			cols[i] = r.To
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("algebra: rename of missing column %q", r.From)
+	}
+	if err := distinctCols(cols); err != nil {
+		return nil, err
+	}
+	out := NewTable(cols)
+	for _, row := range in.Rows() {
+		if err := out.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (r *Rename) String() string {
+	return fmt.Sprintf("rename[%s->%s](%s)", r.From, r.To, r.In.String())
+}
+
+// Extend adds a copy of an existing column under a new name.
+type Extend struct {
+	In      Expr
+	NewCol  string
+	FromCol string
+}
+
+// Columns implements Expr.
+func (e *Extend) Columns() []string {
+	return append(append([]string(nil), e.In.Columns()...), e.NewCol)
+}
+
+// Eval implements Expr.
+func (e *Extend) Eval(ctx *Ctx) (*Table, error) {
+	in, err := e.In.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	idx := in.colIndex()
+	pos, ok := idx[e.FromCol]
+	if !ok {
+		return nil, fmt.Errorf("algebra: extend from missing column %q", e.FromCol)
+	}
+	cols := append(append([]string(nil), in.Cols...), e.NewCol)
+	if err := distinctCols(cols); err != nil {
+		return nil, err
+	}
+	out := NewTable(cols)
+	for _, row := range in.Rows() {
+		if err := out.Add(append(append([]domain.Value(nil), row...), row[pos])); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (e *Extend) String() string {
+	return fmt.Sprintf("extend[%s:=%s](%s)", e.NewCol, e.FromCol, e.In.String())
+}
+
+// Join is the natural join: rows agreeing on all shared column names.
+// Disjoint columns make it a cross product.
+type Join struct {
+	L, R Expr
+}
+
+// Columns implements Expr.
+func (j *Join) Columns() []string {
+	out := append([]string(nil), j.L.Columns()...)
+	seen := map[string]bool{}
+	for _, c := range out {
+		seen[c] = true
+	}
+	for _, c := range j.R.Columns() {
+		if !seen[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Eval implements Expr.
+func (j *Join) Eval(ctx *Ctx) (*Table, error) {
+	l, err := j.L.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.R.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lIdx := l.colIndex()
+	rIdx := r.colIndex()
+	var shared []string
+	var rExtra []string
+	for _, c := range r.Cols {
+		if _, ok := lIdx[c]; ok {
+			shared = append(shared, c)
+		} else {
+			rExtra = append(rExtra, c)
+		}
+	}
+	// Hash the right side on the shared columns.
+	hash := map[string][][]domain.Value{}
+	for _, row := range r.Rows() {
+		key := joinKey(row, rIdx, shared)
+		hash[key] = append(hash[key], row)
+	}
+	out := NewTable(append(append([]string(nil), l.Cols...), rExtra...))
+	for _, lrow := range l.Rows() {
+		key := joinKey(lrow, lIdx, shared)
+		for _, rrow := range hash[key] {
+			row := append([]domain.Value(nil), lrow...)
+			for _, c := range rExtra {
+				row = append(row, rrow[rIdx[c]])
+			}
+			if err := out.Add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func joinKey(row []domain.Value, idx map[string]int, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		k := row[idx[c]].Key()
+		parts[i] = fmt.Sprintf("%d:%s", len(k), k)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String implements Expr.
+func (j *Join) String() string {
+	return fmt.Sprintf("(%s join %s)", j.L.String(), j.R.String())
+}
+
+// Union is set union; both inputs must have the same column set, and the
+// right side is reordered to match.
+type Union struct {
+	L, R Expr
+}
+
+// Columns implements Expr.
+func (u *Union) Columns() []string { return u.L.Columns() }
+
+// Eval implements Expr.
+func (u *Union) Eval(ctx *Ctx) (*Table, error) {
+	l, r, err := alignedPair(ctx, u.L, u.R)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(l.Cols)
+	for _, row := range l.Rows() {
+		if err := out.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range r.Rows() {
+		if err := out.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (u *Union) String() string {
+	return fmt.Sprintf("(%s union %s)", u.L.String(), u.R.String())
+}
+
+// Diff is set difference (left minus right), columns aligned like Union.
+type Diff struct {
+	L, R Expr
+}
+
+// Columns implements Expr.
+func (d *Diff) Columns() []string { return d.L.Columns() }
+
+// Eval implements Expr.
+func (d *Diff) Eval(ctx *Ctx) (*Table, error) {
+	l, r, err := alignedPair(ctx, d.L, d.R)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(l.Cols)
+	for _, row := range l.Rows() {
+		if !r.Has(row) {
+			if err := out.Add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (d *Diff) String() string {
+	return fmt.Sprintf("(%s minus %s)", d.L.String(), d.R.String())
+}
+
+// alignedPair evaluates two expressions and reorders the right columns to
+// the left's order, failing if the column sets differ.
+func alignedPair(ctx *Ctx, le, re Expr) (*Table, *Table, error) {
+	l, err := le.Eval(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := re.Eval(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(l.Cols) != len(r.Cols) {
+		return nil, nil, fmt.Errorf("algebra: column sets differ: %v vs %v", l.Cols, r.Cols)
+	}
+	rIdx := r.colIndex()
+	perm := make([]int, len(l.Cols))
+	for i, c := range l.Cols {
+		pos, ok := rIdx[c]
+		if !ok {
+			return nil, nil, fmt.Errorf("algebra: column sets differ: %v vs %v", l.Cols, r.Cols)
+		}
+		perm[i] = pos
+	}
+	aligned := NewTable(l.Cols)
+	for _, row := range r.Rows() {
+		moved := make([]domain.Value, len(perm))
+		for i, pos := range perm {
+			moved[i] = row[pos]
+		}
+		if err := aligned.Add(moved); err != nil {
+			return nil, nil, err
+		}
+	}
+	return l, aligned, nil
+}
+
+func distinctCols(cols []string) error {
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c] {
+			return fmt.Errorf("algebra: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Cond is a selection condition.
+type Cond interface {
+	Holds(ctx *Ctx, idx map[string]int, row []domain.Value) (bool, error)
+	String() string
+}
+
+// Arg is a condition argument: a column reference or a constant name.
+type Arg struct {
+	Col   string
+	Const string
+	IsCol bool
+}
+
+// ColArg references a column.
+func ColArg(c string) Arg { return Arg{Col: c, IsCol: true} }
+
+// ConstArg references a constant by name.
+func ConstArg(name string) Arg { return Arg{Const: name} }
+
+func (a Arg) value(ctx *Ctx, idx map[string]int, row []domain.Value) (domain.Value, error) {
+	if a.IsCol {
+		pos, ok := idx[a.Col]
+		if !ok {
+			return nil, fmt.Errorf("algebra: condition on missing column %q", a.Col)
+		}
+		return row[pos], nil
+	}
+	return ctx.constValue(a.Const)
+}
+
+// String implements fmt.Stringer.
+func (a Arg) String() string {
+	if a.IsCol {
+		return a.Col
+	}
+	return fmt.Sprintf("%q", a.Const)
+}
+
+// CondEq compares two arguments for equality.
+type CondEq struct{ A, B Arg }
+
+// Holds implements Cond.
+func (c CondEq) Holds(ctx *Ctx, idx map[string]int, row []domain.Value) (bool, error) {
+	av, err := c.A.value(ctx, idx, row)
+	if err != nil {
+		return false, err
+	}
+	bv, err := c.B.value(ctx, idx, row)
+	if err != nil {
+		return false, err
+	}
+	return av.Key() == bv.Key(), nil
+}
+
+// String implements Cond.
+func (c CondEq) String() string { return c.A.String() + "=" + c.B.String() }
+
+// CondPred evaluates a domain predicate on arguments.
+type CondPred struct {
+	Pred string
+	Args []Arg
+}
+
+// Holds implements Cond.
+func (c CondPred) Holds(ctx *Ctx, idx map[string]int, row []domain.Value) (bool, error) {
+	vals := make([]domain.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.value(ctx, idx, row)
+		if err != nil {
+			return false, err
+		}
+		vals[i] = v
+	}
+	return ctx.Dom.Pred(c.Pred, vals)
+}
+
+// String implements Cond.
+func (c CondPred) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// CondNot negates a condition.
+type CondNot struct{ C Cond }
+
+// Holds implements Cond.
+func (c CondNot) Holds(ctx *Ctx, idx map[string]int, row []domain.Value) (bool, error) {
+	v, err := c.C.Holds(ctx, idx, row)
+	return !v, err
+}
+
+// String implements Cond.
+func (c CondNot) String() string { return "~" + c.C.String() }
+
+// CondAnd conjoins conditions.
+type CondAnd struct{ Cs []Cond }
+
+// Holds implements Cond.
+func (c CondAnd) Holds(ctx *Ctx, idx map[string]int, row []domain.Value) (bool, error) {
+	for _, s := range c.Cs {
+		v, err := s.Holds(ctx, idx, row)
+		if err != nil || !v {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// String implements Cond.
+func (c CondAnd) String() string {
+	parts := make([]string, len(c.Cs))
+	for i, s := range c.Cs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "&")
+}

@@ -1,0 +1,333 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/domains/eqdom"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/presburger"
+	"repro/internal/query"
+)
+
+func fathersCtx(t *testing.T) *Ctx {
+	t.Helper()
+	st := db.NewState(db.MustScheme(map[string]int{"F": 2}))
+	for _, p := range [][2]string{{"adam", "abel"}, {"adam", "cain"}, {"cain", "enoch"}} {
+		if err := st.Insert("F", domain.Word(p[0]), domain.Word(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Ctx{St: st, Dom: eqdom.Domain{}}
+}
+
+func mustEval(t *testing.T, ctx *Ctx, e Expr) *Table {
+	t.Helper()
+	tab, err := e.Eval(ctx)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e.String(), err)
+	}
+	return tab
+}
+
+func TestBaseAndProject(t *testing.T) {
+	ctx := fathersCtx(t)
+	base := &Base{Rel: "F", Cols: []string{"f", "s"}}
+	tab := mustEval(t, ctx, base)
+	if tab.Len() != 3 {
+		t.Fatalf("base rows = %d", tab.Len())
+	}
+	proj := mustEval(t, ctx, &Project{In: base, Cols: []string{"f"}})
+	if proj.Len() != 2 { // adam, cain
+		t.Errorf("projection rows = %d, want 2", proj.Len())
+	}
+	if _, err := (&Project{In: base, Cols: []string{"zzz"}}).Eval(ctx); err == nil {
+		t.Errorf("projection on missing column accepted")
+	}
+	if _, err := (&Base{Rel: "F", Cols: []string{"a"}}).Eval(ctx); err == nil {
+		t.Errorf("arity mismatch accepted")
+	}
+	if _, err := (&Base{Rel: "F", Cols: []string{"a", "a"}}).Eval(ctx); err == nil {
+		t.Errorf("duplicate columns accepted")
+	}
+}
+
+func TestSelectConditions(t *testing.T) {
+	ctx := fathersCtx(t)
+	base := &Base{Rel: "F", Cols: []string{"f", "s"}}
+	sel := mustEval(t, ctx, &Select{In: base,
+		Cond: CondEq{A: ColArg("f"), B: ConstArg("adam")}})
+	if sel.Len() != 2 {
+		t.Errorf("select f=adam rows = %d", sel.Len())
+	}
+	neg := mustEval(t, ctx, &Select{In: base,
+		Cond: CondNot{C: CondEq{A: ColArg("f"), B: ConstArg("adam")}}})
+	if neg.Len() != 1 {
+		t.Errorf("negated select rows = %d", neg.Len())
+	}
+	both := mustEval(t, ctx, &Select{In: base, Cond: CondAnd{Cs: []Cond{
+		CondEq{A: ColArg("f"), B: ConstArg("adam")},
+		CondEq{A: ColArg("s"), B: ConstArg("abel")},
+	}}})
+	if both.Len() != 1 {
+		t.Errorf("conjunctive select rows = %d", both.Len())
+	}
+}
+
+func TestJoinNatural(t *testing.T) {
+	ctx := fathersCtx(t)
+	// Grandfather: F(f, m) ⋈ F(m, s) via renaming.
+	l := &Base{Rel: "F", Cols: []string{"f", "m"}}
+	r := &Base{Rel: "F", Cols: []string{"m", "s"}}
+	g := mustEval(t, ctx, &Project{In: &Join{L: l, R: r}, Cols: []string{"f", "s"}})
+	if g.Len() != 1 {
+		t.Fatalf("grandfather rows = %d", g.Len())
+	}
+	row := g.Rows()[0]
+	if row[0].Key() != "adam" || row[1].Key() != "enoch" {
+		t.Errorf("grandfather = %v", row)
+	}
+	// Cross product when no shared columns.
+	cross := mustEval(t, ctx, &Join{
+		L: &Base{Rel: "F", Cols: []string{"a", "b"}},
+		R: &Base{Rel: "F", Cols: []string{"c", "d"}}})
+	if cross.Len() != 9 {
+		t.Errorf("cross product rows = %d, want 9", cross.Len())
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	ctx := fathersCtx(t)
+	fathers := &Project{In: &Base{Rel: "F", Cols: []string{"x", "s"}}, Cols: []string{"x"}}
+	sons := &Project{In: &Base{Rel: "F", Cols: []string{"f", "x"}}, Cols: []string{"x"}}
+	u := mustEval(t, ctx, &Union{L: fathers, R: sons})
+	if u.Len() != 4 { // adam, cain, abel, enoch
+		t.Errorf("union rows = %d, want 4", u.Len())
+	}
+	d := mustEval(t, ctx, &Diff{L: sons, R: fathers})
+	if d.Len() != 2 { // abel, enoch (cain is both)
+		t.Errorf("diff rows = %d, want 2", d.Len())
+	}
+	// Column mismatch errors.
+	if _, err := (&Union{L: fathers, R: &Base{Rel: "F", Cols: []string{"a", "b"}}}).Eval(ctx); err == nil {
+		t.Errorf("union with mismatched columns accepted")
+	}
+}
+
+func TestUnionAlignsColumns(t *testing.T) {
+	ctx := fathersCtx(t)
+	// Same column set in different order must align by name.
+	l := &Base{Rel: "F", Cols: []string{"a", "b"}}
+	r := &Project{In: &Base{Rel: "F", Cols: []string{"b", "a"}}, Cols: []string{"a", "b"}}
+	u := mustEval(t, ctx, &Union{L: l, R: r})
+	// r is F with swapped roles: (abel,adam) etc. Union has 6 distinct rows.
+	if u.Len() != 6 {
+		t.Errorf("aligned union rows = %d, want 6", u.Len())
+	}
+}
+
+func TestRenameExtend(t *testing.T) {
+	ctx := fathersCtx(t)
+	base := &Base{Rel: "F", Cols: []string{"f", "s"}}
+	ren := mustEval(t, ctx, &Rename{In: base, From: "f", To: "parent"})
+	if ren.Cols[0] != "parent" {
+		t.Errorf("rename failed: %v", ren.Cols)
+	}
+	ext := mustEval(t, ctx, &Extend{In: base, NewCol: "f2", FromCol: "f"})
+	for _, row := range ext.Rows() {
+		if row[0].Key() != row[2].Key() {
+			t.Errorf("extend copied wrong values: %v", row)
+		}
+	}
+	if _, err := (&Rename{In: base, From: "zz", To: "w"}).Eval(ctx); err == nil {
+		t.Errorf("rename of missing column accepted")
+	}
+	if _, err := (&Extend{In: base, NewCol: "f", FromCol: "s"}).Eval(ctx); err == nil {
+		t.Errorf("extend to duplicate column accepted")
+	}
+}
+
+func TestCondPredDomain(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"R": 2}))
+	if err := st.Insert("R", domain.Int(1), domain.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("R", domain.Int(7), domain.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{St: st, Dom: presburger.Domain{}}
+	sel := mustEval(t, ctx, &Select{
+		In:   &Base{Rel: "R", Cols: []string{"a", "b"}},
+		Cond: CondPred{Pred: presburger.PredLt, Args: []Arg{ColArg("a"), ColArg("b")}},
+	})
+	if sel.Len() != 1 || sel.Rows()[0][0].Key() != "1" {
+		t.Errorf("lt selection wrong: %v", sel)
+	}
+}
+
+func TestLitAndDatabaseConstants(t *testing.T) {
+	scheme := db.MustScheme(map[string]int{"R": 1}, "c")
+	st := db.NewState(scheme)
+	if err := st.SetConstant("c", domain.Word("v")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{St: st, Dom: eqdom.Domain{}}
+	lit := mustEval(t, ctx, &Lit{Cols: []string{"x"}, Rows: [][]string{{"c"}, {"w"}}})
+	if lit.Len() != 2 || !lit.Has([]domain.Value{domain.Word("v")}) {
+		t.Errorf("database constant not resolved: %v", lit)
+	}
+}
+
+// compileAndCompare compiles a safe-range formula and compares the plan's
+// answer with active-domain evaluation (which agrees with the natural
+// semantics on safe-range queries).
+func compileAndCompare(t *testing.T, ctx *Ctx, src string) {
+	t.Helper()
+	f := parser.MustParse(src)
+	plan, err := Compile(ctx.St.Scheme(), f)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", src, err)
+	}
+	got, err := plan.Eval(ctx)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", src, err)
+	}
+	want, err := query.EvalActive(ctx.Dom, ctx.St, f)
+	if err != nil {
+		t.Fatalf("EvalActive(%s): %v", src, err)
+	}
+	freeVars := f.FreeVars()
+	if !sameCols(got.Cols, freeVars) {
+		t.Fatalf("%s: columns %v, free vars %v", src, got.Cols, freeVars)
+	}
+	if got.Len() != want.Rows.Len() {
+		t.Fatalf("%s: algebra %d rows, calculus %d rows\nplan: %s\nalgebra: %v\ncalculus: %v",
+			src, got.Len(), want.Rows.Len(), plan.String(), got, want.Rows.Tuples())
+	}
+	idx := got.colIndex()
+	for _, row := range want.Rows.Tuples() {
+		ordered := make([]domain.Value, len(freeVars))
+		for i, v := range want.Vars {
+			ordered[idx[v]] = row[i]
+		}
+		if !got.Has(ordered) {
+			t.Errorf("%s: calculus row %v missing from plan output", src, row)
+		}
+	}
+}
+
+func TestCompileBasics(t *testing.T) {
+	ctx := fathersCtx(t)
+	for _, src := range []string{
+		"F(x, y)",
+		"F(x, x)",
+		`F("adam", y)`,
+		"exists y. F(x, y)",
+		"F(x, y) & F(y, z)",
+		"F(x, y) & x != y",
+		"F(x, y) | F(y, x)",
+		"F(x, y) & ~F(y, x)",
+		"exists y. (F(x, y) & ~F(y, x))",
+		"F(x, y) & y = z",
+		`F(x, y) & z = "seth"`,
+		"exists y. (exists z. (F(x, y) & F(y, z)))",
+		"F(x, y) & (F(y, z) | F(z, y))",
+		"true & F(x, y)",
+	} {
+		compileAndCompare(t, ctx, src)
+	}
+}
+
+func TestCompileDomainPredicates(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"R": 2}))
+	for _, p := range [][2]int64{{1, 5}, {7, 2}, {3, 3}} {
+		if err := st.Insert("R", domain.Int(p[0]), domain.Int(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := &Ctx{St: st, Dom: presburger.Domain{}}
+	for _, src := range []string{
+		"R(x, y) & lt(x, y)",
+		"R(x, y) & ~lt(x, y)",
+		"R(x, y) & lt(x, 4)",
+	} {
+		compileAndCompare(t, ctx, src)
+	}
+}
+
+func TestCompileRejectsUnsafe(t *testing.T) {
+	scheme := db.MustScheme(map[string]int{"F": 2})
+	for _, src := range []string{
+		"~F(x, y)",
+		"x = y",
+		"forall y. F(x, y)",
+		"F(x, y) | x = z",
+		"lt(x, y)",
+	} {
+		f := parser.MustParse(src)
+		if plan, err := Compile(scheme, f); err == nil {
+			t.Errorf("Compile(%s) accepted: %s", src, plan.String())
+		}
+	}
+}
+
+// TestCompileAgainstCalculusRandom cross-validates the compiler on random
+// safe-range formulas.
+func TestCompileAgainstCalculusRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ctx := fathersCtx(t)
+	scheme := ctx.St.Scheme()
+	kept := 0
+	for i := 0; i < 800 && kept < 150; i++ {
+		f := randSafeCandidate(rng, 3)
+		plan, err := Compile(scheme, f)
+		if err != nil {
+			continue // outside the fragment; fine
+		}
+		kept++
+		got, err := plan.Eval(ctx)
+		if err != nil {
+			t.Fatalf("Eval of compiled %v: %v", f, err)
+		}
+		want, err := query.EvalActive(ctx.Dom, ctx.St, f)
+		if err != nil {
+			t.Fatalf("EvalActive(%v): %v", f, err)
+		}
+		if got.Len() != want.Rows.Len() {
+			t.Fatalf("row count mismatch on %v: algebra %d, calculus %d (plan %s)",
+				f, got.Len(), want.Rows.Len(), plan.String())
+		}
+	}
+	if kept < 50 {
+		t.Fatalf("generator produced too few compilable formulas: %d", kept)
+	}
+}
+
+func randSafeCandidate(rng *rand.Rand, depth int) *logic.Formula {
+	vars := []string{"x", "y", "z"}
+	v := func() logic.Term { return logic.Var(vars[rng.Intn(len(vars))]) }
+	atom := func() *logic.Formula {
+		return logic.Atom("F", v(), v())
+	}
+	if depth == 0 {
+		return atom()
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return atom()
+	case 1:
+		return logic.And(randSafeCandidate(rng, depth-1), randSafeCandidate(rng, depth-1))
+	case 2:
+		return logic.Or(randSafeCandidate(rng, depth-1), randSafeCandidate(rng, depth-1))
+	case 3:
+		return logic.And(randSafeCandidate(rng, depth-1), logic.Not(randSafeCandidate(rng, depth-1)))
+	case 4:
+		return logic.Exists(vars[rng.Intn(len(vars))], randSafeCandidate(rng, depth-1))
+	default:
+		return logic.And(randSafeCandidate(rng, depth-1),
+			logic.Neq(v(), v()))
+	}
+}

@@ -1,0 +1,332 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/logic"
+)
+
+// Compile translates a safe-range calculus formula into an algebra plan
+// whose columns are the formula's free variables (sorted). The translation
+// follows the classical recipe:
+//
+//   - database atoms scan their relation, select repeated variables and
+//     constants, and project to variables;
+//   - conjunctions natural-join their positive parts, then apply equality
+//     conjuncts (as selections or column extensions), then domain-predicate
+//     conjuncts as selections, then negated parts as guarded differences
+//     E − (E ⋈ G);
+//   - disjunctions with equal free variables become unions;
+//   - ∃x projects x away.
+//
+// Compile handles exactly the safe-range fragment in this shape; formulas
+// outside it (including anything with a universal quantifier — rewrite with
+// ¬∃¬ first) are rejected with an explanatory error.
+func Compile(scheme *db.Scheme, f *logic.Formula) (Expr, error) {
+	c := &compiler{scheme: scheme}
+	return c.compile(logic.NNF(f))
+}
+
+type compiler struct {
+	scheme *db.Scheme
+	tmp    int
+}
+
+func (c *compiler) fresh() string {
+	c.tmp++
+	return fmt.Sprintf("_t%d", c.tmp)
+}
+
+func (c *compiler) compile(f *logic.Formula) (Expr, error) {
+	switch f.Kind {
+	case logic.FTrue:
+		return &Lit{Cols: nil, Rows: [][]string{{}}}, nil
+	case logic.FFalse:
+		return &Lit{Cols: nil, Rows: nil}, nil
+	case logic.FAtom:
+		return c.compileAtom(f)
+	case logic.FAnd:
+		return c.compileAnd(f.Sub)
+	case logic.FOr:
+		return c.compileOr(f.Sub)
+	case logic.FExists:
+		inner, err := c.compile(f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		cols := removeCol(inner.Columns(), f.Var)
+		return &Project{In: inner, Cols: cols}, nil
+	case logic.FNot:
+		return nil, fmt.Errorf("algebra: unguarded negation %v is not safe-range", f)
+	case logic.FForall:
+		return nil, fmt.Errorf("algebra: universal quantifier is not in the safe-range fragment (rewrite as ¬∃¬)")
+	}
+	return nil, fmt.Errorf("algebra: cannot compile %v", f)
+}
+
+// compileAtom handles a positive atom in relation position.
+func (c *compiler) compileAtom(f *logic.Formula) (Expr, error) {
+	arity, isDB := c.scheme.Relations[f.Pred]
+	if !isDB {
+		return nil, fmt.Errorf("algebra: atom %v does not range its variables (domain predicates select, they do not generate)", f)
+	}
+	if len(f.Args) != arity {
+		return nil, fmt.Errorf("algebra: %s expects %d arguments, got %d", f.Pred, arity, len(f.Args))
+	}
+	cols := make([]string, arity)
+	var conds []Cond
+	seen := map[string]string{} // variable -> first column holding it
+	var keep []string
+	for i, t := range f.Args {
+		switch t.Kind {
+		case logic.TVar:
+			if first, dup := seen[t.Name]; dup {
+				col := c.fresh()
+				cols[i] = col
+				conds = append(conds, CondEq{A: ColArg(col), B: ColArg(first)})
+			} else {
+				cols[i] = t.Name
+				seen[t.Name] = t.Name
+				keep = append(keep, t.Name)
+			}
+		case logic.TConst:
+			col := c.fresh()
+			cols[i] = col
+			conds = append(conds, CondEq{A: ColArg(col), B: ConstArg(t.Name)})
+		default:
+			return nil, fmt.Errorf("algebra: function terms in database atoms are not supported: %v", t)
+		}
+	}
+	var e Expr = &Base{Rel: f.Pred, Cols: cols}
+	if len(conds) > 0 {
+		e = &Select{In: e, Cond: CondAnd{Cs: conds}}
+	}
+	return &Project{In: e, Cols: logic.SortedUnique(keep)}, nil
+}
+
+// compileAnd splits a conjunction into generators (positive DB-rooted
+// subformulas), equalities, domain-predicate selections, and guarded
+// negations.
+func (c *compiler) compileAnd(subs []*logic.Formula) (Expr, error) {
+	var generators []*logic.Formula
+	var equalities []*logic.Formula
+	var domainSel []*logic.Formula // positive or negated domain atoms
+	var negations []*logic.Formula // negated DB-rooted subformulas
+
+	for _, s := range subs {
+		switch {
+		case s.Kind == logic.FAtom && s.IsEq():
+			equalities = append(equalities, s)
+		case s.Kind == logic.FAtom:
+			if _, isDB := c.scheme.Relations[s.Pred]; isDB {
+				generators = append(generators, s)
+			} else {
+				domainSel = append(domainSel, s)
+			}
+		case s.Kind == logic.FNot && s.Sub[0].Kind == logic.FAtom && s.Sub[0].IsEq():
+			domainSel = append(domainSel, s)
+		case s.Kind == logic.FNot && s.Sub[0].Kind == logic.FAtom:
+			if _, isDB := c.scheme.Relations[s.Sub[0].Pred]; isDB {
+				negations = append(negations, s.Sub[0])
+			} else {
+				domainSel = append(domainSel, s)
+			}
+		case s.Kind == logic.FNot:
+			negations = append(negations, s.Sub[0])
+		default:
+			generators = append(generators, s)
+		}
+	}
+
+	var plan Expr
+	for _, g := range generators {
+		e, err := c.compile(g)
+		if err != nil {
+			return nil, err
+		}
+		if plan == nil {
+			plan = e
+		} else {
+			plan = &Join{L: plan, R: e}
+		}
+	}
+	if plan == nil {
+		plan = &Lit{Cols: nil, Rows: [][]string{{}}}
+	}
+
+	// Equalities, to a fixpoint: each either selects (both sides available),
+	// extends (one variable side available), or introduces a constant
+	// column.
+	pending := append([]*logic.Formula(nil), equalities...)
+	for len(pending) > 0 {
+		progressed := false
+		var still []*logic.Formula
+		for _, eq := range pending {
+			next, ok, err := c.applyEquality(plan, eq)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				plan = next
+				progressed = true
+			} else {
+				still = append(still, eq)
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("algebra: equalities %v leave variables unranged", still)
+		}
+		pending = still
+	}
+
+	// Domain selections.
+	for _, s := range domainSel {
+		cond, err := c.atomCond(s, plan.Columns())
+		if err != nil {
+			return nil, err
+		}
+		plan = &Select{In: plan, Cond: cond}
+	}
+
+	// Guarded negations: E − (E ⋈ G), requiring free(G) ⊆ cols(E).
+	for _, n := range negations {
+		g, err := c.compile(n)
+		if err != nil {
+			return nil, err
+		}
+		have := map[string]bool{}
+		for _, col := range plan.Columns() {
+			have[col] = true
+		}
+		for _, col := range g.Columns() {
+			if !have[col] {
+				return nil, fmt.Errorf("algebra: negation of %v is unguarded on %q", n, col)
+			}
+		}
+		plan = &Diff{L: plan, R: &Project{In: &Join{L: plan, R: g}, Cols: plan.Columns()}}
+	}
+	return plan, nil
+}
+
+// applyEquality incorporates one equality conjunct into the plan, if
+// possible at this stage.
+func (c *compiler) applyEquality(plan Expr, eq *logic.Formula) (Expr, bool, error) {
+	have := map[string]bool{}
+	for _, col := range plan.Columns() {
+		have[col] = true
+	}
+	a, b := eq.Args[0], eq.Args[1]
+	avail := func(t logic.Term) bool {
+		return t.Kind == logic.TConst || (t.Kind == logic.TVar && have[t.Name])
+	}
+	arg := func(t logic.Term) Arg {
+		if t.Kind == logic.TConst {
+			return ConstArg(t.Name)
+		}
+		return ColArg(t.Name)
+	}
+	if a.Kind == logic.TApp || b.Kind == logic.TApp {
+		return nil, false, fmt.Errorf("algebra: function terms are not supported in equalities: %v", eq)
+	}
+	switch {
+	case avail(a) && avail(b):
+		return &Select{In: plan, Cond: CondEq{A: arg(a), B: arg(b)}}, true, nil
+	case avail(a) && b.Kind == logic.TVar:
+		if a.Kind == logic.TVar {
+			return &Extend{In: plan, NewCol: b.Name, FromCol: a.Name}, true, nil
+		}
+		// b := constant a — a one-row literal joined in.
+		return &Join{L: plan, R: &Lit{Cols: []string{b.Name}, Rows: [][]string{{a.Name}}}}, true, nil
+	case avail(b) && a.Kind == logic.TVar:
+		if b.Kind == logic.TVar {
+			return &Extend{In: plan, NewCol: a.Name, FromCol: b.Name}, true, nil
+		}
+		return &Join{L: plan, R: &Lit{Cols: []string{a.Name}, Rows: [][]string{{b.Name}}}}, true, nil
+	}
+	return nil, false, nil
+}
+
+// atomCond renders a (possibly negated) atom as a selection condition over
+// available columns.
+func (c *compiler) atomCond(f *logic.Formula, cols []string) (Cond, error) {
+	atom, positive := logic.LiteralAtom(f)
+	have := map[string]bool{}
+	for _, col := range cols {
+		have[col] = true
+	}
+	args := make([]Arg, len(atom.Args))
+	for i, t := range atom.Args {
+		switch t.Kind {
+		case logic.TVar:
+			if !have[t.Name] {
+				return nil, fmt.Errorf("algebra: selection %v on unranged variable %q", f, t.Name)
+			}
+			args[i] = ColArg(t.Name)
+		case logic.TConst:
+			args[i] = ConstArg(t.Name)
+		default:
+			return nil, fmt.Errorf("algebra: function terms in selections are not supported: %v", t)
+		}
+	}
+	var cond Cond
+	if atom.IsEq() {
+		cond = CondEq{A: args[0], B: args[1]}
+	} else {
+		cond = CondPred{Pred: atom.Pred, Args: args}
+	}
+	if !positive {
+		cond = CondNot{C: cond}
+	}
+	return cond, nil
+}
+
+// compileOr unions disjuncts with identical free variables.
+func (c *compiler) compileOr(subs []*logic.Formula) (Expr, error) {
+	var plan Expr
+	for _, s := range subs {
+		e, err := c.compile(s)
+		if err != nil {
+			return nil, err
+		}
+		if plan == nil {
+			plan = e
+			continue
+		}
+		if !sameCols(plan.Columns(), e.Columns()) {
+			return nil, fmt.Errorf("algebra: disjuncts with different free variables (%v vs %v) are not safe-range",
+				plan.Columns(), e.Columns())
+		}
+		plan = &Union{L: plan, R: e}
+	}
+	if plan == nil {
+		return &Lit{Cols: nil, Rows: nil}, nil
+	}
+	return plan, nil
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[string]bool{}
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func removeCol(cols []string, name string) []string {
+	var out []string
+	for _, c := range cols {
+		if c != name {
+			out = append(out, c)
+		}
+	}
+	return out
+}

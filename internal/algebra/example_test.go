@@ -1,0 +1,35 @@
+package algebra_test
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/domains/eqdom"
+	"repro/internal/parser"
+)
+
+// Compile turns a safe-range calculus query into an algebra plan; guarded
+// negation becomes set difference.
+func ExampleCompile() {
+	scheme := db.MustScheme(map[string]int{"F": 2})
+	st := db.NewState(scheme)
+	_ = st.Insert("F", domain.Word("a"), domain.Word("b"))
+	_ = st.Insert("F", domain.Word("b"), domain.Word("a"))
+	_ = st.Insert("F", domain.Word("a"), domain.Word("c"))
+
+	// Children x of a whose link is not reciprocated.
+	f := parser.MustParse(`exists y. (F(y, x) & ~F(x, y))`)
+	plan, _ := algebra.Compile(scheme, f)
+	table, _ := plan.Eval(&algebra.Ctx{St: st, Dom: eqdom.Domain{}})
+	fmt.Println(table)
+	// Output: (x) (c)
+}
+
+// ToRANF widens the compilable fragment by distributing mixed unions.
+func ExampleToRANF() {
+	f := parser.MustParse("exists x. (F(x, y) | F(y, x))")
+	fmt.Println(algebra.ToRANF(f))
+	// Output: (exists x. F(x, y) | exists x. F(y, x))
+}

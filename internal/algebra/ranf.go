@@ -1,0 +1,115 @@
+package algebra
+
+import (
+	"repro/internal/db"
+	"repro/internal/logic"
+)
+
+// ToRANF rewrites a formula toward relational-algebra normal form, widening
+// the fragment Compile accepts (Van Gelder & Topor's concern: making more
+// of the safe-range class mechanically evaluable):
+//
+//   - ∃x distributes over ∨;
+//   - a conjunction containing a disjunction whose disjuncts do not all
+//     share the conjunction's free variables is distributed:
+//     f ∧ (g₁ ∨ g₂) becomes (f ∧ g₁) ∨ (f ∧ g₂);
+//   - double negations and negated disjunctions/conjunctions are unfolded
+//     (NNF), so negation only guards atoms or conjunction members.
+//
+// The rewriting preserves logical equivalence; CompileRANF applies it before
+// compiling.
+func ToRANF(f *logic.Formula) *logic.Formula {
+	g := logic.NNF(f)
+	for i := 0; i < 16; i++ { // fixpoint with a safety cap
+		next := ranfStep(g)
+		if next.Equal(g) {
+			return g
+		}
+		g = next
+	}
+	return g
+}
+
+func ranfStep(f *logic.Formula) *logic.Formula {
+	switch f.Kind {
+	case logic.FExists:
+		body := ranfStep(f.Sub[0])
+		// ∃x (g₁ ∨ g₂) → ∃x g₁ ∨ ∃x g₂.
+		if body.Kind == logic.FOr {
+			out := make([]*logic.Formula, len(body.Sub))
+			for i, s := range body.Sub {
+				out[i] = logic.Exists(f.Var, s)
+			}
+			return logic.Or(out...)
+		}
+		return logic.Exists(f.Var, body)
+	case logic.FForall:
+		return logic.Forall(f.Var, ranfStep(f.Sub[0]))
+	case logic.FAnd:
+		sub := make([]*logic.Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			sub[i] = ranfStep(s)
+		}
+		// Find a disjunction worth distributing: one whose disjuncts have
+		// differing free-variable sets (a same-variables union compiles
+		// directly and is better left alone).
+		for i, s := range sub {
+			if s.Kind != logic.FOr || len(s.Sub) == 0 {
+				continue
+			}
+			uniform := true
+			first := s.Sub[0].FreeVars()
+			for _, d := range s.Sub[1:] {
+				if !equalStringSets(first, d.FreeVars()) {
+					uniform = false
+					break
+				}
+			}
+			if uniform {
+				continue
+			}
+			rest := make([]*logic.Formula, 0, len(sub)-1)
+			rest = append(rest, sub[:i]...)
+			rest = append(rest, sub[i+1:]...)
+			out := make([]*logic.Formula, len(s.Sub))
+			for j, d := range s.Sub {
+				out[j] = logic.And(append([]*logic.Formula{d}, rest...)...)
+			}
+			return ranfStep(logic.Or(out...))
+		}
+		return logic.And(sub...)
+	case logic.FOr:
+		sub := make([]*logic.Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			sub[i] = ranfStep(s)
+		}
+		return logic.Or(sub...)
+	case logic.FNot:
+		return logic.Not(ranfStep(f.Sub[0]))
+	default:
+		return f
+	}
+}
+
+func equalStringSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[string]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		if !set[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompileRANF is Compile with the RANF rewriting applied first; it accepts
+// strictly more formulas (e.g. conjunctions with mixed-variable
+// disjunctions, which plain Compile rejects as non-uniform unions).
+func CompileRANF(scheme *db.Scheme, f *logic.Formula) (Expr, error) {
+	return Compile(scheme, ToRANF(f))
+}

@@ -1,0 +1,115 @@
+package autarith
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"repro/internal/presburger"
+)
+
+// Atom automata, LSB-first over ℕ.
+//
+// For a·x ≤ b the automaton's states are the residual bounds: in state s,
+// the tuples still acceptable are those with a·x ≤ s. Reading the bit
+// vector β uses a·x = a·β + 2·a·x' (x' the remaining high bits), so
+//
+//	a·β + 2·a·x' ≤ s  ⟺  a·x' ≤ ⌊(s − a·β)/2⌋,
+//
+// giving the successor state ⌊(s − a·β)/2⌋. A state accepts iff s ≥ 0 (the
+// all-zero continuation satisfies 0 ≤ s). The reachable bounds stay within
+// [−‖a‖₁, max(b, 0)], so the automaton is finite.
+//
+// For d | a·x + c the state tracks (r, p): r the partial value mod d and p
+// the weight 2^j mod d of the next bit position. Reading β updates
+// r ← (r + p·(a·β)) mod d, p ← 2p mod d; acceptance is r ≡ 0.
+
+// LeqAtom builds the automaton of Σ coeffs[v]·v ≤ bound over the given
+// tracks. Variables of the track list with zero coefficient are allowed.
+func LeqAtom(vars []string, coeffs map[string]int64, bound int64) *DFA {
+	b := newBuilder(vars)
+	key := func(s int64) string { return strconv.FormatInt(s, 10) }
+	start := b.state(key(bound), bound >= 0)
+	for i := 0; i < len(b.pending); i++ {
+		cur := b.pending[i]
+		s, _ := strconv.ParseInt(cur, 10, 64)
+		si := b.index[cur]
+		for sym := 0; sym < 1<<len(vars); sym++ {
+			dot := int64(0)
+			for j, v := range vars {
+				if sym>>j&1 == 1 {
+					dot += coeffs[v]
+				}
+			}
+			// No clamping is needed for finiteness: with N = ‖a‖₁, any
+			// residual above N+1 strictly decreases and any residual below
+			// −N−1 strictly increases under s ↦ ⌊(s−a·β)/2⌋, so the
+			// reachable set is contained in the interval spanned by the
+			// initial bound and ±(N+1).
+			next := floorDiv(s-dot, 2)
+			ni := b.state(key(next), next >= 0)
+			b.trans[si][sym] = ni
+		}
+	}
+	return b.build(start)
+}
+
+func floorDiv(a, d int64) int64 {
+	q := a / d
+	if a%d != 0 && (a < 0) != (d < 0) {
+		q--
+	}
+	return q
+}
+
+// DvdAtom builds the automaton of d | (Σ coeffs[v]·v + c).
+func DvdAtom(vars []string, coeffs map[string]int64, c, d int64) *DFA {
+	if d <= 0 {
+		panic("autarith: divisor must be positive")
+	}
+	b := newBuilder(vars)
+	mod := func(x int64) int64 { return ((x % d) + d) % d }
+	key := func(r, p int64) string {
+		return strconv.FormatInt(r, 10) + "," + strconv.FormatInt(p, 10)
+	}
+	r0, p0 := mod(c), mod(1)
+	start := b.state(key(r0, p0), r0 == 0)
+	for i := 0; i < len(b.pending); i++ {
+		cur := b.pending[i]
+		var r, p int64
+		fmt.Sscanf(cur, "%d,%d", &r, &p)
+		si := b.index[cur]
+		for sym := 0; sym < 1<<len(vars); sym++ {
+			dot := int64(0)
+			for j, v := range vars {
+				if sym>>j&1 == 1 {
+					dot += coeffs[v]
+				}
+			}
+			nr := mod(r + p*mod(dot))
+			np := mod(2 * p)
+			ni := b.state(key(nr, np), nr == 0)
+			b.trans[si][sym] = ni
+		}
+	}
+	return b.build(start)
+}
+
+// FromLinear converts a presburger.LinearTerm to a coefficient map plus
+// constant, rejecting coefficients outside int64 (they cannot occur with
+// the formulas this package is used on).
+func FromLinear(t presburger.LinearTerm) (map[string]int64, int64, error) {
+	coeffs := map[string]int64{}
+	for v, c := range t.Coeffs {
+		if !c.IsInt64() {
+			return nil, 0, fmt.Errorf("autarith: coefficient %v too large", c)
+		}
+		coeffs[v] = c.Int64()
+	}
+	if !t.Const.IsInt64() {
+		return nil, 0, fmt.Errorf("autarith: constant %v too large", t.Const)
+	}
+	return coeffs, t.Const.Int64(), nil
+}
+
+var _ = big.NewInt // keep the import for FromLinear's documentation context

@@ -1,0 +1,176 @@
+package autarith
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/presburger"
+)
+
+// Compile translates a Presburger formula (the same surface syntax the
+// Cooper engine accepts: lt/le/gt/ge/=, dvd, add/sub/mul/neg terms) into an
+// automaton whose tracks are the formula's free variables and whose
+// relation is the formula's satisfaction set over ℕ.
+func Compile(f *logic.Formula) (*DFA, error) {
+	switch f.Kind {
+	case logic.FTrue:
+		return trivial(true), nil
+	case logic.FFalse:
+		return trivial(false), nil
+	case logic.FAtom:
+		return compileAtom(f)
+	case logic.FNot:
+		inner, err := Compile(f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		return Complement(inner), nil
+	case logic.FAnd, logic.FOr:
+		out := trivial(f.Kind == logic.FAnd)
+		for _, s := range f.Sub {
+			d, err := Compile(s)
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind == logic.FAnd {
+				out, err = And(out, d)
+			} else {
+				out, err = Or(out, d)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case logic.FImplies:
+		a, err := Compile(f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(f.Sub[1])
+		if err != nil {
+			return nil, err
+		}
+		return Or(Complement(a), b)
+	case logic.FIff:
+		a, err := Compile(f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(f.Sub[1])
+		if err != nil {
+			return nil, err
+		}
+		return aligned(a, b, func(x, y bool) bool { return x == y })
+	case logic.FExists:
+		inner, err := Compile(f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		return Exists(inner, f.Var)
+	case logic.FForall:
+		inner, err := Compile(f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		return Forall(inner, f.Var)
+	}
+	return nil, fmt.Errorf("autarith: cannot compile %v", f)
+}
+
+// trivial is the 0-track automaton of the always/never relation.
+func trivial(accept bool) *DFA {
+	return &DFA{Vars: nil, Trans: [][]int{{0}}, Accept: []bool{accept}, Initial: 0}
+}
+
+func compileAtom(f *logic.Formula) (*DFA, error) {
+	switch f.Pred {
+	case logic.EqPred, presburger.PredLt, presburger.PredLe, presburger.PredGt, presburger.PredGe:
+		if len(f.Args) != 2 {
+			return nil, fmt.Errorf("autarith: %s expects 2 arguments", f.Pred)
+		}
+		a, err := presburger.ParseLinear(f.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := presburger.ParseLinear(f.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		diff := a.Sub(b) // a − b
+		coeffs, c, err := FromLinear(diff)
+		if err != nil {
+			return nil, err
+		}
+		vars := varsOf(coeffs)
+		leq := func(coeffs map[string]int64, bound int64) *DFA {
+			return LeqAtom(vars, coeffs, bound)
+		}
+		negate := func(m map[string]int64) map[string]int64 {
+			out := map[string]int64{}
+			for k, v := range m {
+				out[k] = -v
+			}
+			return out
+		}
+		switch f.Pred {
+		case presburger.PredLt: // a − b < 0 ⟺ a − b ≤ −1
+			return leq(coeffs, -c-1), nil
+		case presburger.PredLe:
+			return leq(coeffs, -c), nil
+		case presburger.PredGt: // b − a < 0
+			return leq(negate(coeffs), c-1), nil
+		case presburger.PredGe:
+			return leq(negate(coeffs), c), nil
+		default: // equality: both directions
+			return Product(leq(coeffs, -c), leq(negate(coeffs), c),
+				func(x, y bool) bool { return x && y })
+		}
+	case presburger.PredDvd:
+		if len(f.Args) != 2 {
+			return nil, fmt.Errorf("autarith: dvd expects 2 arguments")
+		}
+		k, err := presburger.ParseLinear(f.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !k.IsConst() || k.Const.Sign() <= 0 {
+			return nil, fmt.Errorf("autarith: dvd modulus must be a positive numeral")
+		}
+		t, err := presburger.ParseLinear(f.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		coeffs, c, err := FromLinear(t)
+		if err != nil {
+			return nil, err
+		}
+		return DvdAtom(varsOf(coeffs), coeffs, c, k.Const.Int64()), nil
+	}
+	return nil, fmt.Errorf("autarith: unknown predicate %q", f.Pred)
+}
+
+func varsOf(coeffs map[string]int64) []string {
+	var out []string
+	for v, c := range coeffs {
+		if c != 0 {
+			out = append(out, v)
+		}
+	}
+	return MergeVars(out, nil)
+}
+
+// Decide decides a Presburger sentence over ℕ automata-theoretically.
+func Decide(sentence *logic.Formula) (bool, error) {
+	if fv := sentence.FreeVars(); len(fv) != 0 {
+		return false, fmt.Errorf("autarith: Decide on open formula (free vars %v)", fv)
+	}
+	d, err := Compile(sentence)
+	if err != nil {
+		return false, err
+	}
+	// All tracks are projected away, so the single-symbol language encodes
+	// the empty tuple; by zero-stability its membership shows at the
+	// initial state.
+	return d.Accept[d.Initial], nil
+}

@@ -1,0 +1,154 @@
+// Package autarith is a second, independent decision procedure for
+// Presburger arithmetic over ℕ: the classical automata-theoretic one
+// (Büchi's method in its finite-word form). Numbers are encoded in binary,
+// least-significant bit first, one synchronized track per variable; each
+// atomic constraint compiles to a deterministic automaton, the connectives
+// to boolean combinations, and quantifiers to projection (with padding
+// closure) — truth of a sentence is reachability of an accepting state.
+//
+// Nothing here shares code with the Cooper eliminator in
+// internal/presburger, which is the point: the two engines decide the same
+// theory by unrelated algorithms, so their agreement on random sentences
+// (tested in decide_test.go and exercised by the differential benchmark) is
+// strong evidence for both.
+package autarith
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DFA is a deterministic automaton over the alphabet of bit vectors for a
+// fixed ordered list of variable tracks. Symbol i encodes the bit vector
+// whose bit j (for Vars[j]) is (i >> j) & 1.
+//
+// Automata in this package maintain the zero-stability invariant: reading
+// the all-zeros symbol from an accepting state stays accepting, and from a
+// rejecting state stays rejecting. Encodings of a tuple differ only by
+// trailing zero padding, so zero-stability makes language complementation
+// implement relation complementation.
+type DFA struct {
+	// Vars are the track names, in order.
+	Vars []string
+	// Trans[s][symbol] is the successor state.
+	Trans [][]int
+	// Accept[s] reports whether state s is accepting.
+	Accept []bool
+	// Initial is the start state.
+	Initial int
+}
+
+// symbols returns the alphabet size.
+func (d *DFA) symbols() int { return 1 << len(d.Vars) }
+
+// NumStates returns the state count.
+func (d *DFA) NumStates() int { return len(d.Trans) }
+
+// Runs checks whether the automaton accepts the encoding of the assignment
+// vals (by variable name). Values must be non-negative.
+func (d *DFA) Runs(vals map[string]int64) (bool, error) {
+	remaining := make([]int64, len(d.Vars))
+	for i, v := range d.Vars {
+		val, ok := vals[v]
+		if !ok {
+			return false, fmt.Errorf("autarith: missing value for %q", v)
+		}
+		if val < 0 {
+			return false, fmt.Errorf("autarith: negative value for %q", v)
+		}
+		remaining[i] = val
+	}
+	state := d.Initial
+	for anyNonzero(remaining) {
+		sym := 0
+		for i := range remaining {
+			sym |= int(remaining[i]&1) << i
+			remaining[i] >>= 1
+		}
+		state = d.Trans[state][sym]
+	}
+	// Trailing zeros change nothing by zero-stability, so the verdict is
+	// the current state's acceptance. (The all-zero assignment reads the
+	// empty word and takes the initial state's verdict.)
+	return d.Accept[state], nil
+}
+
+func anyNonzero(vals []int64) bool {
+	for _, v := range vals {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable reports whether an accepting state is reachable from the
+// initial state — for an automaton with zero tracks this is the truth value
+// of the sentence it represents.
+func (d *DFA) Reachable() bool {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Initial}
+	seen[d.Initial] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[s] {
+			return true
+		}
+		for _, t := range d.Trans[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return false
+}
+
+// builder incrementally constructs a DFA with states keyed by strings.
+type builder struct {
+	vars    []string
+	index   map[string]int
+	trans   [][]int
+	accept  []bool
+	pending []string
+	keys    []string
+}
+
+func newBuilder(vars []string) *builder {
+	return &builder{vars: vars, index: map[string]int{}}
+}
+
+func (b *builder) state(key string, accepting bool) int {
+	if i, ok := b.index[key]; ok {
+		return i
+	}
+	i := len(b.trans)
+	b.index[key] = i
+	b.trans = append(b.trans, make([]int, 1<<len(b.vars)))
+	b.accept = append(b.accept, accepting)
+	b.pending = append(b.pending, key)
+	b.keys = append(b.keys, key)
+	return i
+}
+
+func (b *builder) build(initial int) *DFA {
+	return &DFA{Vars: b.vars, Trans: b.trans, Accept: b.accept, Initial: initial}
+}
+
+// MergeVars returns the sorted union of two track lists.
+func MergeVars(a, b []string) []string {
+	set := map[string]bool{}
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

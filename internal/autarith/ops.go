@@ -1,0 +1,218 @@
+package autarith
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Complement flips acceptance. Because the package maintains zero-stability
+// (every encoding of a tuple is accepted or every one rejected), language
+// complement is relation complement.
+func Complement(d *DFA) *DFA {
+	accept := make([]bool, len(d.Accept))
+	for i, a := range d.Accept {
+		accept[i] = !a
+	}
+	return &DFA{Vars: d.Vars, Trans: d.Trans, Accept: accept, Initial: d.Initial}
+}
+
+// Cylindrify extends the automaton to a superset of tracks: new tracks are
+// unconstrained (transitions ignore their bits).
+func Cylindrify(d *DFA, vars []string) (*DFA, error) {
+	pos := map[string]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	old := make([]int, len(d.Vars)) // old track -> new track position
+	for i, v := range d.Vars {
+		p, ok := pos[v]
+		if !ok {
+			return nil, fmt.Errorf("autarith: cylindrification drops track %q", v)
+		}
+		old[i] = p
+	}
+	out := &DFA{Vars: vars, Initial: d.Initial, Accept: append([]bool(nil), d.Accept...)}
+	out.Trans = make([][]int, len(d.Trans))
+	for s := range d.Trans {
+		out.Trans[s] = make([]int, 1<<len(vars))
+		for sym := 0; sym < 1<<len(vars); sym++ {
+			oldSym := 0
+			for i := range d.Vars {
+				if sym>>old[i]&1 == 1 {
+					oldSym |= 1 << i
+				}
+			}
+			out.Trans[s][sym] = d.Trans[s][oldSym]
+		}
+	}
+	return out, nil
+}
+
+// Product combines two automata over the SAME track list with a boolean
+// connective on acceptance.
+func Product(a, b *DFA, combine func(bool, bool) bool) (*DFA, error) {
+	if len(a.Vars) != len(b.Vars) {
+		return nil, fmt.Errorf("autarith: product of mismatched tracks %v vs %v", a.Vars, b.Vars)
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return nil, fmt.Errorf("autarith: product of mismatched tracks %v vs %v", a.Vars, b.Vars)
+		}
+	}
+	type pair struct{ x, y int }
+	index := map[pair]int{}
+	var states []pair
+	get := func(p pair) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(states)
+		index[p] = i
+		states = append(states, p)
+		return i
+	}
+	init := get(pair{a.Initial, b.Initial})
+	out := &DFA{Vars: a.Vars, Initial: init}
+	for i := 0; i < len(states); i++ {
+		p := states[i]
+		out.Trans = append(out.Trans, make([]int, 1<<len(a.Vars)))
+		out.Accept = append(out.Accept, combine(a.Accept[p.x], b.Accept[p.y]))
+		for sym := 0; sym < 1<<len(a.Vars); sym++ {
+			out.Trans[i][sym] = get(pair{a.Trans[p.x][sym], b.Trans[p.y][sym]})
+		}
+	}
+	return out, nil
+}
+
+// And intersects two relations, aligning tracks first.
+func And(a, b *DFA) (*DFA, error) { return aligned(a, b, func(x, y bool) bool { return x && y }) }
+
+// Or unions two relations, aligning tracks first.
+func Or(a, b *DFA) (*DFA, error) { return aligned(a, b, func(x, y bool) bool { return x || y }) }
+
+func aligned(a, b *DFA, combine func(bool, bool) bool) (*DFA, error) {
+	vars := MergeVars(a.Vars, b.Vars)
+	ca, err := Cylindrify(a, vars)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := Cylindrify(b, vars)
+	if err != nil {
+		return nil, err
+	}
+	return Product(ca, cb, combine)
+}
+
+// Exists projects a track away: the variable's bits become nondeterministic
+// guesses, the NFA is determinized by subset construction, and acceptance
+// is padding-closed — a state set accepts if it can reach an accepting set
+// by reading only all-zero symbols, because the witness value may need more
+// significant bits than the remaining tracks show.
+func Exists(d *DFA, v string) (*DFA, error) {
+	track := -1
+	for i, name := range d.Vars {
+		if name == v {
+			track = i
+		}
+	}
+	if track < 0 {
+		// The variable is not a track: ∃v is vacuous over a nonempty
+		// domain.
+		return d, nil
+	}
+	rest := make([]string, 0, len(d.Vars)-1)
+	for i, name := range d.Vars {
+		if i != track {
+			rest = append(rest, name)
+		}
+	}
+
+	// Subset construction over the reduced alphabet.
+	expand := func(sym int) (int, int) {
+		// Insert a 0 or 1 bit at position track.
+		low := sym & ((1 << track) - 1)
+		high := sym >> track
+		base := low | high<<(track+1)
+		return base, base | 1<<track
+	}
+	type setKey = string
+	keyOf := func(set []int) setKey {
+		parts := make([]string, len(set))
+		for i, s := range set {
+			parts[i] = strconv.Itoa(s)
+		}
+		return strings.Join(parts, ",")
+	}
+	normalize := func(set map[int]bool) ([]int, setKey) {
+		out := make([]int, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out, keyOf(out)
+	}
+
+	index := map[setKey]int{}
+	var sets [][]int
+	get := func(set map[int]bool) int {
+		norm, key := normalize(set)
+		if i, ok := index[key]; ok {
+			return i
+		}
+		i := len(sets)
+		index[key] = i
+		sets = append(sets, norm)
+		return i
+	}
+	init := get(map[int]bool{d.Initial: true})
+	out := &DFA{Vars: rest, Initial: init}
+	for i := 0; i < len(sets); i++ {
+		cur := sets[i]
+		out.Trans = append(out.Trans, make([]int, 1<<len(rest)))
+		out.Accept = append(out.Accept, false) // fixed below by padding closure
+		for sym := 0; sym < 1<<len(rest); sym++ {
+			next := map[int]bool{}
+			s0, s1 := expand(sym)
+			for _, s := range cur {
+				next[d.Trans[s][s0]] = true
+				next[d.Trans[s][s1]] = true
+			}
+			out.Trans[i][sym] = get(next)
+		}
+	}
+
+	// Padding closure: out-state accepts iff, reading only the all-zero
+	// reduced symbol, it can reach a subset containing an accepting
+	// original state.
+	good := make([]bool, len(sets))
+	for i, set := range sets {
+		for _, s := range set {
+			if d.Accept[s] {
+				good[i] = true
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := range sets {
+			if !good[i] && good[out.Trans[i][0]] {
+				good[i] = true
+				changed = true
+			}
+		}
+	}
+	out.Accept = good
+	return out, nil
+}
+
+// Forall is ¬∃¬.
+func Forall(d *DFA, v string) (*DFA, error) {
+	inner, err := Exists(Complement(d), v)
+	if err != nil {
+		return nil, err
+	}
+	return Complement(inner), nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/presburger"
+)
+
+// OrderedExtension realizes Corollary 2.4: any (countable, enumerable)
+// domain D extends to a domain D' with a recursive syntax for finite
+// queries — "take D' to be an extension of both D and N<". The extension
+// keeps D's universe and symbols and adds the order predicate "lt",
+// interpreted through the enumeration index: a < b iff a is enumerated
+// before b. The order is isomorphic to (ℕ, <), so the finitization syntax
+// (Theorem 2.2) applies to D'.
+//
+// Corollary 3.2 is the flip side: when D is the trace domain T, the theory
+// of any such D' is necessarily undecidable — the syntax exists but its
+// equivalence sentences cannot be decided, so it certifies nothing.
+type OrderedExtension struct {
+	Base interface {
+		domain.Domain
+		domain.Enumerator
+	}
+	// MaxIndex bounds the inverse-enumeration search; elements beyond it
+	// make Pred fail rather than loop. 0 means a default of 1<<20.
+	MaxIndex int
+}
+
+// Name implements domain.Domain.
+func (d OrderedExtension) Name() string { return d.Base.Name() + "+nless" }
+
+// ConstValue implements domain.Interp.
+func (d OrderedExtension) ConstValue(name string) (domain.Value, error) {
+	return d.Base.ConstValue(name)
+}
+
+// ConstName implements domain.Domain.
+func (d OrderedExtension) ConstName(v domain.Value) string { return d.Base.ConstName(v) }
+
+// Func implements domain.Interp.
+func (d OrderedExtension) Func(name string, args []domain.Value) (domain.Value, error) {
+	return d.Base.Func(name, args)
+}
+
+// Pred implements domain.Interp: lt via enumeration indices, everything
+// else via the base domain.
+func (d OrderedExtension) Pred(name string, args []domain.Value) (bool, error) {
+	if name != presburger.PredLt {
+		return d.Base.Pred(name, args)
+	}
+	if len(args) != 2 {
+		return false, fmt.Errorf("core: lt expects 2 arguments")
+	}
+	ia, err := d.IndexOf(args[0])
+	if err != nil {
+		return false, err
+	}
+	ib, err := d.IndexOf(args[1])
+	if err != nil {
+		return false, err
+	}
+	return ia < ib, nil
+}
+
+// Element implements domain.Enumerator.
+func (d OrderedExtension) Element(i int) domain.Value { return d.Base.Element(i) }
+
+// IndexOf inverts the base enumeration by search; the enumeration is
+// recursive, so this is computable (if slow — the paper never promised
+// efficiency).
+func (d OrderedExtension) IndexOf(v domain.Value) (int, error) {
+	limit := d.MaxIndex
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	key := v.Key()
+	for i := 0; i < limit; i++ {
+		if d.Base.Element(i).Key() == key {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: element %v not found within index bound %d", v, limit)
+}

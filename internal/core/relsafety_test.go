@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/domains/nsucc"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/traces"
+	"repro/internal/turing"
+)
+
+func eqState(t *testing.T) *db.State {
+	t.Helper()
+	st := db.NewState(db.MustScheme(map[string]int{"F": 2}))
+	for _, pair := range [][2]string{{"adam", "abel"}, {"adam", "cain"}, {"cain", "enoch"}} {
+		if err := st.Insert("F", domain.Word(pair[0]), domain.Word(pair[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestRelativeSafetyEq(t *testing.T) {
+	st := eqState(t)
+	cases := []struct {
+		src    string
+		finite bool
+	}{
+		{"F(x, y)", true},
+		{"~F(x, y)", false},
+		{"exists y. F(x, y)", true},
+		{"x != x", true}, // empty answer
+		{"x = x", false}, // everything
+		{`x = "adam"`, true},
+		{`x != "adam"`, false},
+		// M(x) ∨ G(x,z): adam has two sons, so infinite (footnote 4).
+		{"(exists y. (exists w. (y != w & F(x, y) & F(x, w)))) | (exists y. (F(x, y) & F(y, z)))", false},
+		// Needs two distinct fresh elements: x ≠ y with both loose.
+		{"x != y", false},
+		// Boolean queries are always finite.
+		{"exists x. F(x, x)", true},
+	}
+	for _, c := range cases {
+		f := parser.MustParse(c.src)
+		finite, err := RelativeSafetyEq(st, f)
+		if err != nil {
+			t.Fatalf("RelativeSafetyEq(%s): %v", c.src, err)
+		}
+		if finite != c.finite {
+			t.Errorf("RelativeSafetyEq(%s) = %v, want %v", c.src, finite, c.finite)
+		}
+	}
+}
+
+func TestRelativeSafetyEqStateSensitivity(t *testing.T) {
+	// The M(x) ∨ G(x,z) disjunction is finite exactly when nobody has two
+	// sons — relative safety is a property of the state, not the formula.
+	src := "(exists y. (exists w. (y != w & F(x, y) & F(x, w)))) | (exists y. (F(x, y) & F(y, z)))"
+	f := parser.MustParse(src)
+	single := db.NewState(db.MustScheme(map[string]int{"F": 2}))
+	for _, pair := range [][2]string{{"adam", "cain"}, {"cain", "enoch"}} {
+		if err := single.Insert("F", domain.Word(pair[0]), domain.Word(pair[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finite, err := RelativeSafetyEq(single, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !finite {
+		t.Errorf("no twin sons: disjunction should be finite")
+	}
+}
+
+func TestRelativeSafetyNsucc(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"R": 1}))
+	for _, n := range []int64{3, 10} {
+		if err := st.Insert("R", domain.Int(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := func(t logic.Term) logic.Term { return logic.App(nsucc.FuncS, t) }
+	x, y := logic.Var("x"), logic.Var("y")
+	cases := []struct {
+		f      *logic.Formula
+		finite bool
+	}{
+		{logic.Atom("R", x), true},
+		{logic.Not(logic.Atom("R", x)), false},
+		// Successors of stored values: finite.
+		{logic.Exists("y", logic.And(logic.Atom("R", y), logic.Eq(x, s(y)))), true},
+		// Predecessors of stored values: finite.
+		{logic.Exists("y", logic.And(logic.Atom("R", y), logic.Eq(s(x), y))), true},
+		// A fixed disequality: infinite.
+		{logic.Neq(x, logic.Const("5")), false},
+		// Two free variables chained by successor, unanchored: infinite.
+		{logic.Eq(s(x), y), false},
+		// …anchored to the database: finite.
+		{logic.And(logic.Eq(s(x), y), logic.Atom("R", y)), true},
+		// Constant equations.
+		{logic.Eq(s(s(x)), logic.Const("7")), true},
+		{logic.Eq(s(s(x)), logic.Const("1")), true}, // empty answer
+		// Boolean.
+		{logic.Exists("x", logic.Atom("R", x)), true},
+	}
+	for _, c := range cases {
+		finite, err := RelativeSafetyNsucc(st, c.f)
+		if err != nil {
+			t.Fatalf("RelativeSafetyNsucc(%v): %v", c.f, err)
+		}
+		if finite != c.finite {
+			t.Errorf("RelativeSafetyNsucc(%v) = %v, want %v", c.f, finite, c.finite)
+		}
+	}
+}
+
+func TestTheorem33ReductionFidelity(t *testing.T) {
+	halting := []struct {
+		m     *turing.Machine
+		input string
+	}{
+		{turing.HaltImmediately(), ""},
+		{turing.BusyWork(3), "1"},
+		{turing.Successor(), "111"},
+		{turing.EraseAndHalt(), "11"},
+		{turing.HaltIffStartsWithOne(), "1&"},
+	}
+	for _, c := range halting {
+		enc := turing.Encode(c.m)
+		f, st, err := HaltingToRelativeSafety(enc, c.input)
+		if err != nil {
+			t.Fatalf("reduction: %v", err)
+		}
+		v, err := RelativeSafetyTraces(st, f, DefaultTracesBudget)
+		if err != nil {
+			t.Fatalf("RelativeSafetyTraces: %v", err)
+		}
+		if v != domain.Holds {
+			t.Errorf("halting instance (%v on %q) verdict %v, want holds", c.m, c.input, v)
+		}
+	}
+	diverging := []struct {
+		m     *turing.Machine
+		input string
+	}{
+		{turing.LoopForever(), "1"},
+		{turing.LoopForever(), ""},
+		{turing.HaltIffStartsWithOne(), "&1"},
+		{turing.HaltIffStartsWithOne(), ""},
+	}
+	for _, c := range diverging {
+		enc := turing.Encode(c.m)
+		f, st, err := HaltingToRelativeSafety(enc, c.input)
+		if err != nil {
+			t.Fatalf("reduction: %v", err)
+		}
+		v, err := RelativeSafetyTraces(st, f, DefaultTracesBudget)
+		if err != nil {
+			t.Fatalf("RelativeSafetyTraces: %v", err)
+		}
+		if v != domain.Fails {
+			t.Errorf("diverging instance (%v on %q) verdict %v, want fails", c.m, c.input, v)
+		}
+	}
+}
+
+func TestTheorem33ReductionValidation(t *testing.T) {
+	if _, _, err := HaltingToRelativeSafety("junk", "1"); err == nil {
+		t.Errorf("bad machine accepted")
+	}
+	if _, _, err := HaltingToRelativeSafety(turing.Encode(turing.LoopForever()), "1*"); err == nil {
+		t.Errorf("bad input accepted")
+	}
+}
+
+func TestRelativeSafetyTracesUnknownShapes(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{}))
+	// A query that is not of the canonical P shape: Unknown.
+	f := logic.Atom(traces.PredM, logic.Var("x"))
+	v, err := RelativeSafetyTraces(st, f, DefaultTracesBudget)
+	if err != nil {
+		t.Fatalf("RelativeSafetyTraces: %v", err)
+	}
+	if v != domain.Unknown {
+		t.Errorf("non-canonical shape verdict %v, want unknown", v)
+	}
+	// P with a non-machine constant: identically false, hence finite.
+	g := logic.Atom(traces.PredP, logic.Const("11"), logic.Const("1"), logic.Var("x"))
+	v, err = RelativeSafetyTraces(st, g, DefaultTracesBudget)
+	if err != nil {
+		t.Fatalf("RelativeSafetyTraces: %v", err)
+	}
+	if v != domain.Holds {
+		t.Errorf("false query verdict %v, want holds", v)
+	}
+}
+
+// TestTheorem33Semantics checks the reduction's defining equivalence
+// directly: the answer of P(M, c, x) in state c = w is the set of traces of
+// M on w, which is finite iff M halts on w.
+func TestTheorem33Semantics(t *testing.T) {
+	m := turing.BusyWork(2)
+	enc := turing.Encode(m)
+	f, st, err := HaltingToRelativeSafety(enc, "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three traces satisfy the query; a foreign trace does not.
+	all := turing.Traces(m, enc, "1", 10)
+	if len(all) != 3 {
+		t.Fatalf("want 3 traces")
+	}
+	cVal, err := st.Constant(DBConst)
+	if err != nil || cVal.Key() != "1" {
+		t.Fatalf("state constant: %v %v", cVal, err)
+	}
+	dec := traces.Decider()
+	for _, tr := range all {
+		pureF := logic.SubstConst(logic.Subst(f, "x", logic.Const(tr)), DBConst, logic.Const("1"))
+		v, err := dec.Decide(pureF)
+		if err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+		if !v {
+			t.Errorf("trace %q should satisfy the query", tr)
+		}
+	}
+	foreign, err := turing.Trace(m, enc, "11", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureF := logic.SubstConst(logic.Subst(f, "x", logic.Const(foreign)), DBConst, logic.Const("1"))
+	v, err := dec.Decide(pureF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v {
+		t.Errorf("trace on a different input must not satisfy the query")
+	}
+}
+
+// TestRelativeSafetyEnginesAgree: the Cooper-based and automata-based
+// Theorem 2.5 deciders agree on random queries and states.
+func TestRelativeSafetyEnginesAgree(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"R": 1}))
+	for _, n := range []int64{1, 4} {
+		if err := st.Insert("R", domain.Int(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []string{
+		"R(x)",
+		"~R(x)",
+		"R(x) & lt(x, 3)",
+		"lt(x, 4)",
+		"lt(2, x)",
+		"R(x) | x = 9",
+		"exists y. (R(y) & lt(x, y))",
+		"exists y. (R(y) & lt(y, x))",
+	}
+	for _, src := range queries {
+		f, err := parser.ParseWith(src, parser.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := RelativeSafetyPresburger(st, f)
+		if err != nil {
+			t.Fatalf("cooper %s: %v", src, err)
+		}
+		b, err := RelativeSafetyPresburgerAutomata(st, f)
+		if err != nil {
+			t.Fatalf("automata %s: %v", src, err)
+		}
+		if a != b {
+			t.Errorf("deciders disagree on %s: cooper=%v automata=%v", src, a, b)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's results: safety (finiteness) of
+// relational queries, the finitization syntax for ordered domains
+// (Theorem 2.2), relative-safety deciders for the positive domains
+// (Theorems 2.5 and 2.6), effective-syntax objects (Theorem 2.7,
+// Corollaries 2.3/2.4), and the negative machinery over the trace domain —
+// totality queries, the Theorem 3.1 equivalence sentences, and the
+// Theorem 3.3 halting reduction.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/logic"
+)
+
+// SafeRangeReport is the outcome of the syntactic safe-range analysis.
+type SafeRangeReport struct {
+	// Safe is true when the formula is safe-range: every free variable is
+	// range-restricted and every quantified variable is ranged at its
+	// binder.
+	Safe bool
+	// Unranged lists the variables that defeat the analysis.
+	Unranged []string
+}
+
+// SafeRange performs the classical syntactic range-restriction analysis
+// (Van Gelder–Topor / Abiteboul–Hull–Vianu style) of a query over a scheme.
+// Safe-range formulas are domain-independent and therefore finite; the
+// analysis is sound but — necessarily, by Theorem 3.1 — incomplete: some
+// finite queries are not safe-range and, over the trace domain, not even
+// equivalent to any effectively recognizable class.
+//
+// Range restriction rules, on the negation normal form:
+//
+//   - a database atom R(t̄) ranges every variable occurring directly in it;
+//   - a domain atom (order, arithmetic, P, …) ranges nothing — domain
+//     relations are infinite;
+//   - x = c and c = x range x; x = y propagates ranging inside a
+//     conjunction; negated literals range nothing;
+//   - ∧ unions (with equality propagation), ∨ intersects;
+//   - ∃x ψ requires x ranged in ψ and exports rr(ψ) \ {x}.
+func SafeRange(scheme *db.Scheme, f *logic.Formula) SafeRangeReport {
+	a := &srAnalysis{scheme: scheme}
+	rr := a.analyze(logic.NNF(f))
+	var unranged []string
+	for _, v := range f.FreeVars() {
+		if !rr[v] {
+			unranged = append(unranged, v)
+		}
+	}
+	unranged = append(unranged, a.badQuantified...)
+	return SafeRangeReport{Safe: len(unranged) == 0, Unranged: logic.SortedUnique(unranged)}
+}
+
+type srAnalysis struct {
+	scheme        *db.Scheme
+	badQuantified []string
+}
+
+func (a *srAnalysis) analyze(f *logic.Formula) map[string]bool {
+	switch f.Kind {
+	case logic.FTrue, logic.FFalse:
+		return map[string]bool{}
+	case logic.FAtom:
+		rr := map[string]bool{}
+		if _, isDB := a.scheme.Relations[f.Pred]; isDB {
+			for _, t := range f.Args {
+				var vs []string
+				for _, v := range t.Vars(vs) {
+					rr[v] = true
+				}
+			}
+			return rr
+		}
+		if f.IsEq() {
+			// x = c ranges x (database or domain constant alike).
+			if f.Args[0].Kind == logic.TVar && f.Args[1].Ground() {
+				rr[f.Args[0].Name] = true
+			}
+			if f.Args[1].Kind == logic.TVar && f.Args[0].Ground() {
+				rr[f.Args[1].Name] = true
+			}
+		}
+		return rr
+	case logic.FNot:
+		return map[string]bool{}
+	case logic.FAnd:
+		rr := map[string]bool{}
+		for _, s := range f.Sub {
+			for v := range a.analyze(s) {
+				rr[v] = true
+			}
+		}
+		// Equality propagation to a fixpoint: x = y inside the conjunction
+		// extends ranging across the equality.
+		for changed := true; changed; {
+			changed = false
+			for _, s := range f.Sub {
+				if s.Kind != logic.FAtom || !s.IsEq() {
+					continue
+				}
+				l, r := s.Args[0], s.Args[1]
+				if l.Kind == logic.TVar && r.Kind == logic.TVar {
+					if rr[l.Name] && !rr[r.Name] {
+						rr[r.Name] = true
+						changed = true
+					}
+					if rr[r.Name] && !rr[l.Name] {
+						rr[l.Name] = true
+						changed = true
+					}
+				}
+			}
+		}
+		return rr
+	case logic.FOr:
+		if len(f.Sub) == 0 {
+			return map[string]bool{}
+		}
+		rr := a.analyze(f.Sub[0])
+		for _, s := range f.Sub[1:] {
+			next := a.analyze(s)
+			for v := range rr {
+				if !next[v] {
+					delete(rr, v)
+				}
+			}
+		}
+		return rr
+	case logic.FExists, logic.FForall:
+		inner := a.analyze(f.Sub[0])
+		if f.Kind == logic.FForall {
+			// NNF leaves no ∀ in the classical development; treat it as
+			// unranged (sound: ∀ never ranges).
+			a.badQuantified = append(a.badQuantified, f.Var)
+			return map[string]bool{}
+		}
+		if !inner[f.Var] && f.Sub[0].HasFreeVar(f.Var) {
+			a.badQuantified = append(a.badQuantified, f.Var)
+		}
+		delete(inner, f.Var)
+		return inner
+	default:
+		panic(fmt.Sprintf("core: NNF produced %v", f.Kind))
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/db"
+	"repro/internal/domains/nsucc"
+	"repro/internal/logic"
+)
+
+// Syntax is a recursive syntax in the paper's sense: a recursive class of
+// formulas (Contains decides membership) together with a recursive
+// enumeration of the class (Enumerate). A recursive syntax *for finite
+// queries over a domain* additionally promises that every member is finite
+// and every finite query is equivalent to a member — the first promise is
+// testable, and Theorem 3.1 is exactly the statement that both promises
+// cannot hold at once over the trace domain.
+type Syntax interface {
+	Name() string
+	// Contains decides membership in the class.
+	Contains(f *logic.Formula) (bool, error)
+	// Enumerate returns the i-th member of the class.
+	Enumerate(i int) (*logic.Formula, error)
+}
+
+// Signature drives the formula enumeration: predicate and function symbols
+// with arities, constants, and a finite variable pool.
+type Signature struct {
+	Preds  map[string]int
+	Funcs  map[string]int
+	Consts []string
+	Vars   []string
+}
+
+// FormulaEnumerator is a total surjection-flavored unranking of formulas
+// over a signature: Formula(0), Formula(1), … visits an infinite recursive
+// family of formulas including, for every connective nesting, some formula
+// of that shape. It realizes the "recursive enumeration φ_1(x), φ_2(x), …"
+// that Theorem 3.1 quantifies over.
+type FormulaEnumerator struct {
+	Sig Signature
+}
+
+// Formula returns the i-th formula.
+func (e FormulaEnumerator) Formula(i int) *logic.Formula {
+	if i < 0 {
+		i = 0
+	}
+	kind := i % 6
+	rest := i / 6
+	switch kind {
+	case 1:
+		return logic.Not(e.Formula(rest))
+	case 2:
+		a, b := unpair(rest)
+		return logic.And(e.Formula(a), e.Formula(b))
+	case 3:
+		a, b := unpair(rest)
+		return logic.Or(e.Formula(a), e.Formula(b))
+	case 4, 5:
+		v := e.variable(rest % maxInt(len(e.Sig.Vars), 1))
+		body := e.Formula(rest / maxInt(len(e.Sig.Vars), 1))
+		if kind == 4 {
+			return logic.Exists(v, body)
+		}
+		return logic.Forall(v, body)
+	default:
+		return e.atom(rest)
+	}
+}
+
+func (e FormulaEnumerator) atom(r int) *logic.Formula {
+	preds := sortedPreds(e.Sig.Preds)
+	n := len(preds) + 1 // slot 0 is equality
+	idx := r % n
+	r /= n
+	if idx == 0 {
+		a, b := unpair(r)
+		return logic.Eq(e.term(a), e.term(b))
+	}
+	name := preds[idx-1]
+	arity := e.Sig.Preds[name]
+	args := make([]logic.Term, arity)
+	for i := 0; i < arity; i++ {
+		var t int
+		t, r = unpair(r)
+		args[i] = e.term(t)
+	}
+	return logic.Atom(name, args...)
+}
+
+func (e FormulaEnumerator) term(r int) logic.Term {
+	funcs := sortedPreds(e.Sig.Funcs)
+	kinds := 2 + len(funcs)
+	kind := r % kinds
+	r /= kinds
+	switch {
+	case kind == 0:
+		return logic.Var(e.variable(r % maxInt(len(e.Sig.Vars), 1)))
+	case kind == 1:
+		if len(e.Sig.Consts) == 0 {
+			return logic.Var(e.variable(r % maxInt(len(e.Sig.Vars), 1)))
+		}
+		return logic.Const(e.Sig.Consts[r%len(e.Sig.Consts)])
+	default:
+		name := funcs[kind-2]
+		arity := e.Sig.Funcs[name]
+		args := make([]logic.Term, arity)
+		for i := 0; i < arity; i++ {
+			var t int
+			t, r = unpair(r)
+			// Keep terms shallow: arguments are variables or constants.
+			if t%2 == 0 || len(e.Sig.Consts) == 0 {
+				args[i] = logic.Var(e.variable((t / 2) % maxInt(len(e.Sig.Vars), 1)))
+			} else {
+				args[i] = logic.Const(e.Sig.Consts[(t/2)%len(e.Sig.Consts)])
+			}
+		}
+		return logic.App(name, args...)
+	}
+}
+
+func (e FormulaEnumerator) variable(i int) string {
+	if len(e.Sig.Vars) == 0 {
+		return "x" + strconv.Itoa(i)
+	}
+	return e.Sig.Vars[i%len(e.Sig.Vars)]
+}
+
+func sortedPreds(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return logic.SortedUnique(out)
+}
+
+// unpair is the inverse Cantor pairing: z ↦ (a, b) with both ≤ z.
+func unpair(z int) (int, int) {
+	w := 0
+	for (w+1)*(w+2)/2 <= z {
+		w++
+	}
+	t := w * (w + 1) / 2
+	b := z - t
+	a := w - b
+	return a, b
+}
+
+// Relativize rewrites every quantifier of f to range over the set defined
+// by delta: ∃x ψ becomes ∃x (δ(x) ∧ ψ) and ∀x ψ becomes ∀x (δ(x) → ψ).
+func Relativize(f *logic.Formula, delta func(v string) *logic.Formula) *logic.Formula {
+	switch f.Kind {
+	case logic.FExists:
+		return logic.Exists(f.Var, logic.And(delta(f.Var), Relativize(f.Sub[0], delta)))
+	case logic.FForall:
+		return logic.Forall(f.Var, logic.Implies(delta(f.Var), Relativize(f.Sub[0], delta)))
+	case logic.FTrue, logic.FFalse, logic.FAtom:
+		return f
+	default:
+		sub := make([]*logic.Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			sub[i] = Relativize(s, delta)
+		}
+		return &logic.Formula{Kind: f.Kind, Pred: f.Pred, Args: f.Args, Var: f.Var, Sub: sub}
+	}
+}
+
+// Restrict returns the delta-restriction of f: free variables are guarded
+// and quantifiers relativized —
+//
+//	⋀_{x free} δ(x) ∧ Relativize(f).
+//
+// Restrictions are finite whenever δ defines a finite set in every state,
+// which the active-domain formula does ("the easiest effective syntax for
+// this case consists of restricting the answers for all formulas to the
+// active domain").
+func Restrict(f *logic.Formula, delta func(v string) *logic.Formula) *logic.Formula {
+	var guards []*logic.Formula
+	for _, v := range f.FreeVars() {
+		guards = append(guards, delta(v))
+	}
+	return logic.And(append(guards, Relativize(f, delta))...)
+}
+
+// ADFormula builds the active-domain formula δ(v) for a scheme: v is an
+// active-domain element iff it occurs in some relation column or equals a
+// database constant or one of extraConsts (the query's own constants).
+func ADFormula(scheme *db.Scheme, extraConsts []string) func(v string) *logic.Formula {
+	relNames := sortedPreds(scheme.Relations)
+	return func(v string) *logic.Formula {
+		var opts []*logic.Formula
+		for _, name := range relNames {
+			arity := scheme.Relations[name]
+			for pos := 0; pos < arity; pos++ {
+				args := make([]logic.Term, arity)
+				var bound []string
+				for i := 0; i < arity; i++ {
+					if i == pos {
+						args[i] = logic.Var(v)
+						continue
+					}
+					u := fmt.Sprintf("%s_ad%d", v, i)
+					args[i] = logic.Var(u)
+					bound = append(bound, u)
+				}
+				opts = append(opts, logic.ExistsAll(bound, logic.Atom(name, args...)))
+			}
+		}
+		for _, c := range scheme.Constants {
+			opts = append(opts, logic.Eq(logic.Var(v), logic.Const(c)))
+		}
+		for _, c := range extraConsts {
+			opts = append(opts, logic.Eq(logic.Var(v), logic.Const(c)))
+		}
+		return logic.Or(opts...)
+	}
+}
+
+// ActiveDomainSyntax is the effective syntax for the pure-equality domain:
+// the class of δ-restrictions of all formulas, enumerated by restricting
+// the formula enumeration.
+type ActiveDomainSyntax struct {
+	Scheme *db.Scheme
+	Enum   FormulaEnumerator
+}
+
+// Name implements Syntax.
+func (s ActiveDomainSyntax) Name() string { return "active-domain" }
+
+// Contains implements Syntax: membership is a shape check — the formula
+// must be the restriction of some formula, which Restrict makes canonical.
+func (s ActiveDomainSyntax) Contains(f *logic.Formula) (bool, error) {
+	skeleton, ok := s.strip(f)
+	if !ok {
+		return false, nil
+	}
+	return f.Equal(Restrict(skeleton, ADFormula(s.Scheme, nil))), nil
+}
+
+// strip undoes Restrict structurally: drop the free-variable guards, then
+// un-relativize quantifiers.
+func (s ActiveDomainSyntax) strip(f *logic.Formula) (*logic.Formula, bool) {
+	body := f
+	if f.Kind == logic.FAnd && len(f.Sub) > 0 {
+		body = f.Sub[len(f.Sub)-1]
+	}
+	var walk func(g *logic.Formula) *logic.Formula
+	walk = func(g *logic.Formula) *logic.Formula {
+		switch g.Kind {
+		case logic.FExists:
+			if g.Sub[0].Kind == logic.FAnd && len(g.Sub[0].Sub) == 2 {
+				return logic.Exists(g.Var, walk(g.Sub[0].Sub[1]))
+			}
+			return logic.Exists(g.Var, walk(g.Sub[0]))
+		case logic.FForall:
+			if g.Sub[0].Kind == logic.FImplies {
+				return logic.Forall(g.Var, walk(g.Sub[0].Sub[1]))
+			}
+			return logic.Forall(g.Var, walk(g.Sub[0]))
+		case logic.FTrue, logic.FFalse, logic.FAtom:
+			return g
+		default:
+			sub := make([]*logic.Formula, len(g.Sub))
+			for i, h := range g.Sub {
+				sub[i] = walk(h)
+			}
+			return &logic.Formula{Kind: g.Kind, Pred: g.Pred, Args: g.Args, Var: g.Var, Sub: sub}
+		}
+	}
+	return walk(body), true
+}
+
+// Enumerate implements Syntax.
+func (s ActiveDomainSyntax) Enumerate(i int) (*logic.Formula, error) {
+	return Restrict(s.Enum.Formula(i), ADFormula(s.Scheme, nil)), nil
+}
+
+// FinitizationSyntax is the Theorem 2.2 syntax over extensions of N<: the
+// class of finitizations of all formulas.
+type FinitizationSyntax struct {
+	Enum FormulaEnumerator
+}
+
+// Name implements Syntax.
+func (FinitizationSyntax) Name() string { return "finitization" }
+
+// Contains implements Syntax.
+func (FinitizationSyntax) Contains(f *logic.Formula) (bool, error) {
+	_, ok := IsFinitization(f)
+	return ok, nil
+}
+
+// Enumerate implements Syntax.
+func (s FinitizationSyntax) Enumerate(i int) (*logic.Formula, error) {
+	return Finitize(s.Enum.Formula(i)), nil
+}
+
+// SafeRangeSyntax is the generic syntactic class of safe-range formulas
+// over a scheme, enumerated by filtering the formula enumeration.
+type SafeRangeSyntax struct {
+	Scheme *db.Scheme
+	Enum   FormulaEnumerator
+	// MaxScan bounds the filtering scan per Enumerate call (0 = default).
+	MaxScan int
+}
+
+// Name implements Syntax.
+func (SafeRangeSyntax) Name() string { return "safe-range" }
+
+// Contains implements Syntax.
+func (s SafeRangeSyntax) Contains(f *logic.Formula) (bool, error) {
+	return SafeRange(s.Scheme, f).Safe, nil
+}
+
+// Enumerate implements Syntax: the i-th safe-range formula in enumeration
+// order.
+func (s SafeRangeSyntax) Enumerate(i int) (*logic.Formula, error) {
+	maxScan := s.MaxScan
+	if maxScan == 0 {
+		maxScan = 1 << 16
+	}
+	count := -1
+	for j := 0; j < maxScan; j++ {
+		f := s.Enum.Formula(j)
+		if SafeRange(s.Scheme, f).Safe {
+			count++
+			if count == i {
+				return f, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: no %d-th safe-range formula within scan bound %d", i, maxScan)
+}
+
+// NsuccRestrictor builds the Theorem 2.7 syntax transformation for N': the
+// restriction of a formula of quantifier depth q to the extended active
+// domain Δ+q — active-domain elements and everything within successor
+// distance 2^q of them ("the new constants introduced under the
+// quantifier-elimination procedure are within the distance 2^q of the
+// constants in the original formula").
+func NsuccRestrictor(scheme *db.Scheme, f *logic.Formula) *logic.Formula {
+	radius := 1
+	for i := 0; i < f.QuantifierDepth(); i++ {
+		radius *= 2
+	}
+	consts := f.Constants()
+	delta := func(v string) *logic.Formula {
+		ad := ADFormula(scheme, consts)
+		base := logic.FreshVar(v+"_b", f)
+		// near(v, base): |v − base| ≤ radius, expressed with successors.
+		var near []*logic.Formula
+		for d := 0; d <= radius; d++ {
+			near = append(near,
+				logic.Eq(shift(logic.Var(v), d), logic.Var(base)),
+				logic.Eq(shift(logic.Var(base), d), logic.Var(v)))
+		}
+		// The elimination also introduces constants near 0.
+		var nearZero []*logic.Formula
+		for d := 0; d <= radius; d++ {
+			nearZero = append(nearZero, logic.Eq(logic.Var(v), logic.Const(strconv.Itoa(d))))
+		}
+		return logic.Or(
+			logic.Exists(base, logic.And(ad(base), logic.Or(near...))),
+			logic.Or(nearZero...),
+		)
+	}
+	return Restrict(f, delta)
+}
+
+func shift(t logic.Term, n int) logic.Term {
+	for i := 0; i < n; i++ {
+		t = logic.App(nsucc.FuncS, t)
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,255 @@
+// Package db implements Codd's relational model as used by the paper: a
+// database scheme fixes relation names and arities (plus database constant
+// symbols), and a database state is a finite collection of finite relations
+// over a domain, together with values for the database constants.
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/domain"
+)
+
+// Scheme is a database scheme: relation names with arities, and database
+// constant symbols (Theorem 3.1 uses a scheme with one constant symbol c;
+// its footnote remarks this is formally handled by a unary relation, which
+// states also support).
+type Scheme struct {
+	Relations map[string]int
+	Constants []string
+}
+
+// NewScheme builds a scheme; arities must be positive.
+func NewScheme(relations map[string]int, constants ...string) (*Scheme, error) {
+	for name, arity := range relations {
+		if arity < 1 {
+			return nil, fmt.Errorf("db: relation %s has arity %d", name, arity)
+		}
+	}
+	rels := make(map[string]int, len(relations))
+	for k, v := range relations {
+		rels[k] = v
+	}
+	return &Scheme{Relations: rels, Constants: append([]string(nil), constants...)}, nil
+}
+
+// MustScheme is NewScheme panicking on error.
+func MustScheme(relations map[string]int, constants ...string) *Scheme {
+	s, err := NewScheme(relations, constants...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// HasConstant reports whether name is a database constant of the scheme.
+func (s *Scheme) HasConstant(name string) bool {
+	for _, c := range s.Constants {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Tuple is a row of a relation.
+type Tuple []domain.Value
+
+// Key returns a canonical key for the tuple.
+func (t Tuple) Key() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = fmt.Sprintf("%d:%s", len(v.Key()), v.Key())
+	}
+	return strings.Join(parts, ",")
+}
+
+// String implements fmt.Stringer.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a finite set of equal-arity tuples.
+type Relation struct {
+	arity int
+	rows  map[string]Tuple
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, rows: map[string]Tuple{}}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Add inserts a tuple; it is an error if the arity differs.
+func (r *Relation) Add(t Tuple) error {
+	if len(t) != r.arity {
+		return fmt.Errorf("db: tuple %v has arity %d, relation has %d", t, len(t), r.arity)
+	}
+	r.rows[t.Key()] = append(Tuple(nil), t...)
+	return nil
+}
+
+// Has reports membership.
+func (r *Relation) Has(t Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// Tuples returns the rows sorted by key, for deterministic iteration.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.rows[k]
+	}
+	return out
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.arity)
+	for _, t := range r.rows {
+		out.rows[t.Key()] = append(Tuple(nil), t...)
+	}
+	return out
+}
+
+// State is a database state: finite relations for each scheme relation and
+// values for the scheme's constants.
+type State struct {
+	scheme *Scheme
+	rels   map[string]*Relation
+	consts map[string]domain.Value
+}
+
+// NewState returns the empty state of a scheme (all relations empty, all
+// constants unset).
+func NewState(scheme *Scheme) *State {
+	st := &State{scheme: scheme, rels: map[string]*Relation{}, consts: map[string]domain.Value{}}
+	for name, arity := range scheme.Relations {
+		st.rels[name] = NewRelation(arity)
+	}
+	return st
+}
+
+// Scheme returns the state's scheme.
+func (st *State) Scheme() *Scheme { return st.scheme }
+
+// Relation returns the named relation, or an error for names outside the
+// scheme.
+func (st *State) Relation(name string) (*Relation, error) {
+	r, ok := st.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("db: relation %q not in scheme", name)
+	}
+	return r, nil
+}
+
+// Insert adds a row to the named relation.
+func (st *State) Insert(name string, values ...domain.Value) error {
+	r, err := st.Relation(name)
+	if err != nil {
+		return err
+	}
+	return r.Add(Tuple(values))
+}
+
+// SetConstant gives a database constant its value in this state.
+func (st *State) SetConstant(name string, v domain.Value) error {
+	if !st.scheme.HasConstant(name) {
+		return fmt.Errorf("db: constant %q not in scheme", name)
+	}
+	st.consts[name] = v
+	return nil
+}
+
+// Constant returns the value of a database constant in this state.
+func (st *State) Constant(name string) (domain.Value, error) {
+	v, ok := st.consts[name]
+	if !ok {
+		return nil, fmt.Errorf("db: constant %q unset", name)
+	}
+	return v, nil
+}
+
+// Clone deep-copies the state.
+func (st *State) Clone() *State {
+	out := NewState(st.scheme)
+	for name, r := range st.rels {
+		out.rels[name] = r.Clone()
+	}
+	for name, v := range st.consts {
+		out.consts[name] = v
+	}
+	return out
+}
+
+// ActiveDomain returns the active domain of the state: every value occurring
+// in a relation or as a database constant, sorted by key. Query constants
+// are the caller's to add ("the set of all constants used in the querying
+// formula and/or elements contained in the database relations").
+func (st *State) ActiveDomain() []domain.Value {
+	seen := map[string]domain.Value{}
+	for _, r := range st.rels {
+		for _, t := range r.Tuples() {
+			for _, v := range t {
+				seen[v.Key()] = v
+			}
+		}
+	}
+	for _, v := range st.consts {
+		seen[v.Key()] = v
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]domain.Value, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// String renders the state compactly.
+func (st *State) String() string {
+	var names []string
+	for name := range st.rels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s:", name)
+		for _, t := range st.rels[name].Tuples() {
+			b.WriteString(" " + t.String())
+		}
+		b.WriteString("\n")
+	}
+	var cnames []string
+	for name := range st.consts {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		fmt.Fprintf(&b, "%s = %s\n", name, st.consts[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package domain
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// modInterp interprets arithmetic mod m: constants are numerals, function
+// s is successor, predicate Z holds of zero. A tiny recursive structure for
+// exercising the evaluation plumbing.
+type modInterp struct{ m int64 }
+
+func (d modInterp) ConstValue(name string) (Value, error) {
+	n, err := strconv.ParseInt(name, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad constant %q", name)
+	}
+	return Int(n % d.m), nil
+}
+
+func (d modInterp) Func(name string, args []Value) (Value, error) {
+	if name != "s" || len(args) != 1 {
+		return nil, fmt.Errorf("unknown function %s/%d", name, len(args))
+	}
+	return Int((int64(args[0].(Int)) + 1) % d.m), nil
+}
+
+func (d modInterp) Pred(name string, args []Value) (bool, error) {
+	if name != "Z" || len(args) != 1 {
+		return false, fmt.Errorf("unknown predicate %s/%d", name, len(args))
+	}
+	return args[0].(Int) == 0, nil
+}
+
+func TestEvalTerm(t *testing.T) {
+	in := modInterp{m: 5}
+	env := Env{"x": Int(3)}
+	v, err := EvalTerm(in, env, logic.App("s", logic.App("s", logic.Var("x"))))
+	if err != nil {
+		t.Fatalf("EvalTerm: %v", err)
+	}
+	if v.(Int) != 0 {
+		t.Errorf("s(s(3)) mod 5 = %v, want 0", v)
+	}
+	if _, err := EvalTerm(in, Env{}, logic.Var("y")); err == nil {
+		t.Errorf("unbound variable should error")
+	}
+	if _, err := EvalTerm(in, env, logic.Const("zz")); err == nil {
+		t.Errorf("bad constant should error")
+	}
+}
+
+func TestEvalQF(t *testing.T) {
+	in := modInterp{m: 5}
+	env := Env{"x": Int(4)}
+	cases := []struct {
+		f    *logic.Formula
+		want bool
+	}{
+		{logic.True(), true},
+		{logic.False(), false},
+		{logic.Atom("Z", logic.App("s", logic.Var("x"))), true},
+		{logic.Atom("Z", logic.Var("x")), false},
+		{logic.Eq(logic.Var("x"), logic.Const("9")), true}, // 9 mod 5 = 4
+		{logic.Neq(logic.Var("x"), logic.Const("9")), false},
+		{logic.And(logic.True(), logic.Atom("Z", logic.Const("0"))), true},
+		{logic.Or(logic.False(), logic.False()), false},
+		{logic.Implies(logic.Atom("Z", logic.Var("x")), logic.False()), true},
+		{logic.Iff(logic.Atom("Z", logic.Var("x")), logic.False()), true},
+	}
+	for _, c := range cases {
+		got, err := EvalQF(in, env, c.f)
+		if err != nil {
+			t.Errorf("EvalQF(%v): %v", c.f, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalQF(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+	if _, err := EvalQF(in, env, logic.Exists("y", logic.True())); err == nil {
+		t.Errorf("EvalQF should reject quantifiers")
+	}
+}
+
+// trivialElim eliminates quantifiers over a structure where everything is Z
+// or not: it replaces ∃x.φ by φ[x := 0] ∨ φ[x := 1], valid in mod-2
+// arithmetic (every element is one of the two).
+type trivialElim struct{}
+
+func (trivialElim) Eliminate(f *logic.Formula) (*logic.Formula, error) {
+	g := f.Map(func(h *logic.Formula) *logic.Formula {
+		switch h.Kind {
+		case logic.FExists:
+			return logic.Or(
+				logic.Subst(h.Sub[0], h.Var, logic.Const("0")),
+				logic.Subst(h.Sub[0], h.Var, logic.Const("1")))
+		case logic.FForall:
+			return logic.And(
+				logic.Subst(h.Sub[0], h.Var, logic.Const("0")),
+				logic.Subst(h.Sub[0], h.Var, logic.Const("1")))
+		}
+		return h
+	})
+	return g, nil
+}
+
+func TestQEDecider(t *testing.T) {
+	d := QEDecider{Elim: trivialElim{}, Interp: modInterp{m: 2}}
+	// ∃x Z(x) is true; ∀x Z(x) is false; ∀x (Z(x) ∨ Z(s(x))) is true.
+	cases := []struct {
+		f    *logic.Formula
+		want bool
+	}{
+		{logic.Exists("x", logic.Atom("Z", logic.Var("x"))), true},
+		{logic.Forall("x", logic.Atom("Z", logic.Var("x"))), false},
+		{logic.Forall("x", logic.Or(
+			logic.Atom("Z", logic.Var("x")),
+			logic.Atom("Z", logic.App("s", logic.Var("x"))))), true},
+	}
+	for _, c := range cases {
+		got, err := d.Decide(c.f)
+		if err != nil {
+			t.Errorf("Decide(%v): %v", c.f, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Decide(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+	if _, err := d.Decide(logic.Atom("Z", logic.Var("x"))); err == nil {
+		t.Errorf("Decide should reject open formulas")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Holds.String() != "holds" || Fails.String() != "fails" || Unknown.String() != "unknown" {
+		t.Errorf("verdict strings wrong: %v %v %v", Holds, Fails, Unknown)
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	e := Env{"x": Int(1)}
+	c := e.Clone()
+	c["x"] = Int(2)
+	if e["x"].(Int) != 1 {
+		t.Errorf("Clone shares storage")
+	}
+}
+
+func TestValueKeys(t *testing.T) {
+	if Int(42).Key() != "42" || Word("a&b").Key() != "a&b" {
+		t.Errorf("keys wrong")
+	}
+	if Int(-1).String() != "-1" || Word("").String() != "" {
+		t.Errorf("strings wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package logic
+
+// DNF converts a quantifier-free formula into disjunctive normal form,
+// returned as a slice of conjuncts-of-literals. Each inner slice is one
+// disjunct; an empty inner slice is the empty conjunction (true); an empty
+// outer slice is the empty disjunction (false).
+//
+// Quantifier-elimination procedures (Cooper, Mal'cev, the Reach Theory of
+// Traces) all start by distributing ∃ over a DNF of the matrix, exactly as
+// the paper's Appendix does ("the existential quantifier can be distributed
+// to a disjunction, [so] we may assume that ψ is a conjunction of atomic
+// formulas and their negations").
+func DNF(f *Formula) [][]*Formula {
+	g := NNF(f)
+	return dnf(g)
+}
+
+func dnf(f *Formula) [][]*Formula {
+	switch f.Kind {
+	case FTrue:
+		return [][]*Formula{{}}
+	case FFalse:
+		return nil
+	case FAtom, FNot:
+		return [][]*Formula{{f}}
+	case FOr:
+		var out [][]*Formula
+		for _, s := range f.Sub {
+			out = append(out, dnf(s)...)
+		}
+		return out
+	case FAnd:
+		out := [][]*Formula{{}}
+		for _, s := range f.Sub {
+			ds := dnf(s)
+			var next [][]*Formula
+			for _, left := range out {
+				for _, right := range ds {
+					conj := make([]*Formula, 0, len(left)+len(right))
+					conj = append(conj, left...)
+					conj = append(conj, right...)
+					next = append(next, conj)
+				}
+			}
+			out = next
+			if len(out) == 0 {
+				return nil
+			}
+		}
+		return out
+	}
+	panic("logic: DNF of non-quantifier-free formula " + f.String())
+}
+
+// FromDNF rebuilds a formula from DNF clause form.
+func FromDNF(clauses [][]*Formula) *Formula {
+	disjuncts := make([]*Formula, len(clauses))
+	for i, c := range clauses {
+		disjuncts[i] = And(c...)
+	}
+	return Or(disjuncts...)
+}
+
+// CNF converts a quantifier-free formula into conjunctive normal form,
+// returned as a slice of clauses (disjunctions of literals).
+func CNF(f *Formula) [][]*Formula {
+	g := NNF(f)
+	return cnf(g)
+}
+
+func cnf(f *Formula) [][]*Formula {
+	switch f.Kind {
+	case FTrue:
+		return nil
+	case FFalse:
+		return [][]*Formula{{}}
+	case FAtom, FNot:
+		return [][]*Formula{{f}}
+	case FAnd:
+		var out [][]*Formula
+		for _, s := range f.Sub {
+			out = append(out, cnf(s)...)
+		}
+		return out
+	case FOr:
+		out := [][]*Formula{{}}
+		for _, s := range f.Sub {
+			cs := cnf(s)
+			var next [][]*Formula
+			for _, left := range out {
+				for _, right := range cs {
+					clause := make([]*Formula, 0, len(left)+len(right))
+					clause = append(clause, left...)
+					clause = append(clause, right...)
+					next = append(next, clause)
+				}
+			}
+			out = next
+			if len(out) == 0 {
+				return nil
+			}
+		}
+		return out
+	}
+	panic("logic: CNF of non-quantifier-free formula " + f.String())
+}

@@ -1,0 +1,420 @@
+package logic
+
+import (
+	"strings"
+)
+
+// FKind discriminates formula shapes.
+type FKind int
+
+const (
+	// FTrue is the propositional constant "true".
+	FTrue FKind = iota
+	// FFalse is the propositional constant "false".
+	FFalse
+	// FAtom is a predicate atom P(t1,…,tk). Equality is the atom with
+	// predicate symbol "=" and exactly two arguments.
+	FAtom
+	// FNot is negation.
+	FNot
+	// FAnd is conjunction (n-ary, n ≥ 0; empty conjunction is true).
+	FAnd
+	// FOr is disjunction (n-ary, n ≥ 0; empty disjunction is false).
+	FOr
+	// FImplies is implication with exactly two children.
+	FImplies
+	// FIff is bi-implication with exactly two children.
+	FIff
+	// FExists is existential quantification of Var over Sub[0].
+	FExists
+	// FForall is universal quantification of Var over Sub[0].
+	FForall
+)
+
+// EqPred is the reserved predicate symbol for equality.
+const EqPred = "="
+
+// Formula is a first-order formula. Like terms, formulas are treated as
+// immutable: transformations return fresh structures.
+type Formula struct {
+	Kind FKind
+	// Pred is the predicate symbol of an FAtom.
+	Pred string
+	// Args are the argument terms of an FAtom.
+	Args []Term
+	// Sub holds subformulas: 1 for FNot/FExists/FForall, 2 for
+	// FImplies/FIff, any number for FAnd/FOr.
+	Sub []*Formula
+	// Var is the bound variable of FExists/FForall.
+	Var string
+}
+
+// True returns the formula "true".
+func True() *Formula { return &Formula{Kind: FTrue} }
+
+// False returns the formula "false".
+func False() *Formula { return &Formula{Kind: FFalse} }
+
+// Atom constructs a predicate atom.
+func Atom(pred string, args ...Term) *Formula {
+	return &Formula{Kind: FAtom, Pred: pred, Args: args}
+}
+
+// Eq constructs the equality atom a = b.
+func Eq(a, b Term) *Formula { return Atom(EqPred, a, b) }
+
+// Neq constructs the literal a ≠ b.
+func Neq(a, b Term) *Formula { return Not(Eq(a, b)) }
+
+// Not constructs the negation of f.
+func Not(f *Formula) *Formula { return &Formula{Kind: FNot, Sub: []*Formula{f}} }
+
+// And constructs the conjunction of fs. And() is true; And(f) is f.
+func And(fs ...*Formula) *Formula {
+	switch len(fs) {
+	case 0:
+		return True()
+	case 1:
+		return fs[0]
+	}
+	return &Formula{Kind: FAnd, Sub: append([]*Formula(nil), fs...)}
+}
+
+// Or constructs the disjunction of fs. Or() is false; Or(f) is f.
+func Or(fs ...*Formula) *Formula {
+	switch len(fs) {
+	case 0:
+		return False()
+	case 1:
+		return fs[0]
+	}
+	return &Formula{Kind: FOr, Sub: append([]*Formula(nil), fs...)}
+}
+
+// Implies constructs the implication a → b.
+func Implies(a, b *Formula) *Formula {
+	return &Formula{Kind: FImplies, Sub: []*Formula{a, b}}
+}
+
+// Iff constructs the bi-implication a ↔ b.
+func Iff(a, b *Formula) *Formula {
+	return &Formula{Kind: FIff, Sub: []*Formula{a, b}}
+}
+
+// Exists constructs ∃v. f.
+func Exists(v string, f *Formula) *Formula {
+	return &Formula{Kind: FExists, Var: v, Sub: []*Formula{f}}
+}
+
+// Forall constructs ∀v. f.
+func Forall(v string, f *Formula) *Formula {
+	return &Formula{Kind: FForall, Var: v, Sub: []*Formula{f}}
+}
+
+// ExistsAll quantifies f existentially over each variable in vs, innermost
+// last: ExistsAll([x,y], f) = ∃x ∃y f.
+func ExistsAll(vs []string, f *Formula) *Formula {
+	for i := len(vs) - 1; i >= 0; i-- {
+		f = Exists(vs[i], f)
+	}
+	return f
+}
+
+// ForallAll quantifies f universally over each variable in vs.
+func ForallAll(vs []string, f *Formula) *Formula {
+	for i := len(vs) - 1; i >= 0; i-- {
+		f = Forall(vs[i], f)
+	}
+	return f
+}
+
+// IsEq reports whether f is an equality atom.
+func (f *Formula) IsEq() bool { return f.Kind == FAtom && f.Pred == EqPred }
+
+// Equal reports structural equality of formulas (no renaming of bound
+// variables: α-equivalent formulas with different bound names compare
+// unequal).
+func (f *Formula) Equal(g *Formula) bool {
+	if f == g {
+		return true
+	}
+	if f == nil || g == nil {
+		return false
+	}
+	if f.Kind != g.Kind || f.Pred != g.Pred || f.Var != g.Var ||
+		len(f.Args) != len(g.Args) || len(f.Sub) != len(g.Sub) {
+		return false
+	}
+	for i := range f.Args {
+		if !f.Args[i].Equal(g.Args[i]) {
+			return false
+		}
+	}
+	for i := range f.Sub {
+		if !f.Sub[i].Equal(g.Sub[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of f.
+func (f *Formula) Clone() *Formula {
+	if f == nil {
+		return nil
+	}
+	g := &Formula{Kind: f.Kind, Pred: f.Pred, Var: f.Var}
+	if f.Args != nil {
+		g.Args = append([]Term(nil), f.Args...)
+	}
+	if f.Sub != nil {
+		g.Sub = make([]*Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			g.Sub[i] = s.Clone()
+		}
+	}
+	return g
+}
+
+// FreeVars returns the sorted, deduplicated free variables of f.
+func (f *Formula) FreeVars() []string {
+	var names []string
+	bound := map[string]int{}
+	var walk func(*Formula)
+	walk = func(g *Formula) {
+		switch g.Kind {
+		case FAtom:
+			var vs []string
+			for _, t := range g.Args {
+				vs = t.Vars(vs)
+			}
+			for _, v := range vs {
+				if bound[v] == 0 {
+					names = append(names, v)
+				}
+			}
+		case FExists, FForall:
+			bound[g.Var]++
+			walk(g.Sub[0])
+			bound[g.Var]--
+		default:
+			for _, s := range g.Sub {
+				walk(s)
+			}
+		}
+	}
+	walk(f)
+	return SortedUnique(names)
+}
+
+// HasFreeVar reports whether name occurs free in f.
+func (f *Formula) HasFreeVar(name string) bool {
+	switch f.Kind {
+	case FAtom:
+		for _, t := range f.Args {
+			if t.HasVar(name) {
+				return true
+			}
+		}
+		return false
+	case FExists, FForall:
+		if f.Var == name {
+			return false
+		}
+		return f.Sub[0].HasFreeVar(name)
+	default:
+		for _, s := range f.Sub {
+			if s.HasFreeVar(name) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Sentence reports whether f has no free variables.
+func (f *Formula) Sentence() bool { return len(f.FreeVars()) == 0 }
+
+// QuantifierFree reports whether f contains no quantifiers.
+func (f *Formula) QuantifierFree() bool {
+	switch f.Kind {
+	case FExists, FForall:
+		return false
+	default:
+		for _, s := range f.Sub {
+			if !s.QuantifierFree() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// QuantifierDepth returns the maximum nesting depth of quantifiers in f.
+// Section 2.2 of the paper uses this to size the extended active domain.
+func (f *Formula) QuantifierDepth() int {
+	depth := 0
+	for _, s := range f.Sub {
+		if d := s.QuantifierDepth(); d > depth {
+			depth = d
+		}
+	}
+	if f.Kind == FExists || f.Kind == FForall {
+		depth++
+	}
+	return depth
+}
+
+// Size returns the number of formula and term nodes, a rough complexity
+// measure used in benchmarks.
+func (f *Formula) Size() int {
+	n := 1
+	for _, t := range f.Args {
+		n += termSize(t)
+	}
+	for _, s := range f.Sub {
+		n += s.Size()
+	}
+	return n
+}
+
+func termSize(t Term) int {
+	n := 1
+	for _, a := range t.Args {
+		n += termSize(a)
+	}
+	return n
+}
+
+// Predicates returns the sorted, deduplicated predicate symbols of f,
+// excluding equality.
+func (f *Formula) Predicates() []string {
+	var names []string
+	f.Walk(func(g *Formula) {
+		if g.Kind == FAtom && g.Pred != EqPred {
+			names = append(names, g.Pred)
+		}
+	})
+	return SortedUnique(names)
+}
+
+// Constants returns the sorted, deduplicated constant symbols of f.
+func (f *Formula) Constants() []string {
+	var names []string
+	f.Walk(func(g *Formula) {
+		if g.Kind == FAtom {
+			for _, t := range g.Args {
+				names = t.Constants(names)
+			}
+		}
+	})
+	return SortedUnique(names)
+}
+
+// Walk calls visit on f and every subformula, parents before children.
+func (f *Formula) Walk(visit func(*Formula)) {
+	visit(f)
+	for _, s := range f.Sub {
+		s.Walk(visit)
+	}
+}
+
+// Map rebuilds f bottom-up, replacing every node g by rewrite(g'), where g'
+// is g with already-rewritten children. rewrite must not mutate its argument;
+// it may return the argument unchanged.
+func (f *Formula) Map(rewrite func(*Formula) *Formula) *Formula {
+	g := &Formula{Kind: f.Kind, Pred: f.Pred, Var: f.Var, Args: f.Args}
+	if f.Sub != nil {
+		g.Sub = make([]*Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			g.Sub[i] = s.Map(rewrite)
+		}
+	}
+	return rewrite(g)
+}
+
+// String renders f in the concrete syntax accepted by internal/parser:
+//
+//	true false P(t,…) s = t ~f (f & g & …) (f | g | …)
+//	(f -> g) (f <-> g) exists x. f forall x. f
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.write(&b)
+	return b.String()
+}
+
+func (f *Formula) write(b *strings.Builder) {
+	switch f.Kind {
+	case FTrue:
+		b.WriteString("true")
+	case FFalse:
+		b.WriteString("false")
+	case FAtom:
+		if f.IsEq() {
+			b.WriteString(f.Args[0].String())
+			b.WriteString(" = ")
+			b.WriteString(f.Args[1].String())
+			return
+		}
+		b.WriteString(f.Pred)
+		b.WriteByte('(')
+		for i, t := range f.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteByte(')')
+	case FNot:
+		// Render ≠ compactly.
+		if f.Sub[0].IsEq() {
+			b.WriteString(f.Sub[0].Args[0].String())
+			b.WriteString(" != ")
+			b.WriteString(f.Sub[0].Args[1].String())
+			return
+		}
+		b.WriteByte('~')
+		f.Sub[0].writeParen(b)
+	case FAnd, FOr, FImplies, FIff:
+		op := map[FKind]string{FAnd: " & ", FOr: " | ", FImplies: " -> ", FIff: " <-> "}[f.Kind]
+		b.WriteByte('(')
+		for i, s := range f.Sub {
+			if i > 0 {
+				b.WriteString(op)
+			}
+			s.write(b)
+		}
+		b.WriteByte(')')
+	case FExists, FForall:
+		if f.Kind == FExists {
+			b.WriteString("exists ")
+		} else {
+			b.WriteString("forall ")
+		}
+		b.WriteString(f.Var)
+		b.WriteString(". ")
+		f.Sub[0].writeParen(b)
+	}
+}
+
+// writeParen writes f, parenthesizing quantified bodies that would otherwise
+// extend too greedily. Atoms and already-parenthesized connectives need no
+// extra parentheses.
+func (f *Formula) writeParen(b *strings.Builder) {
+	switch f.Kind {
+	case FExists, FForall, FNot:
+		b.WriteByte('(')
+		f.write(b)
+		b.WriteByte(')')
+	case FAtom:
+		if f.IsEq() {
+			b.WriteByte('(')
+			f.write(b)
+			b.WriteByte(')')
+			return
+		}
+		f.write(b)
+	default:
+		f.write(b)
+	}
+}

@@ -1,0 +1,117 @@
+package logic
+
+// NNF returns the negation normal form of f: implications and
+// bi-implications are expanded and negations pushed to the atoms. The result
+// contains only true/false, atoms, negated atoms, ∧, ∨, ∃, ∀.
+func NNF(f *Formula) *Formula {
+	return nnf(f, false)
+}
+
+func nnf(f *Formula, negate bool) *Formula {
+	switch f.Kind {
+	case FTrue:
+		if negate {
+			return False()
+		}
+		return True()
+	case FFalse:
+		if negate {
+			return True()
+		}
+		return False()
+	case FAtom:
+		if negate {
+			return Not(f)
+		}
+		return f
+	case FNot:
+		return nnf(f.Sub[0], !negate)
+	case FAnd, FOr:
+		kind := f.Kind
+		if negate {
+			if kind == FAnd {
+				kind = FOr
+			} else {
+				kind = FAnd
+			}
+		}
+		sub := make([]*Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			sub[i] = nnf(s, negate)
+		}
+		if len(sub) == 0 {
+			if kind == FAnd {
+				return True()
+			}
+			return False()
+		}
+		if len(sub) == 1 {
+			return sub[0]
+		}
+		return &Formula{Kind: kind, Sub: sub}
+	case FImplies:
+		// a → b ≡ ¬a ∨ b; negated: a ∧ ¬b.
+		if negate {
+			return And(nnf(f.Sub[0], false), nnf(f.Sub[1], true))
+		}
+		return Or(nnf(f.Sub[0], true), nnf(f.Sub[1], false))
+	case FIff:
+		// a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+		a, b := f.Sub[0], f.Sub[1]
+		if negate {
+			return Or(
+				And(nnf(a, false), nnf(b, true)),
+				And(nnf(a, true), nnf(b, false)))
+		}
+		return Or(
+			And(nnf(a, false), nnf(b, false)),
+			And(nnf(a, true), nnf(b, true)))
+	case FExists, FForall:
+		kind := f.Kind
+		if negate {
+			if kind == FExists {
+				kind = FForall
+			} else {
+				kind = FExists
+			}
+		}
+		return &Formula{Kind: kind, Var: f.Var, Sub: []*Formula{nnf(f.Sub[0], negate)}}
+	}
+	return f
+}
+
+// IsNNF reports whether f is in negation normal form.
+func IsNNF(f *Formula) bool {
+	switch f.Kind {
+	case FTrue, FFalse, FAtom:
+		return true
+	case FNot:
+		return f.Sub[0].Kind == FAtom
+	case FAnd, FOr, FExists, FForall:
+		for _, s := range f.Sub {
+			if !IsNNF(s) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// IsLiteral reports whether f is an atom or a negated atom.
+func IsLiteral(f *Formula) bool {
+	return f.Kind == FAtom || (f.Kind == FNot && f.Sub[0].Kind == FAtom)
+}
+
+// LiteralAtom returns the atom underlying a literal and whether the literal
+// is positive. It panics if f is not a literal.
+func LiteralAtom(f *Formula) (atom *Formula, positive bool) {
+	switch {
+	case f.Kind == FAtom:
+		return f, true
+	case f.Kind == FNot && f.Sub[0].Kind == FAtom:
+		return f.Sub[0], false
+	}
+	panic("logic: LiteralAtom on non-literal")
+}

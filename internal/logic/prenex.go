@@ -1,0 +1,53 @@
+package logic
+
+// Quantifier is one step of a quantifier prefix.
+type Quantifier struct {
+	// Universal is true for ∀, false for ∃.
+	Universal bool
+	// Var is the bound variable.
+	Var string
+}
+
+// Prenex converts f into prenex normal form and returns the quantifier
+// prefix (outermost first) and the quantifier-free matrix. The input is
+// first rectified (bound variables renamed apart) and converted to NNF, so
+// quantifier extraction is purely structural.
+func Prenex(f *Formula) ([]Quantifier, *Formula) {
+	// NNF first: expanding ↔ duplicates subformulas, so renaming bound
+	// variables apart must happen afterwards or duplicated binders collide
+	// in the extracted prefix.
+	g := RenameBound(NNF(f))
+	var prefix []Quantifier
+	matrix := pullQuantifiers(g, &prefix)
+	return prefix, matrix
+}
+
+// PrenexFormula reassembles a prefix and matrix into a single formula.
+func PrenexFormula(prefix []Quantifier, matrix *Formula) *Formula {
+	f := matrix
+	for i := len(prefix) - 1; i >= 0; i-- {
+		q := prefix[i]
+		if q.Universal {
+			f = Forall(q.Var, f)
+		} else {
+			f = Exists(q.Var, f)
+		}
+	}
+	return f
+}
+
+func pullQuantifiers(f *Formula, prefix *[]Quantifier) *Formula {
+	switch f.Kind {
+	case FExists, FForall:
+		*prefix = append(*prefix, Quantifier{Universal: f.Kind == FForall, Var: f.Var})
+		return pullQuantifiers(f.Sub[0], prefix)
+	case FAnd, FOr:
+		sub := make([]*Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			sub[i] = pullQuantifiers(s, prefix)
+		}
+		return &Formula{Kind: f.Kind, Sub: sub}
+	default:
+		return f
+	}
+}

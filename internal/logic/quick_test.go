@@ -1,0 +1,148 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genFormula wraps a random formula for testing/quick.
+type genFormula struct {
+	F *Formula
+}
+
+// Generate implements quick.Generator.
+func (genFormula) Generate(rng *rand.Rand, size int) reflect.Value {
+	depth := 2 + rng.Intn(3)
+	return reflect.ValueOf(genFormula{F: randFormula(rng, depth, true)})
+}
+
+// genQFFormula generates quantifier-free formulas.
+type genQFFormula struct {
+	F *Formula
+}
+
+// Generate implements quick.Generator.
+func (genQFFormula) Generate(rng *rand.Rand, size int) reflect.Value {
+	depth := 2 + rng.Intn(3)
+	return reflect.ValueOf(genQFFormula{F: randFormula(rng, depth, false)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// TestQuickNNFInvolution: NNF is idempotent and always lands in NNF.
+func TestQuickNNFInvolution(t *testing.T) {
+	prop := func(g genFormula) bool {
+		n := NNF(g.F)
+		return IsNNF(n) && n.Equal(NNF(n))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimplifyIdempotent: Simplify(Simplify(f)) = Simplify(f).
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	prop := func(g genFormula) bool {
+		s := Simplify(g.F)
+		return s.Equal(Simplify(s))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimplifyShrinks: simplification never grows the formula (by the
+// node-count measure).
+func TestQuickSimplifyShrinks(t *testing.T) {
+	prop := func(g genFormula) bool {
+		return Simplify(g.F).Size() <= g.F.Size()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEqual: clones are structurally equal and independent.
+func TestQuickCloneEqual(t *testing.T) {
+	prop := func(g genFormula) bool {
+		c := g.F.Clone()
+		return c.Equal(g.F)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFreeVarsSubset: substituting a constant for a variable removes
+// it from the free variables and introduces none.
+func TestQuickFreeVarsSubset(t *testing.T) {
+	prop := func(g genFormula) bool {
+		before := map[string]bool{}
+		for _, v := range g.F.FreeVars() {
+			before[v] = true
+		}
+		sub := Subst(g.F, "x", Const("a"))
+		for _, v := range sub.FreeVars() {
+			if v == "x" || !before[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDNFClausesAreLiterals: every DNF clause member is a literal.
+func TestQuickDNFClausesAreLiterals(t *testing.T) {
+	prop := func(g genQFFormula) bool {
+		for _, clause := range DNF(g.F) {
+			for _, lit := range clause {
+				if !IsLiteral(lit) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrenexMatrixQF: the prenex matrix is quantifier-free and the
+// prefix length equals the quantifier count of the NNF.
+func TestQuickPrenexMatrixQF(t *testing.T) {
+	prop := func(g genFormula) bool {
+		prefix, matrix := Prenex(g.F)
+		if !matrix.QuantifierFree() {
+			return false
+		}
+		count := 0
+		RenameBound(NNF(g.F)).Walk(func(h *Formula) {
+			if h.Kind == FExists || h.Kind == FForall {
+				count++
+			}
+		})
+		return len(prefix) == count
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWalkVisitsSize: Walk visits one node per formula node.
+func TestQuickWalkVisitsSize(t *testing.T) {
+	prop := func(g genFormula) bool {
+		visited := 0
+		g.F.Walk(func(*Formula) { visited++ })
+		// Size also counts term nodes; formula nodes alone are visited.
+		return visited <= g.F.Size()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

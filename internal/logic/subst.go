@@ -1,0 +1,237 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FreshVar returns a variable name based on hint that does not occur (free or
+// bound) in any of the given formulas.
+func FreshVar(hint string, avoid ...*Formula) string {
+	used := map[string]bool{}
+	for _, f := range avoid {
+		if f == nil {
+			continue
+		}
+		f.Walk(func(g *Formula) {
+			if g.Kind == FExists || g.Kind == FForall {
+				used[g.Var] = true
+			}
+			if g.Kind == FAtom {
+				var vs []string
+				for _, t := range g.Args {
+					vs = t.Vars(vs)
+				}
+				for _, v := range vs {
+					used[v] = true
+				}
+			}
+		})
+	}
+	if !used[hint] {
+		return hint
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", hint, i)
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+// Subst returns f with every free occurrence of variable name replaced by
+// replacement. The substitution is capture-avoiding: bound variables that
+// would capture a variable of replacement are renamed first.
+func Subst(f *Formula, name string, replacement Term) *Formula {
+	var repVars []string
+	repVars = replacement.Vars(repVars)
+	repSet := map[string]bool{}
+	for _, v := range repVars {
+		repSet[v] = true
+	}
+	return substAvoid(f, name, replacement, repSet)
+}
+
+func substAvoid(f *Formula, name string, replacement Term, repVars map[string]bool) *Formula {
+	switch f.Kind {
+	case FTrue, FFalse:
+		return f
+	case FAtom:
+		args := make([]Term, len(f.Args))
+		for i, t := range f.Args {
+			args[i] = t.SubstTerm(name, replacement)
+		}
+		return &Formula{Kind: FAtom, Pred: f.Pred, Args: args}
+	case FExists, FForall:
+		if f.Var == name {
+			return f // name is shadowed; nothing free to replace
+		}
+		body := f.Sub[0]
+		v := f.Var
+		if repVars[v] && body.HasFreeVar(name) {
+			// Rename the bound variable to avoid capturing replacement.
+			fresh := FreshVar(v+"_", f, Atom("", replacement))
+			body = Subst(body, v, Var(fresh))
+			v = fresh
+		}
+		return &Formula{Kind: f.Kind, Var: v,
+			Sub: []*Formula{substAvoid(body, name, replacement, repVars)}}
+	default:
+		sub := make([]*Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			sub[i] = substAvoid(s, name, replacement, repVars)
+		}
+		return &Formula{Kind: f.Kind, Sub: sub}
+	}
+}
+
+// SubstConst returns f with every occurrence of the constant symbol c
+// replaced by the term replacement. This is the operation [z/c] of
+// Theorem 3.1 ("substituting the variable z for the constant symbol c").
+// If replacement is a variable it must not be captured; the caller is
+// responsible for choosing a variable not bound in f (Theorem 3.1 picks a
+// variable "not used in the formulas of this list"), and this function
+// renames clashing binders defensively anyway.
+func SubstConst(f *Formula, c string, replacement Term) *Formula {
+	var repVars []string
+	repVars = replacement.Vars(repVars)
+	repSet := map[string]bool{}
+	for _, v := range repVars {
+		repSet[v] = true
+	}
+	var walk func(*Formula) *Formula
+	walk = func(g *Formula) *Formula {
+		switch g.Kind {
+		case FTrue, FFalse:
+			return g
+		case FAtom:
+			args := make([]Term, len(g.Args))
+			for i, t := range g.Args {
+				args[i] = substConstTerm(t, c, replacement)
+			}
+			return &Formula{Kind: FAtom, Pred: g.Pred, Args: args}
+		case FExists, FForall:
+			body := g.Sub[0]
+			v := g.Var
+			if repSet[v] && formulaHasConst(body, c) {
+				fresh := FreshVar(v+"_", g, Atom("", replacement))
+				body = Subst(body, v, Var(fresh))
+				v = fresh
+			}
+			return &Formula{Kind: g.Kind, Var: v, Sub: []*Formula{walk(body)}}
+		default:
+			sub := make([]*Formula, len(g.Sub))
+			for i, s := range g.Sub {
+				sub[i] = walk(s)
+			}
+			return &Formula{Kind: g.Kind, Sub: sub}
+		}
+	}
+	return walk(f)
+}
+
+func substConstTerm(t Term, c string, replacement Term) Term {
+	switch t.Kind {
+	case TConst:
+		if t.Name == c {
+			return replacement
+		}
+		return t
+	case TApp:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = substConstTerm(a, c, replacement)
+		}
+		return Term{Kind: TApp, Name: t.Name, Args: args}
+	}
+	return t
+}
+
+func formulaHasConst(f *Formula, c string) bool {
+	found := false
+	f.Walk(func(g *Formula) {
+		if g.Kind != FAtom || found {
+			return
+		}
+		for _, t := range g.Args {
+			if termHasConst(t, c) {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+func termHasConst(t Term, c string) bool {
+	switch t.Kind {
+	case TConst:
+		return t.Name == c
+	case TApp:
+		for _, a := range t.Args {
+			if termHasConst(a, c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RenameBound returns f with all bound variables renamed apart from each
+// other and from every free variable, using fresh names v0, v1, …. The
+// result is α-equivalent to f and "rectified": no variable is bound twice
+// and no variable is both free and bound. Prenex conversion requires this.
+func RenameBound(f *Formula) *Formula {
+	counter := 0
+	used := map[string]bool{}
+	for _, v := range f.FreeVars() {
+		used[v] = true
+	}
+	f.Walk(func(g *Formula) {
+		if g.Kind == FExists || g.Kind == FForall {
+			used[g.Var] = true
+		}
+	})
+	fresh := func(hint string) string {
+		base := strings.TrimRight(hint, "0123456789")
+		if base == "" {
+			base = "v"
+		}
+		for {
+			name := fmt.Sprintf("%s%d", base, counter)
+			counter++
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	seen := map[string]bool{}
+	for _, v := range f.FreeVars() {
+		seen[v] = true
+	}
+	var walk func(g *Formula) *Formula
+	walk = func(g *Formula) *Formula {
+		switch g.Kind {
+		case FExists, FForall:
+			v := g.Var
+			body := g.Sub[0]
+			if seen[v] {
+				nv := fresh(v)
+				body = Subst(body, v, Var(nv))
+				v = nv
+			}
+			seen[v] = true
+			return &Formula{Kind: g.Kind, Var: v, Sub: []*Formula{walk(body)}}
+		case FTrue, FFalse, FAtom:
+			return g
+		default:
+			sub := make([]*Formula, len(g.Sub))
+			for i, s := range g.Sub {
+				sub[i] = walk(s)
+			}
+			return &Formula{Kind: g.Kind, Sub: sub}
+		}
+	}
+	return walk(f)
+}

@@ -1,0 +1,220 @@
+// Package parser parses the concrete formula syntax used by the command-line
+// tools and tests, and printed by logic.Formula.String:
+//
+//	formula  := iff
+//	iff      := implies ("<->" implies)*
+//	implies  := or ("->" or)*          (right associative)
+//	or       := and ("|" and)*
+//	and      := unary ("&" unary)*
+//	unary    := "~" unary | "exists" ident "." unary | "forall" ident "." unary | atom
+//	atom     := "true" | "false" | "(" formula ")"
+//	          | term ("=" | "!=") term | ident "(" terms ")"
+//	term     := ident | quoted-string | ident "(" terms ")"
+//
+// Identifiers starting with a lower- or upper-case letter can be variables,
+// constants, or symbols; plain numerals and quoted strings are constants.
+// An identifier in term position is a variable unless it is declared a
+// constant via Options.Constants or appears in Options.Vars as false.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokEq
+	tokNeq
+	tokNot
+	tokAnd
+	tokOr
+	tokImplies
+	tokIff
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokNot:
+		return "'~'"
+	case tokAnd:
+		return "'&'"
+	case tokOr:
+		return "'|'"
+	case tokImplies:
+		return "'->'"
+	case tokIff:
+		return "'<->'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a formula string.
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.input) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.input[l.pos]
+		switch {
+		case c == '(':
+			l.pos++
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.pos++
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.pos++
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.pos++
+			l.emit(tokDot, ".")
+		case c == '=':
+			l.pos++
+			l.emit(tokEq, "=")
+		case c == '~':
+			l.pos++
+			l.emit(tokNot, "~")
+		case c == '&':
+			l.pos++
+			l.emit(tokAnd, "&")
+		case c == '|':
+			l.pos++
+			l.emit(tokOr, "|")
+		case c == '!':
+			if strings.HasPrefix(l.input[l.pos:], "!=") {
+				l.pos += 2
+				l.emit(tokNeq, "!=")
+			} else {
+				return nil, fmt.Errorf("parser: unexpected %q at offset %d", c, start)
+			}
+		case c == '-':
+			if strings.HasPrefix(l.input[l.pos:], "->") {
+				l.pos += 2
+				l.emit(tokImplies, "->")
+			} else {
+				return nil, fmt.Errorf("parser: unexpected %q at offset %d", c, start)
+			}
+		case c == '<':
+			if strings.HasPrefix(l.input[l.pos:], "<->") {
+				l.pos += 3
+				l.emit(tokIff, "<->")
+			} else {
+				return nil, fmt.Errorf("parser: unexpected %q at offset %d", c, start)
+			}
+		case c == '"':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case isDigit(rune(c)):
+			for l.pos < len(l.input) && isDigit(rune(l.input[l.pos])) {
+				l.pos++
+			}
+			l.emitAt(tokNumber, l.input[start:l.pos], start)
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.input) && isIdentPart(rune(l.input[l.pos])) {
+				l.pos++
+			}
+			l.emitAt(tokIdent, l.input[start:l.pos], start)
+		default:
+			return nil, fmt.Errorf("parser: unexpected %q at offset %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos - len(text)})
+}
+
+func (l *lexer) emitAt(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	// Find the closing quote, honoring backslash escapes, then let
+	// strconv.Unquote decode the body.
+	i := l.pos + 1
+	for i < len(l.input) {
+		switch l.input[i] {
+		case '\\':
+			i += 2
+			continue
+		case '"':
+			raw := l.input[start : i+1]
+			s, err := strconv.Unquote(raw)
+			if err != nil {
+				return "", fmt.Errorf("parser: bad string literal at offset %d: %v", start, err)
+			}
+			l.pos = i + 1
+			return s, nil
+		}
+		i++
+	}
+	return "", fmt.Errorf("parser: unterminated string literal at offset %d", start)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || isDigit(r)
+}

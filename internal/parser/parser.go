@@ -1,0 +1,317 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Options control how identifiers in term position are classified.
+type Options struct {
+	// Constants lists identifiers that denote constants rather than
+	// variables. Numerals and quoted strings are always constants.
+	Constants map[string]bool
+	// Functions lists identifiers that denote functions; an identifier
+	// followed by "(" in term position must be in this set (in formula
+	// position it is a predicate).
+	Functions map[string]bool
+}
+
+// Parse parses a formula with default options: all plain identifiers in term
+// position are variables.
+func Parse(input string) (*logic.Formula, error) {
+	return ParseWith(input, Options{})
+}
+
+// ParseWith parses a formula under the given identifier classification.
+func ParseWith(input string, opts Options) (*logic.Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, opts: opts}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting with %v", p.peek().kind)
+	}
+	return f, nil
+}
+
+// MustParse is Parse panicking on error; for tests and package examples.
+func MustParse(input string) *logic.Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MustParseWith is ParseWith panicking on error.
+func MustParseWith(input string, opts Options) *logic.Formula {
+	f, err := ParseWith(input, opts)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseTerm parses a single term.
+func ParseTerm(input string, opts Options) (logic.Term, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return logic.Term{}, err
+	}
+	p := &parser{toks: toks, opts: opts}
+	t, err := p.parseTerm()
+	if err != nil {
+		return logic.Term{}, err
+	}
+	if p.peek().kind != tokEOF {
+		return logic.Term{}, p.errorf("trailing input starting with %v", p.peek().kind)
+	}
+	return t, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	opts Options
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, p.errorf("expected %v, found %v", kind, t.kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parser: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseFormula() (*logic.Formula, error) { return p.parseIff() }
+
+func (p *parser) parseIff() (*logic.Formula, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIff {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		left = logic.Iff(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseImplies() (*logic.Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokImplies {
+		p.next()
+		right, err := p.parseImplies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return logic.Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (*logic.Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*logic.Formula{left}
+	for p.peek().kind == tokOr {
+		p.next()
+		f, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	return logic.Or(parts...), nil
+}
+
+func (p *parser) parseAnd() (*logic.Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*logic.Formula{left}
+	for p.peek().kind == tokAnd {
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	return logic.And(parts...), nil
+}
+
+func (p *parser) parseUnary() (*logic.Formula, error) {
+	switch t := p.peek(); t.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Not(f), nil
+	case tokIdent:
+		switch t.text {
+		case "exists", "forall":
+			p.next()
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+			body, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "exists" {
+				return logic.Exists(v.text, body), nil
+			}
+			return logic.Forall(v.text, body), nil
+		}
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*logic.Formula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokLParen:
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.next()
+			return logic.True(), nil
+		case "false":
+			p.next()
+			return logic.False(), nil
+		}
+		// Predicate atom P(args) unless followed by =/!= (then it is the
+		// start of a term) or the identifier is a declared function.
+		if p.lookaheadIsCall() && !p.opts.Functions[t.text] {
+			p.next()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return logic.Atom(t.text, args...), nil
+		}
+	}
+	// term (= | !=) term
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().kind {
+	case tokEq:
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Eq(left, right), nil
+	case tokNeq:
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Neq(left, right), nil
+	}
+	return nil, p.errorf("expected '=' or '!=' after term, found %v", p.peek().kind)
+}
+
+// lookaheadIsCall reports whether the current identifier is followed by "(".
+func (p *parser) lookaheadIsCall() bool {
+	return p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokLParen
+}
+
+func (p *parser) parseArgs() ([]logic.Term, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []logic.Term
+	if p.peek().kind != tokRParen {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, t)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parseTerm() (logic.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return logic.Const(t.text), nil
+	case tokString:
+		p.next()
+		return logic.Const(t.text), nil
+	case tokIdent:
+		p.next()
+		if p.peek().kind == tokLParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return logic.Term{}, err
+			}
+			return logic.App(t.text, args...), nil
+		}
+		if p.opts.Constants[t.text] {
+			return logic.Const(t.text), nil
+		}
+		return logic.Var(t.text), nil
+	}
+	return logic.Term{}, p.errorf("expected term, found %v", t.kind)
+}

@@ -1,0 +1,464 @@
+package presburger
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/logic"
+)
+
+// Internal quantifier-free representation: positive boolean combinations of
+// three atom kinds.
+type atomKind int
+
+const (
+	atomLt   atomKind = iota // t < 0
+	atomDvd                  // d | t
+	atomNdvd                 // d ∤ t
+)
+
+type qf struct {
+	// op is 'a' for an atom, '&' and '|' for connectives, 't'/'f' for
+	// constants.
+	op   byte
+	sub  []*qf
+	kind atomKind
+	t    LinearTerm
+	d    *big.Int
+}
+
+func qfTrue() *qf  { return &qf{op: 't'} }
+func qfFalse() *qf { return &qf{op: 'f'} }
+
+func qfAtom(kind atomKind, t LinearTerm, d *big.Int) *qf {
+	return &qf{op: 'a', kind: kind, t: t, d: d}
+}
+
+func qfAnd(sub ...*qf) *qf {
+	var flat []*qf
+	for _, s := range sub {
+		switch s.op {
+		case 'f':
+			return qfFalse()
+		case 't':
+		case '&':
+			flat = append(flat, s.sub...)
+		default:
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return qfTrue()
+	case 1:
+		return flat[0]
+	}
+	return &qf{op: '&', sub: flat}
+}
+
+func qfOr(sub ...*qf) *qf {
+	var flat []*qf
+	for _, s := range sub {
+		switch s.op {
+		case 't':
+			return qfTrue()
+		case 'f':
+		case '|':
+			flat = append(flat, s.sub...)
+		default:
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return qfFalse()
+	case 1:
+		return flat[0]
+	}
+	return &qf{op: '|', sub: flat}
+}
+
+// nodes counts formula nodes, for the resource guard.
+func (f *qf) nodes() int {
+	n := 1
+	for _, s := range f.sub {
+		n += s.nodes()
+	}
+	return n
+}
+
+// mapAtoms rebuilds the formula with each atom rewritten.
+func (f *qf) mapAtoms(rw func(*qf) *qf) *qf {
+	switch f.op {
+	case 'a':
+		return rw(f)
+	case '&':
+		out := make([]*qf, len(f.sub))
+		for i, s := range f.sub {
+			out[i] = s.mapAtoms(rw)
+		}
+		return qfAnd(out...)
+	case '|':
+		out := make([]*qf, len(f.sub))
+		for i, s := range f.sub {
+			out[i] = s.mapAtoms(rw)
+		}
+		return qfOr(out...)
+	}
+	return f
+}
+
+// visitAtoms calls visit on every atom.
+func (f *qf) visitAtoms(visit func(*qf)) {
+	switch f.op {
+	case 'a':
+		visit(f)
+	case '&', '|':
+		for _, s := range f.sub {
+			s.visitAtoms(visit)
+		}
+	}
+}
+
+// subst substitutes variable v by the linear term u in every atom, then
+// simplifies ground atoms.
+func (f *qf) subst(v string, u LinearTerm) *qf {
+	return f.mapAtoms(func(a *qf) *qf {
+		return simplifyAtom(qfAtom(a.kind, a.t.Subst(v, u), a.d))
+	})
+}
+
+// simplifyAtom evaluates ground atoms and normalizes divisibility by 1.
+func simplifyAtom(a *qf) *qf {
+	switch a.kind {
+	case atomLt:
+		if a.t.IsConst() {
+			if a.t.Const.Sign() < 0 {
+				return qfTrue()
+			}
+			return qfFalse()
+		}
+	case atomDvd, atomNdvd:
+		if a.d.CmpAbs(big.NewInt(1)) == 0 {
+			if a.kind == atomDvd {
+				return qfTrue()
+			}
+			return qfFalse()
+		}
+		if a.t.IsConst() {
+			m := new(big.Int).Mod(a.t.Const, new(big.Int).Abs(a.d))
+			holds := m.Sign() == 0
+			if a.kind == atomNdvd {
+				holds = !holds
+			}
+			if holds {
+				return qfTrue()
+			}
+			return qfFalse()
+		}
+	}
+	return a
+}
+
+// cooper eliminates ∃x from a canonical quantifier-free formula using
+// Cooper's algorithm (the −∞ / boundary-set version). dedupBounds controls
+// boundary-set deduplication; disabling it (the ablation benchmark) keeps
+// the algorithm correct but multiplies the output by the redundancy of the
+// bound set.
+func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
+	// Step 1: make every x-coefficient ±1. δ is the lcm of |coefficients|;
+	// each atom is scaled so its x-coefficient is ±δ, then δx is renamed to
+	// a fresh unit variable constrained by δ | x.
+	delta := big.NewInt(1)
+	f.visitAtoms(func(a *qf) {
+		c := a.t.Coeff(x)
+		if c.Sign() != 0 {
+			delta = lcm(delta, c)
+		}
+	})
+	unit := f.mapAtoms(func(a *qf) *qf {
+		c := a.t.Coeff(x)
+		if c.Sign() == 0 {
+			return a
+		}
+		// Scale so the coefficient of x becomes exactly delta (keeping
+		// inequality direction: the factor is positive).
+		factor := new(big.Int).Quo(delta, c)
+		if factor.Sign() < 0 {
+			factor.Neg(factor)
+		}
+		t := a.t.Scale(factor)
+		d := a.d
+		if d != nil {
+			d = new(big.Int).Mul(d, factor)
+		}
+		// Rename delta·x to x with coefficient ±1.
+		c2 := t.Coeff(x)
+		t2 := t.Clone()
+		delete(t2.Coeffs, x)
+		if c2.Sign() > 0 {
+			t2.addCoeff(x, big.NewInt(1))
+		} else {
+			t2.addCoeff(x, big.NewInt(-1))
+		}
+		return simplifyAtom(qfAtom(a.kind, t2, d))
+	})
+	if delta.Cmp(big.NewInt(1)) > 0 {
+		unit = qfAnd(unit, qfAtom(atomDvd, FromVar(x), new(big.Int).Set(delta)))
+	}
+
+	// Step 2: D = lcm of divisibility moduli involving x.
+	bigD := big.NewInt(1)
+	unit.visitAtoms(func(a *qf) {
+		if (a.kind == atomDvd || a.kind == atomNdvd) && a.t.Coeff(x).Sign() != 0 {
+			bigD = lcm(bigD, a.d)
+		}
+	})
+
+	// Step 3: φ_{-∞} — x + r < 0 becomes true, −x + r < 0 becomes false.
+	minusInf := unit.mapAtoms(func(a *qf) *qf {
+		if a.kind != atomLt {
+			return a
+		}
+		switch a.t.Coeff(x).Sign() {
+		case 1:
+			return qfTrue()
+		case -1:
+			return qfFalse()
+		}
+		return a
+	})
+
+	// Step 4: boundary set B — terms r from atoms −x + r < 0 (x > r).
+	var bset []LinearTerm
+	unit.visitAtoms(func(a *qf) {
+		if a.kind == atomLt && a.t.Coeff(x).Sign() < 0 {
+			r := a.t.Clone()
+			delete(r.Coeffs, x)
+			bset = append(bset, r)
+		}
+	})
+	uniq := bset
+	if dedupBounds {
+		uniq = uniq[:0:0]
+		for _, r := range bset {
+			dup := false
+			for _, u := range uniq {
+				if u.Equal(r) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				uniq = append(uniq, r)
+			}
+		}
+	}
+
+	if !bigD.IsInt64() || bigD.Int64() > 1<<20 {
+		return nil, fmt.Errorf("presburger: divisor lcm %v too large", bigD)
+	}
+	n := bigD.Int64()
+
+	// Resource guard, before constructing: the result has
+	// D·(1+|B|) copies of the matrix. Floating point avoids overflow in
+	// the estimate itself.
+	if est := float64(n) * float64(1+len(uniq)) * float64(unit.nodes()); est > float64(maxNodes) {
+		return nil, fmt.Errorf("presburger: elimination of %s would build ~%.0f nodes (Cooper blowup)", x, est)
+	}
+
+	var disjuncts []*qf
+	for j := int64(1); j <= n; j++ {
+		disjuncts = append(disjuncts, minusInf.subst(x, FromConst(big.NewInt(j))))
+		for _, r := range uniq {
+			disjuncts = append(disjuncts, unit.subst(x, r.AddInt(j)))
+		}
+	}
+	return qfOr(disjuncts...), nil
+}
+
+func lcm(a, b *big.Int) *big.Int {
+	aa := new(big.Int).Abs(a)
+	bb := new(big.Int).Abs(b)
+	g := new(big.Int).GCD(nil, nil, aa, bb)
+	out := new(big.Int).Mul(aa, bb)
+	return out.Quo(out, g)
+}
+
+// canonicalize converts an NNF quantifier-free logic formula into the
+// internal representation, resolving negations into the three positive atom
+// kinds.
+func canonicalize(f *logic.Formula) (*qf, error) {
+	switch f.Kind {
+	case logic.FTrue:
+		return qfTrue(), nil
+	case logic.FFalse:
+		return qfFalse(), nil
+	case logic.FAnd:
+		out := make([]*qf, len(f.Sub))
+		for i, s := range f.Sub {
+			g, err := canonicalize(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = g
+		}
+		return qfAnd(out...), nil
+	case logic.FOr:
+		out := make([]*qf, len(f.Sub))
+		for i, s := range f.Sub {
+			g, err := canonicalize(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = g
+		}
+		return qfOr(out...), nil
+	case logic.FAtom:
+		return canonicalAtom(f, true)
+	case logic.FNot:
+		if f.Sub[0].Kind != logic.FAtom {
+			return nil, fmt.Errorf("presburger: canonicalize expects NNF, found %v", f)
+		}
+		return canonicalAtom(f.Sub[0], false)
+	}
+	return nil, fmt.Errorf("presburger: canonicalize on %v", f)
+}
+
+// canonicalAtom renders one (possibly negated) atom into the internal form.
+//
+//	a < b   ⟺  a − b < 0          ¬(a < b) ⟺ b − a − 1 < 0… i.e. b ≤ a
+//	a = b   ⟺  a − b < 1 ∧ b − a < 1
+//	¬(a=b)  ⟺  a − b < 0 ∨ b − a < 0
+func canonicalAtom(f *logic.Formula, positive bool) (*qf, error) {
+	lt := func(t LinearTerm) *qf { return simplifyAtom(qfAtom(atomLt, t, nil)) }
+	switch f.Pred {
+	case logic.EqPred, PredLt, PredLe, PredGt, PredGe:
+		if len(f.Args) != 2 {
+			return nil, fmt.Errorf("presburger: %s expects 2 arguments", f.Pred)
+		}
+		a, err := ParseLinear(f.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := ParseLinear(f.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		// Normalize to "< " or "=" with sides possibly swapped/shifted.
+		switch f.Pred {
+		case PredGt:
+			a, b = b, a // a > b ⟺ b < a
+		case PredGe:
+			a, b = b, a.AddInt(1) // a ≥ b ⟺ b < a+1
+		case PredLe:
+			b = b.AddInt(1) // a ≤ b ⟺ a < b+1
+		}
+		if f.Pred == logic.EqPred {
+			d1 := a.Sub(b).AddInt(-1) // a−b−1 < 0 ⟺ a ≤ b
+			d2 := b.Sub(a).AddInt(-1)
+			if positive {
+				return qfAnd(lt(d1.AddInt(0)), lt(d2)), nil
+			}
+			return qfOr(lt(a.Sub(b)), lt(b.Sub(a))), nil
+		}
+		diff := a.Sub(b)
+		if positive {
+			return lt(diff), nil
+		}
+		// ¬(a < b) ⟺ b ≤ a ⟺ b − a − 1 < 0.
+		return lt(diff.Neg().AddInt(-1)), nil
+	case PredDvd:
+		if len(f.Args) != 2 {
+			return nil, fmt.Errorf("presburger: dvd expects 2 arguments")
+		}
+		k, err := ParseLinear(f.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if !k.IsConst() || k.Const.Sign() <= 0 {
+			return nil, fmt.Errorf("presburger: dvd modulus must be a positive numeral, got %v", f.Args[0])
+		}
+		t, err := ParseLinear(f.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		kind := atomDvd
+		if !positive {
+			kind = atomNdvd
+		}
+		return simplifyAtom(qfAtom(kind, t, new(big.Int).Set(k.Const))), nil
+	}
+	return nil, fmt.Errorf("presburger: unknown predicate %q", f.Pred)
+}
+
+// render converts the internal representation back to a logic formula.
+func render(f *qf) *logic.Formula {
+	switch f.op {
+	case 't':
+		return logic.True()
+	case 'f':
+		return logic.False()
+	case '&':
+		out := make([]*logic.Formula, len(f.sub))
+		for i, s := range f.sub {
+			out[i] = render(s)
+		}
+		return logic.And(out...)
+	case '|':
+		out := make([]*logic.Formula, len(f.sub))
+		for i, s := range f.sub {
+			out[i] = render(s)
+		}
+		return logic.Or(out...)
+	}
+	switch f.kind {
+	case atomLt:
+		return logic.Atom(PredLt, Render(f.t), logic.Const("0"))
+	case atomDvd:
+		return logic.Atom(PredDvd, logic.Const(f.d.String()), Render(f.t))
+	default:
+		return logic.Not(logic.Atom(PredDvd, logic.Const(f.d.String()), Render(f.t)))
+	}
+}
+
+// evalQF evaluates the internal representation under an integer environment.
+func (f *qf) eval(env map[string]*big.Int) (bool, error) {
+	switch f.op {
+	case 't':
+		return true, nil
+	case 'f':
+		return false, nil
+	case '&':
+		for _, s := range f.sub {
+			v, err := s.eval(env)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case '|':
+		for _, s := range f.sub {
+			v, err := s.eval(env)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	val, err := f.t.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	switch f.kind {
+	case atomLt:
+		return val.Sign() < 0, nil
+	case atomDvd:
+		return new(big.Int).Mod(val, f.d).Sign() == 0, nil
+	default:
+		return new(big.Int).Mod(val, f.d).Sign() != 0, nil
+	}
+}

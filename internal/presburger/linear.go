@@ -1,0 +1,315 @@
+// Package presburger implements Presburger arithmetic — the first-order
+// theory of the integers (and, relativized, the naturals) with addition and
+// order — including Cooper's quantifier-elimination algorithm and the
+// derived decision procedure.
+//
+// The paper's Section 2 positive results ride on this package: (ℕ, <) and
+// its extension (ℕ, <, +, −) are decidable domains for which finitization
+// (Theorem 2.2) yields a recursive syntax for finite queries and relative
+// safety is decidable (Theorem 2.5). Both theorems become executable here
+// because equivalence of pure-domain formulas is decided by Cooper's
+// algorithm.
+//
+// Formula conventions: terms are built from variables, decimal numeral
+// constants (negative numerals allowed), and the functions "add"(a,b),
+// "sub"(a,b), "mul"(k,t) (one side a numeral), "neg"(t). Atoms are
+// "lt"(a,b), "le"(a,b), "gt"(a,b), "ge"(a,b), equality, and divisibility
+// "dvd"(k, t) with k a positive numeral constant.
+package presburger
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Function and predicate symbol spellings.
+const (
+	FuncAdd = "add"
+	FuncSub = "sub"
+	FuncMul = "mul"
+	FuncNeg = "neg"
+	PredLt  = "lt"
+	PredLe  = "le"
+	PredGt  = "gt"
+	PredGe  = "ge"
+	PredDvd = "dvd"
+)
+
+// LinearTerm is a linear combination of variables plus a constant:
+// Σ coeff_v · v + Const. Coefficient maps hold only nonzero entries.
+type LinearTerm struct {
+	Coeffs map[string]*big.Int
+	Const  *big.Int
+}
+
+// NewLinear returns the zero term.
+func NewLinear() LinearTerm {
+	return LinearTerm{Coeffs: map[string]*big.Int{}, Const: big.NewInt(0)}
+}
+
+// FromConst returns the constant term n.
+func FromConst(n *big.Int) LinearTerm {
+	t := NewLinear()
+	t.Const.Set(n)
+	return t
+}
+
+// FromVar returns the term 1·name.
+func FromVar(name string) LinearTerm {
+	t := NewLinear()
+	t.Coeffs[name] = big.NewInt(1)
+	return t
+}
+
+// Clone deep-copies the term.
+func (t LinearTerm) Clone() LinearTerm {
+	out := NewLinear()
+	out.Const.Set(t.Const)
+	for v, c := range t.Coeffs {
+		out.Coeffs[v] = new(big.Int).Set(c)
+	}
+	return out
+}
+
+// Coeff returns the coefficient of variable v (zero if absent). The result
+// must not be mutated.
+func (t LinearTerm) Coeff(v string) *big.Int {
+	if c, ok := t.Coeffs[v]; ok {
+		return c
+	}
+	return big.NewInt(0)
+}
+
+// IsConst reports whether the term has no variables.
+func (t LinearTerm) IsConst() bool { return len(t.Coeffs) == 0 }
+
+// Add returns t + u.
+func (t LinearTerm) Add(u LinearTerm) LinearTerm {
+	out := t.Clone()
+	out.Const.Add(out.Const, u.Const)
+	for v, c := range u.Coeffs {
+		out.addCoeff(v, c)
+	}
+	return out
+}
+
+// Sub returns t − u.
+func (t LinearTerm) Sub(u LinearTerm) LinearTerm {
+	return t.Add(u.Scale(big.NewInt(-1)))
+}
+
+// Neg returns −t.
+func (t LinearTerm) Neg() LinearTerm { return t.Scale(big.NewInt(-1)) }
+
+// Scale returns k·t.
+func (t LinearTerm) Scale(k *big.Int) LinearTerm {
+	out := NewLinear()
+	out.Const.Mul(t.Const, k)
+	if k.Sign() == 0 {
+		return out
+	}
+	for v, c := range t.Coeffs {
+		out.Coeffs[v] = new(big.Int).Mul(c, k)
+	}
+	return out
+}
+
+// AddInt returns t + n.
+func (t LinearTerm) AddInt(n int64) LinearTerm {
+	out := t.Clone()
+	out.Const.Add(out.Const, big.NewInt(n))
+	return out
+}
+
+func (t *LinearTerm) addCoeff(v string, c *big.Int) {
+	cur, ok := t.Coeffs[v]
+	if !ok {
+		cur = big.NewInt(0)
+		t.Coeffs[v] = cur
+	}
+	cur.Add(cur, c)
+	if cur.Sign() == 0 {
+		delete(t.Coeffs, v)
+	}
+}
+
+// Subst returns t with variable v replaced by the term u: the v-coefficient
+// times u is folded in.
+func (t LinearTerm) Subst(v string, u LinearTerm) LinearTerm {
+	c, ok := t.Coeffs[v]
+	if !ok {
+		return t.Clone()
+	}
+	out := t.Clone()
+	delete(out.Coeffs, v)
+	return out.Add(u.Scale(c))
+}
+
+// Equal reports structural equality.
+func (t LinearTerm) Equal(u LinearTerm) bool {
+	if t.Const.Cmp(u.Const) != 0 || len(t.Coeffs) != len(u.Coeffs) {
+		return false
+	}
+	for v, c := range t.Coeffs {
+		uc, ok := u.Coeffs[v]
+		if !ok || c.Cmp(uc) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the variables of t in sorted order.
+func (t LinearTerm) Vars() []string {
+	out := make([]string, 0, len(t.Coeffs))
+	for v := range t.Coeffs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates the term under an integer environment; every variable must
+// be bound.
+func (t LinearTerm) Eval(env map[string]*big.Int) (*big.Int, error) {
+	out := new(big.Int).Set(t.Const)
+	for v, c := range t.Coeffs {
+		val, ok := env[v]
+		if !ok {
+			return nil, fmt.Errorf("presburger: unbound variable %q", v)
+		}
+		out.Add(out, new(big.Int).Mul(c, val))
+	}
+	return out, nil
+}
+
+// String renders the term, e.g. "2*x + y - 3".
+func (t LinearTerm) String() string {
+	var b strings.Builder
+	first := true
+	for _, v := range t.Vars() {
+		c := t.Coeffs[v]
+		switch {
+		case first:
+			if c.Cmp(big.NewInt(1)) == 0 {
+				b.WriteString(v)
+			} else if c.Cmp(big.NewInt(-1)) == 0 {
+				b.WriteString("-" + v)
+			} else {
+				fmt.Fprintf(&b, "%v*%s", c, v)
+			}
+			first = false
+		case c.Sign() > 0:
+			if c.Cmp(big.NewInt(1)) == 0 {
+				b.WriteString(" + " + v)
+			} else {
+				fmt.Fprintf(&b, " + %v*%s", c, v)
+			}
+		default:
+			abs := new(big.Int).Neg(c)
+			if abs.Cmp(big.NewInt(1)) == 0 {
+				b.WriteString(" - " + v)
+			} else {
+				fmt.Fprintf(&b, " - %v*%s", abs, v)
+			}
+		}
+	}
+	switch {
+	case first:
+		b.WriteString(t.Const.String())
+	case t.Const.Sign() > 0:
+		fmt.Fprintf(&b, " + %v", t.Const)
+	case t.Const.Sign() < 0:
+		fmt.Fprintf(&b, " - %v", new(big.Int).Neg(t.Const))
+	}
+	return b.String()
+}
+
+// ParseLinear interprets a logic term as a linear term.
+func ParseLinear(t logic.Term) (LinearTerm, error) {
+	switch t.Kind {
+	case logic.TVar:
+		return FromVar(t.Name), nil
+	case logic.TConst:
+		n, ok := new(big.Int).SetString(t.Name, 10)
+		if !ok {
+			return LinearTerm{}, fmt.Errorf("presburger: constant %q is not a numeral", t.Name)
+		}
+		return FromConst(n), nil
+	case logic.TApp:
+		switch t.Name {
+		case FuncAdd, FuncSub:
+			if len(t.Args) != 2 {
+				return LinearTerm{}, fmt.Errorf("presburger: %s expects 2 arguments", t.Name)
+			}
+			a, err := ParseLinear(t.Args[0])
+			if err != nil {
+				return LinearTerm{}, err
+			}
+			b, err := ParseLinear(t.Args[1])
+			if err != nil {
+				return LinearTerm{}, err
+			}
+			if t.Name == FuncAdd {
+				return a.Add(b), nil
+			}
+			return a.Sub(b), nil
+		case FuncNeg:
+			if len(t.Args) != 1 {
+				return LinearTerm{}, fmt.Errorf("presburger: neg expects 1 argument")
+			}
+			a, err := ParseLinear(t.Args[0])
+			if err != nil {
+				return LinearTerm{}, err
+			}
+			return a.Neg(), nil
+		case FuncMul:
+			if len(t.Args) != 2 {
+				return LinearTerm{}, fmt.Errorf("presburger: mul expects 2 arguments")
+			}
+			a, err := ParseLinear(t.Args[0])
+			if err != nil {
+				return LinearTerm{}, err
+			}
+			b, err := ParseLinear(t.Args[1])
+			if err != nil {
+				return LinearTerm{}, err
+			}
+			switch {
+			case a.IsConst():
+				return b.Scale(a.Const), nil
+			case b.IsConst():
+				return a.Scale(b.Const), nil
+			default:
+				return LinearTerm{}, fmt.Errorf("presburger: nonlinear product %v", t)
+			}
+		}
+		return LinearTerm{}, fmt.Errorf("presburger: unknown function %q", t.Name)
+	}
+	return LinearTerm{}, fmt.Errorf("presburger: bad term kind %d", t.Kind)
+}
+
+// Render converts a linear term back to a logic term (a right-nested sum).
+func Render(t LinearTerm) logic.Term {
+	var parts []logic.Term
+	for _, v := range t.Vars() {
+		c := t.Coeffs[v]
+		if c.Cmp(big.NewInt(1)) == 0 {
+			parts = append(parts, logic.Var(v))
+		} else {
+			parts = append(parts, logic.App(FuncMul, logic.Const(c.String()), logic.Var(v)))
+		}
+	}
+	if t.Const.Sign() != 0 || len(parts) == 0 {
+		parts = append(parts, logic.Const(t.Const.String()))
+	}
+	out := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		out = logic.App(FuncAdd, parts[i], out)
+	}
+	return out
+}

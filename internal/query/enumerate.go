@@ -1,0 +1,205 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/logic"
+)
+
+// EnumerationBudget bounds the §1.1 algorithm: Rows caps the number of
+// answer rows produced, Probe caps how many candidate tuples are tested per
+// row. The algorithm itself always terminates on finite queries; the budget
+// makes it total on infinite ones too, returning an incomplete answer.
+type EnumerationBudget struct {
+	Rows  int
+	Probe int
+}
+
+// DefaultBudget is a budget suitable for the examples and tests.
+var DefaultBudget = EnumerationBudget{Rows: 1 << 10, Probe: 1 << 16}
+
+// Enumerable is the capability bundle the §1.1 algorithm needs: "consider a
+// countable domain with decidable theory [and] constants for all elements
+// of the domain".
+type Enumerable interface {
+	domain.Domain
+	domain.Enumerator
+}
+
+// EnumerationAnswer runs the query-answering algorithm of §1.1 of the
+// paper. The query is first translated into a pure domain formula φ'(x̄)
+// over the state. Then, repeatedly:
+//
+//   - the sentence ∃x̄ (φ'(x̄) ∧ x̄ ∉ found) is decided; if false, the answer
+//     is complete;
+//   - otherwise candidate tuples ā are enumerated and the ground sentences
+//     φ'(ā) decided one at a time until the next row is found.
+//
+// "Note that, at least for safe queries, this algorithm always stops." For
+// unsafe queries in unlucky states it would not, so the budget caps it and
+// Complete is reported false.
+func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
+	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
+
+	pure, err := Translate(dom, st, f)
+	if err != nil {
+		return nil, err
+	}
+	vars := pure.FreeVars()
+	if len(vars) == 0 {
+		// Boolean query: a single decision.
+		v, err := dec.Decide(pure)
+		if err != nil {
+			return nil, err
+		}
+		ans := &Answer{Vars: nil, Rows: db.NewRelation(1), Complete: true}
+		if v {
+			if err := ans.Rows.Add(db.Tuple{markerTrue{}}); err != nil {
+				return nil, err
+			}
+		}
+		return ans, nil
+	}
+
+	ans := &Answer{Vars: vars, Rows: db.NewRelation(len(vars)), Complete: false}
+	var found []db.Tuple
+	for len(found) < budget.Rows {
+		// ∃x̄ (φ' ∧ ⋀_rows ¬(x̄ = row)).
+		remaining := pure
+		for _, row := range found {
+			var eqs []*logic.Formula
+			for i, name := range vars {
+				eqs = append(eqs, logic.Eq(logic.Var(name), logic.Const(dom.ConstName(row[i]))))
+			}
+			remaining = logic.And(remaining, logic.Not(logic.And(eqs...)))
+		}
+		more, err := dec.Decide(logic.ExistsAll(vars, remaining))
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			ans.Complete = true
+			return ans, nil
+		}
+		row, err := nextRow(dom, dec, remaining, vars, budget.Probe)
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return ans, nil // probe budget exhausted
+		}
+		found = append(found, row)
+		if err := ans.Rows.Add(row); err != nil {
+			return nil, err
+		}
+	}
+	return ans, nil
+}
+
+// NaturalMember decides whether a tuple belongs to a query's answer under
+// the natural (unrestricted) semantics: the query is translated to a pure
+// formula, the tuple substituted, and the ground sentence decided. This is
+// the membership question that remains answerable even for infinite
+// answers — the observation behind the paper's §1.2.
+func NaturalMember(dom domain.Domain, dec domain.Decider, st *db.State,
+	f *logic.Formula, tuple map[string]domain.Value) (bool, error) {
+
+	pure, err := Translate(dom, st, f)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range pure.FreeVars() {
+		val, ok := tuple[v]
+		if !ok {
+			return false, fmt.Errorf("query: tuple misses variable %q", v)
+		}
+		pure = logic.Subst(pure, v, logic.Const(dom.ConstName(val)))
+	}
+	return dec.Decide(pure)
+}
+
+// nextRow enumerates candidate tuples ("let us order all tuples of elements
+// of the domain of the size of x̄") and returns the first satisfying one,
+// or nil when the probe budget runs out.
+func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
+	vars []string, probe int) (db.Tuple, error) {
+
+	k := len(vars)
+	for i := 0; i < probe; i++ {
+		idx := tupleIndices(k, i)
+		tuple := make(db.Tuple, k)
+		ground := pure
+		for j, name := range vars {
+			v := dom.Element(idx[j])
+			tuple[j] = v
+			ground = logic.Subst(ground, name, logic.Const(dom.ConstName(v)))
+		}
+		ok, err := dec.Decide(ground)
+		if err != nil {
+			return nil, fmt.Errorf("query: deciding ground instance: %w", err)
+		}
+		if ok {
+			return tuple, nil
+		}
+	}
+	return nil, nil
+}
+
+// tupleIndices is a bijective enumeration of ℕ^k: tuples are ordered by
+// maximum component, so every tuple has a finite index.
+func tupleIndices(k, n int) []int {
+	if k == 1 {
+		return []int{n}
+	}
+	// Tuples with max component exactly m: (m+1)^k − m^k of them. Find the
+	// block, then the offset within it.
+	m := 0
+	block := 1 // (m+1)^k − m^k with m = 0
+	rem := n
+	for rem >= block {
+		rem -= block
+		m++
+		block = pow(m+1, k) - pow(m, k)
+	}
+	// Enumerate the block: all tuples over [0..m] containing at least one m,
+	// indexed by counting in base m+1 and skipping those without an m.
+	count := -1
+	total := pow(m+1, k)
+	for code := 0; code < total; code++ {
+		t := decode(code, k, m+1)
+		hasMax := false
+		for _, x := range t {
+			if x == m {
+				hasMax = true
+				break
+			}
+		}
+		if !hasMax {
+			continue
+		}
+		count++
+		if count == rem {
+			return t
+		}
+	}
+	panic("query: tuple enumeration out of range")
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+func decode(code, k, base int) []int {
+	out := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = code % base
+		code /= base
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/logic"
+)
+
+// EvalActiveParallel is EvalActive with the outermost free-variable
+// assignments fanned out over a worker pool. Results are identical to the
+// serial evaluator; the speedup is near-linear for queries whose cost is
+// dominated by quantifier nesting (each worker runs the full inner
+// evaluation for its slice of the outer variable's range).
+//
+// Workers ≤ 0 selects GOMAXPROCS.
+func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, workers int) (*Answer, error) {
+	vars := f.FreeVars()
+	if len(vars) == 0 {
+		// Boolean queries have nothing to fan out.
+		return EvalActive(dom, st, f)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng, err := activeRange(dom, st, f)
+	if err != nil {
+		return nil, err
+	}
+	si := stateInterp{dom: dom, st: st}
+
+	type result struct {
+		rows []db.Tuple
+		err  error
+	}
+	jobs := make(chan domain.Value)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var out []db.Tuple
+			env := domain.Env{}
+			for v := range jobs {
+				env[vars[0]] = v
+				rows, err := assignRest(si, env, vars, rng, f)
+				if err != nil {
+					results <- result{err: err}
+					return
+				}
+				out = append(out, rows...)
+			}
+			results <- result{rows: out}
+		}()
+	}
+	go func() {
+		for _, v := range rng {
+			jobs <- v
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	ans := &Answer{Vars: vars, Rows: db.NewRelation(len(vars)), Complete: true}
+	for r := range results {
+		if r.err != nil {
+			// Drain remaining workers before returning.
+			for range results {
+			}
+			return nil, r.err
+		}
+		for _, row := range r.rows {
+			if err := ans.Rows.Add(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ans, nil
+}
+
+// assignRest enumerates assignments for vars[1:] with vars[0] already bound
+// in env, returning the satisfying rows.
+func assignRest(si stateInterp, env domain.Env, vars []string, rng []domain.Value, f *logic.Formula) ([]db.Tuple, error) {
+	var out []db.Tuple
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			v, err := evalIn(si, env, f, rng)
+			if err != nil {
+				return err
+			}
+			if v {
+				tuple := make(db.Tuple, len(vars))
+				for j, name := range vars {
+					tuple[j] = env[name]
+				}
+				out = append(out, tuple)
+			}
+			return nil
+		}
+		for _, v := range rng {
+			env[vars[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, vars[i])
+		return nil
+	}
+	if err := rec(1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+// Package query implements query answering over a domain and a database
+// state: the translation of database atoms into pure domain formulas
+// ([AGSS86], recalled in §1.1 of the paper), active-domain evaluation, and
+// the §1.1 enumeration algorithm that computes finite answers over any
+// countable decidable domain with constants for all elements.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/logic"
+)
+
+// Translate rewrites a query formula into a pure domain formula relative to
+// a state: every database relation atom R(t̄) becomes the disjunction over
+// R's rows of the pointwise equalities ("we can replace each occurrence of
+// R(x, y) with ((x=a1 ∧ y=b1) ∨ … ∨ (x=ar ∧ y=br))"), and every database
+// constant becomes the domain constant naming its value.
+func Translate(dom domain.Domain, st *db.State, f *logic.Formula) (*logic.Formula, error) {
+	scheme := st.Scheme()
+	var firstErr error
+	g := f.Map(func(h *logic.Formula) *logic.Formula {
+		if h.Kind != logic.FAtom || firstErr != nil {
+			return h
+		}
+		arity, isDB := scheme.Relations[h.Pred]
+		if !isDB {
+			return h
+		}
+		if len(h.Args) != arity {
+			firstErr = fmt.Errorf("query: relation %s expects %d arguments, got %d", h.Pred, arity, len(h.Args))
+			return h
+		}
+		rel, err := st.Relation(h.Pred)
+		if err != nil {
+			firstErr = err
+			return h
+		}
+		var rows []*logic.Formula
+		for _, tuple := range rel.Tuples() {
+			conj := make([]*logic.Formula, arity)
+			for i, v := range tuple {
+				conj[i] = logic.Eq(h.Args[i], logic.Const(dom.ConstName(v)))
+			}
+			rows = append(rows, logic.And(conj...))
+		}
+		return logic.Or(rows...)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Database constants become domain constants for their state values.
+	for _, cname := range scheme.Constants {
+		if !formulaUsesConst(g, cname) {
+			continue
+		}
+		v, err := st.Constant(cname)
+		if err != nil {
+			return nil, err
+		}
+		g = logic.SubstConst(g, cname, logic.Const(dom.ConstName(v)))
+	}
+	return g, nil
+}
+
+func formulaUsesConst(f *logic.Formula, name string) bool {
+	used := false
+	f.Walk(func(g *logic.Formula) {
+		if g.Kind != logic.FAtom || used {
+			return
+		}
+		for _, t := range g.Args {
+			var consts []string
+			consts = t.Constants(consts)
+			for _, c := range consts {
+				if c == name {
+					used = true
+					return
+				}
+			}
+		}
+	})
+	return used
+}
+
+// stateInterp interprets database relations (over a state) on top of a
+// domain interpretation. Database constants must be translated away first
+// (Translate does) or resolved via the state.
+type stateInterp struct {
+	dom domain.Domain
+	st  *db.State
+}
+
+// ConstValue resolves database constants via the state, then domain
+// constants via the domain.
+func (si stateInterp) ConstValue(name string) (domain.Value, error) {
+	if si.st.Scheme().HasConstant(name) {
+		return si.st.Constant(name)
+	}
+	return si.dom.ConstValue(name)
+}
+
+func (si stateInterp) Func(name string, args []domain.Value) (domain.Value, error) {
+	return si.dom.Func(name, args)
+}
+
+func (si stateInterp) Pred(name string, args []domain.Value) (bool, error) {
+	if arity, ok := si.st.Scheme().Relations[name]; ok {
+		if len(args) != arity {
+			return false, fmt.Errorf("query: relation %s expects %d arguments, got %d", name, arity, len(args))
+		}
+		rel, err := si.st.Relation(name)
+		if err != nil {
+			return false, err
+		}
+		return rel.Has(db.Tuple(args)), nil
+	}
+	return si.dom.Pred(name, args)
+}
+
+// Answer is a computed query result: a relation over the query's free
+// variables in sorted order.
+type Answer struct {
+	Vars     []string
+	Rows     *db.Relation
+	Complete bool // false when a budget stopped the computation
+}
+
+// EvalActive evaluates a query under active-domain semantics: quantifiers
+// and free variables range over the state's active domain plus the query's
+// constants. For domain-independent queries this agrees with the natural
+// semantics; for others it is the classical engine approximation.
+func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, error) {
+	rng, err := activeRange(dom, st, f)
+	if err != nil {
+		return nil, err
+	}
+	vars := f.FreeVars()
+	ans := &Answer{Vars: vars, Rows: db.NewRelation(maxInt(len(vars), 1)), Complete: true}
+	si := stateInterp{dom: dom, st: st}
+	env := domain.Env{}
+	var assign func(i int) error
+	assign = func(i int) error {
+		if i == len(vars) {
+			v, err := evalIn(si, env, f, rng)
+			if err != nil {
+				return err
+			}
+			if v {
+				tuple := make(db.Tuple, maxInt(len(vars), 1))
+				if len(vars) == 0 {
+					// A boolean query: record a single marker row when true.
+					tuple[0] = markerTrue{}
+				} else {
+					for j, name := range vars {
+						tuple[j] = env[name]
+					}
+				}
+				return ans.Rows.Add(tuple)
+			}
+			return nil
+		}
+		for _, v := range rng {
+			env[vars[i]] = v
+			if err := assign(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, vars[i])
+		return nil
+	}
+	if err := assign(0); err != nil {
+		return nil, err
+	}
+	return ans, nil
+}
+
+// markerTrue is the single row of a true boolean query.
+type markerTrue struct{}
+
+func (markerTrue) Key() string    { return "⊤" }
+func (markerTrue) String() string { return "true" }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// activeRange is the active domain of the state extended with the query's
+// constant values.
+func activeRange(dom domain.Domain, st *db.State, f *logic.Formula) ([]domain.Value, error) {
+	rng := st.ActiveDomain()
+	seen := map[string]bool{}
+	for _, v := range rng {
+		seen[v.Key()] = true
+	}
+	si := stateInterp{dom: dom, st: st}
+	for _, cname := range f.Constants() {
+		v, err := si.ConstValue(cname)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			rng = append(rng, v)
+		}
+	}
+	return rng, nil
+}
+
+// evalIn evaluates a formula with quantifiers ranging over rng.
+func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value) (bool, error) {
+	switch f.Kind {
+	case logic.FExists, logic.FForall:
+		saved, had := env[f.Var]
+		defer func() {
+			if had {
+				env[f.Var] = saved
+			} else {
+				delete(env, f.Var)
+			}
+		}()
+		for _, v := range rng {
+			env[f.Var] = v
+			r, err := evalIn(si, env, f.Sub[0], rng)
+			if err != nil {
+				return false, err
+			}
+			if f.Kind == logic.FExists && r {
+				return true, nil
+			}
+			if f.Kind == logic.FForall && !r {
+				return false, nil
+			}
+		}
+		return f.Kind == logic.FForall, nil
+	case logic.FNot:
+		v, err := evalIn(si, env, f.Sub[0], rng)
+		return !v, err
+	case logic.FAnd:
+		for _, s := range f.Sub {
+			v, err := evalIn(si, env, s, rng)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case logic.FOr:
+		for _, s := range f.Sub {
+			v, err := evalIn(si, env, s, rng)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case logic.FImplies:
+		a, err := evalIn(si, env, f.Sub[0], rng)
+		if err != nil {
+			return false, err
+		}
+		if !a {
+			return true, nil
+		}
+		return evalIn(si, env, f.Sub[1], rng)
+	case logic.FIff:
+		a, err := evalIn(si, env, f.Sub[0], rng)
+		if err != nil {
+			return false, err
+		}
+		b, err := evalIn(si, env, f.Sub[1], rng)
+		return a == b, err
+	default:
+		return domain.EvalQF(si, env, f)
+	}
+}

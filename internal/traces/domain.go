@@ -1,0 +1,234 @@
+package traces
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/domain"
+	"repro/internal/logic"
+	"repro/internal/turing"
+)
+
+// Signature conventions for formulas over T and its Reach enrichment:
+//
+//   - every word over {1,&,*,|} is a constant, named by itself;
+//   - the original signature has the single ternary predicate "P";
+//   - the Reach signature adds the unary sort predicates "M", "W", "T", "O",
+//     the binary padded-prefix family B_s written "B"(s, x) with s a
+//     constant, the trace-count families D_i and E_i written "D<i>"(m, w)
+//     and "E<i>"(m, w) (index in the predicate name, e.g. D3), and the unary
+//     extraction functions "w" and "m".
+//
+// FuncW, FuncM and the sort predicate names below are the canonical symbol
+// spellings.
+const (
+	PredP = "P"
+	PredB = "B"
+	PredM = "M"
+	PredW = "W"
+	PredT = "T"
+	PredO = "O"
+	FuncW = "w"
+	FuncM = "m"
+)
+
+// ParseDE recognizes the D_i/E_i predicate family: name is "D<i>" or "E<i>"
+// with i a positive decimal index.
+func ParseDE(name string) (exact bool, index int, ok bool) {
+	if len(name) < 2 {
+		return false, 0, false
+	}
+	switch name[0] {
+	case 'D':
+		exact = false
+	case 'E':
+		exact = true
+	default:
+		return false, 0, false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n < 1 || (name[1] == '0') {
+		return false, 0, false
+	}
+	return exact, n, true
+}
+
+// DEName renders a D/E predicate symbol.
+func DEName(exact bool, index int) string {
+	letter := "D"
+	if exact {
+		letter = "E"
+	}
+	return letter + strconv.Itoa(index)
+}
+
+// ParserOptions returns the parser configuration for formulas over T:
+// w and m are functions, all other identifiers are variables or predicates.
+func ParserOptions() map[string]bool {
+	return map[string]bool{FuncW: true, FuncM: true}
+}
+
+// Domain is the paper's domain T with the Reach Theory signature. It
+// implements domain.Domain and domain.Enumerator; the Eliminator in qe.go
+// and the derived Decider complete the picture.
+type Domain struct{}
+
+// Name implements domain.Domain.
+func (Domain) Name() string { return "traces" }
+
+// ConstValue implements domain.Interp: constants denote themselves.
+func (Domain) ConstValue(name string) (domain.Value, error) {
+	if !ValidWord(name) {
+		return nil, fmt.Errorf("traces: constant %q is not a word over %q", name, Alphabet)
+	}
+	return domain.Word(name), nil
+}
+
+// ConstName implements domain.Domain.
+func (Domain) ConstName(v domain.Value) string { return v.Key() }
+
+// Func implements domain.Interp: the extraction functions w and m.
+func (Domain) Func(name string, args []domain.Value) (domain.Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("traces: function %s expects 1 argument, got %d", name, len(args))
+	}
+	arg, ok := args[0].(domain.Word)
+	if !ok {
+		return nil, fmt.Errorf("traces: function %s on non-word value %v", name, args[0])
+	}
+	switch name {
+	case FuncW:
+		return domain.Word(WOf(string(arg))), nil
+	case FuncM:
+		return domain.Word(MOf(string(arg))), nil
+	}
+	return nil, fmt.Errorf("traces: unknown function %q", name)
+}
+
+// Pred implements domain.Interp for P, the sorts, B, and the D/E families.
+func (Domain) Pred(name string, args []domain.Value) (bool, error) {
+	words := make([]string, len(args))
+	for i, a := range args {
+		w, ok := a.(domain.Word)
+		if !ok {
+			return false, fmt.Errorf("traces: predicate %s on non-word value %v", name, a)
+		}
+		words[i] = string(w)
+	}
+	switch name {
+	case PredP:
+		if len(words) != 3 {
+			return false, fmt.Errorf("traces: P expects 3 arguments, got %d", len(words))
+		}
+		return P(words[0], words[1], words[2]), nil
+	case PredM, PredW, PredT, PredO:
+		if len(words) != 1 {
+			return false, fmt.Errorf("traces: %s expects 1 argument, got %d", name, len(words))
+		}
+		want := map[string]Class{PredM: ClassMachine, PredW: ClassInput, PredT: ClassTrace, PredO: ClassOther}[name]
+		return Classify(words[0]) == want, nil
+	case PredB:
+		if len(words) != 2 {
+			return false, fmt.Errorf("traces: B expects 2 arguments, got %d", len(words))
+		}
+		return B(words[0], words[1]), nil
+	}
+	if exact, idx, ok := ParseDE(name); ok {
+		if len(words) != 2 {
+			return false, fmt.Errorf("traces: %s expects 2 arguments, got %d", name, len(words))
+		}
+		if exact {
+			return E(idx, words[0], words[1]), nil
+		}
+		return D(idx, words[0], words[1]), nil
+	}
+	return false, fmt.Errorf("traces: unknown predicate %q", name)
+}
+
+// Element implements domain.Enumerator: words in length-lexicographic order
+// over the alphabet, Element(0) = ε.
+func (Domain) Element(i int) domain.Value {
+	if i == 0 {
+		return domain.Word("")
+	}
+	// Lengths contribute 4^n words each; find the length block.
+	n := 1
+	block := 4
+	rem := i - 1
+	for rem >= block {
+		rem -= block
+		n++
+		block *= 4
+	}
+	buf := make([]byte, n)
+	for pos := n - 1; pos >= 0; pos-- {
+		buf[pos] = Alphabet[rem%4]
+		rem /= 4
+	}
+	return domain.Word(string(buf))
+}
+
+// TranslateP rewrites every P(a, b, c) atom into the Reach signature:
+// T(c) ∧ m(c) = a ∧ w(c) = b. This realizes the appendix's claim that "the
+// predicate P of the Theory of Traces is first-order expressible using the
+// new signature".
+func TranslateP(f *logic.Formula) *logic.Formula {
+	return f.Map(func(g *logic.Formula) *logic.Formula {
+		if g.Kind != logic.FAtom || g.Pred != PredP || len(g.Args) != 3 {
+			return g
+		}
+		a, b, c := g.Args[0], g.Args[1], g.Args[2]
+		return logic.And(
+			logic.Atom(PredT, c),
+			logic.Eq(logic.App(FuncM, c), a),
+			logic.Eq(logic.App(FuncW, c), b),
+		)
+	})
+}
+
+// ExpressB returns the original-signature formula asserting B_s(x), per the
+// appendix: a constant machine that reads s and then loops (halting if the
+// read fails) has at least |s| different traces on x — rendered here with
+// the machine constructed concretely and the assertion D_{|s|}(M_s, x),
+// stated via P and counting distinct traces. For |s| = 0 the formula is
+// W-membership of x, which B_ε means.
+//
+// The returned formula has one free variable, x, and uses only P and =.
+// It is exercised by tests as a cross-check that B is first-order
+// expressible in the original theory, completing the appendix's
+// expressibility claim.
+func ExpressB(s string, x string) (*logic.Formula, error) {
+	mach, err := readThenLoopWord(s)
+	if err != nil {
+		return nil, err
+	}
+	// "M_s has at least |s|+1 traces in x": there exist |s|+1 pairwise
+	// distinct traces of M_s on x. (With our counting, the reader machine
+	// halts after j steps at the first mismatch at position j; it survives
+	// |s| steps — i.e. has ≥ |s|+1 traces — iff x effectively starts
+	// with s.)
+	n := len(s) + 1
+	vars := make([]string, n)
+	var conj []*logic.Formula
+	for i := 0; i < n; i++ {
+		vars[i] = fmt.Sprintf("t%d", i)
+		conj = append(conj, logic.Atom(PredP,
+			logic.Const(mach), logic.Var(x), logic.Var(vars[i])))
+		for j := 0; j < i; j++ {
+			conj = append(conj, logic.Neq(logic.Var(vars[i]), logic.Var(vars[j])))
+		}
+	}
+	return logic.ExistsAll(vars, logic.And(conj...)), nil
+}
+
+// readThenLoopWord builds and encodes the reader machine for ExpressB.
+func readThenLoopWord(s string) (string, error) {
+	if !turing.ValidInput(s) {
+		return "", fmt.Errorf("traces: %q is not an input word", s)
+	}
+	m, err := turing.ReadThenLoop(s)
+	if err != nil {
+		return "", err
+	}
+	return turing.Encode(m), nil
+}

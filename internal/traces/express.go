@@ -1,0 +1,103 @@
+package traces
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// The appendix asserts that all the Reach-signature symbols "are expressible
+// by first-order formulas of the original signature" — the original
+// signature being P and equality alone. This file constructs those defining
+// formulas. Tests close the loop in the strongest possible way: the
+// equivalence sentences ∀x̄ (symbol(x̄) ↔ definition(x̄)) are handed to the
+// decision procedure, which confirms each one over the whole domain.
+//
+// (ExpressB in domain.go covers the only case the appendix calls
+// nontrivial, via the reader machine; the definitions here are the routine
+// ones.)
+
+// ExpressT returns the original-signature definition of the trace sort:
+// T(x) ⟺ ∃u ∃v P(u, v, x).
+func ExpressT(x string) *logic.Formula {
+	u := x + "_u"
+	v := x + "_v"
+	return logic.ExistsAll([]string{u, v},
+		logic.Atom(PredP, logic.Var(u), logic.Var(v), logic.Var(x)))
+}
+
+// ExpressM returns the machine-sort definition: M(x) ⟺ ∃w ∃p P(x, w, p) —
+// every machine has a trace on some word, and only machines do.
+func ExpressM(x string) *logic.Formula {
+	w := x + "_w"
+	p := x + "_p"
+	return logic.ExistsAll([]string{w, p},
+		logic.Atom(PredP, logic.Var(x), logic.Var(w), logic.Var(p)))
+}
+
+// ExpressW returns the input-word-sort definition:
+// W(x) ⟺ ∃m ∃p P(m, x, p).
+func ExpressW(x string) *logic.Formula {
+	m := x + "_m"
+	p := x + "_p"
+	return logic.ExistsAll([]string{m, p},
+		logic.Atom(PredP, logic.Var(m), logic.Var(x), logic.Var(p)))
+}
+
+// ExpressO returns the other-sort definition: none of the above.
+func ExpressO(x string) *logic.Formula {
+	return logic.And(
+		logic.Not(ExpressM(x)),
+		logic.Not(ExpressW(x)),
+		logic.Not(ExpressT(x)))
+}
+
+// ExpressD returns the definition of D_i(m, w): at least i pairwise
+// distinct traces of m in w.
+func ExpressD(i int, m, w string) (*logic.Formula, error) {
+	if i < 1 {
+		return nil, fmt.Errorf("traces: D index %d must be positive", i)
+	}
+	vars := make([]string, i)
+	var conj []*logic.Formula
+	for k := 0; k < i; k++ {
+		vars[k] = fmt.Sprintf("%s_%s_p%d", m, w, k)
+		conj = append(conj, logic.Atom(PredP, logic.Var(m), logic.Var(w), logic.Var(vars[k])))
+		for j := 0; j < k; j++ {
+			conj = append(conj, logic.Neq(logic.Var(vars[k]), logic.Var(vars[j])))
+		}
+	}
+	return logic.ExistsAll(vars, logic.And(conj...)), nil
+}
+
+// ExpressE returns the definition of E_i(m, w): exactly i traces —
+// D_i ∧ ¬D_{i+1}.
+func ExpressE(i int, m, w string) (*logic.Formula, error) {
+	atLeast, err := ExpressD(i, m, w)
+	if err != nil {
+		return nil, err
+	}
+	more, err := ExpressD(i+1, m, w)
+	if err != nil {
+		return nil, err
+	}
+	return logic.And(atLeast, logic.Not(more)), nil
+}
+
+// ExpressMGraph returns the definition of the graph of the extraction
+// function m: m(x) = y ⟺ (∃w P(y, w, x)) ∨ (¬T(x) ∧ y = ε).
+func ExpressMGraph(x, y string) *logic.Formula {
+	w := x + "_gw"
+	return logic.Or(
+		logic.Exists(w, logic.Atom(PredP, logic.Var(y), logic.Var(w), logic.Var(x))),
+		logic.And(logic.Not(ExpressT(x)), logic.Eq(logic.Var(y), logic.Const(""))))
+}
+
+// ExpressWGraph returns the definition of the graph of the extraction
+// function w: w(x) = y ⟺ (∃m P(m, y, x)) ∨ (¬T(x) ∧ y = ε).
+func ExpressWGraph(x, y string) *logic.Formula {
+	m := x + "_gm"
+	return logic.Or(
+		logic.Exists(m, logic.Atom(PredP, logic.Var(m), logic.Var(y), logic.Var(x))),
+		logic.And(logic.Not(ExpressT(x)), logic.Eq(logic.Var(y), logic.Const(""))))
+}

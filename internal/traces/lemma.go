@@ -1,0 +1,141 @@
+package traces
+
+import (
+	"fmt"
+
+	"repro/internal/turing"
+)
+
+// Lemma A.2: satisfiability of a conjunction of trace-count constraints
+//
+//	D_{i1}(x, v1) ∧ … ∧ D_{ik}(x, vk) ∧ E_{j1}(x, u1) ∧ … ∧ E_{jl}(x, ul)
+//
+// over a single existentially quantified machine x and constant input words.
+// Whether a machine halts after exactly j−1 steps on a word is determined by
+// the word's first j cells: the j−1 executed steps read cells 0…j−2, and the
+// halt check after the last step reads the cell under the head, which can be
+// cell j−1. Cells beyond a word's end read as blanks. Hence the system is
+// satisfiable iff no pair of constraints conflicts on effective prefixes:
+//
+//  1. an E_j(u) together with a D_i(v) where i > j and
+//     EffPrefix(v, j) = EffPrefix(u, j), and
+//  2. two constraints E_jr(ur), E_jq(uq) with jr > jq and
+//     EffPrefix(ur, jq) = EffPrefix(uq, jq).
+//
+// This is exactly the paper's condition ("the prefixes of vr and uq of
+// length jq coincide"), with effective prefixes standing in for the paper's
+// side requirement that all words be longer than all the counts. Both
+// directions are executable: Satisfiable implements the criterion, and
+// Witness builds the finite-automaton machine of the proof — an edge-trie
+// walker that halts on reading the final character of a designated prefix —
+// so tests can cross-validate the criterion against real simulations.
+
+// Constraint is one trace-count requirement on the sought machine.
+type Constraint struct {
+	// Exact selects E (exactly Count traces) over D (at least Count).
+	Exact bool
+	// Count is the trace count i of D_i/E_i; must be positive.
+	Count int
+	// Word is the constant input word.
+	Word string
+}
+
+// String implements fmt.Stringer.
+func (c Constraint) String() string {
+	letter := "D"
+	if c.Exact {
+		letter = "E"
+	}
+	return fmt.Sprintf("%s_%d(x, %q)", letter, c.Count, c.Word)
+}
+
+// Conflict explains why a system is unsatisfiable.
+type Conflict struct {
+	A, B Constraint
+}
+
+// Error implements error.
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("traces: constraints %v and %v conflict on a shared effective prefix", c.A, c.B)
+}
+
+// System is a conjunction of constraints.
+type System []Constraint
+
+// Validate checks counts and words.
+func (s System) Validate() error {
+	for _, c := range s {
+		if c.Count < 1 {
+			return fmt.Errorf("traces: constraint %v has non-positive count", c)
+		}
+		if !turing.ValidInput(c.Word) {
+			return fmt.Errorf("traces: constraint %v has invalid input word", c)
+		}
+	}
+	return nil
+}
+
+// Satisfiable decides whether some machine satisfies every constraint,
+// returning the offending pair when not.
+func (s System) Satisfiable() (bool, *Conflict) {
+	for _, e := range s {
+		if !e.Exact {
+			continue
+		}
+		// Halting after Count−1 steps is determined by the first Count cells.
+		p := turing.EffPrefix(e.Word, e.Count)
+		for _, o := range s {
+			if o.Count > e.Count && turing.EffPrefix(o.Word, e.Count) == p {
+				conflict := &Conflict{A: o, B: e}
+				return false, conflict
+			}
+		}
+	}
+	return true, nil
+}
+
+// Witness constructs a machine satisfying the system: the proof's trie
+// automaton, which sweeps right and halts after exactly |p| steps on every
+// input whose effective prefix is a designated halt prefix p, and diverges
+// otherwise. It fails exactly when Satisfiable is false.
+func (s System) Witness() (*turing.Machine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if ok, conflict := s.Satisfiable(); !ok {
+		return nil, conflict
+	}
+	var prefixes []string
+	seen := map[string]bool{}
+	for _, c := range s {
+		if !c.Exact {
+			continue
+		}
+		p := turing.EffPrefix(c.Word, c.Count)
+		if !seen[p] {
+			seen[p] = true
+			prefixes = append(prefixes, p)
+		}
+	}
+	return turing.EdgeTrie(prefixes)
+}
+
+// Check verifies by simulation that machine word m satisfies every
+// constraint of the system.
+func (s System) Check(m string) (bool, error) {
+	if err := s.Validate(); err != nil {
+		return false, err
+	}
+	for _, c := range s {
+		var ok bool
+		if c.Exact {
+			ok = E(c.Count, m, c.Word)
+		} else {
+			ok = D(c.Count, m, c.Word)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

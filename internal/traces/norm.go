@@ -1,0 +1,143 @@
+package traces
+
+import (
+	"fmt"
+
+	"repro/internal/domain"
+	"repro/internal/logic"
+)
+
+// normalizeTerms canonicalizes every term of f:
+//
+//   - constants must be words over the alphabet;
+//   - the only functions are w and m, both unary;
+//   - nested applications collapse to ε ("any nested term always equals ε":
+//     w and m return input words or ε off their productive sort, and
+//     w(·)/m(·) of a non-trace is ε);
+//   - applications to constants are evaluated.
+//
+// After normalization every term is a variable, a constant, or w/m applied
+// to a variable.
+func normalizeTerms(f *logic.Formula) (*logic.Formula, error) {
+	var firstErr error
+	g := f.Map(func(h *logic.Formula) *logic.Formula {
+		if h.Kind != logic.FAtom {
+			return h
+		}
+		args := make([]logic.Term, len(h.Args))
+		for i, a := range h.Args {
+			t, err := normTerm(a)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			args[i] = t
+		}
+		return &logic.Formula{Kind: logic.FAtom, Pred: h.Pred, Args: args}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}
+
+func normTerm(t logic.Term) (logic.Term, error) {
+	switch t.Kind {
+	case logic.TVar:
+		return t, nil
+	case logic.TConst:
+		if !ValidWord(t.Name) {
+			return t, fmt.Errorf("traces: constant %q is not a word over %q", t.Name, Alphabet)
+		}
+		return t, nil
+	case logic.TApp:
+		if (t.Name != FuncW && t.Name != FuncM) || len(t.Args) != 1 {
+			return t, fmt.Errorf("traces: unknown function %s/%d", t.Name, len(t.Args))
+		}
+		arg, err := normTerm(t.Args[0])
+		if err != nil {
+			return t, err
+		}
+		switch arg.Kind {
+		case logic.TApp:
+			// w(w(y)), m(w(y)), … : the inner value is an input word,
+			// machine word, or ε — never a trace — so the outer
+			// application is ε.
+			return logic.Const(""), nil
+		case logic.TConst:
+			if t.Name == FuncW {
+				return logic.Const(WOf(arg.Name)), nil
+			}
+			return logic.Const(MOf(arg.Name)), nil
+		default:
+			return logic.Term{Kind: logic.TApp, Name: t.Name, Args: []logic.Term{arg}}, nil
+		}
+	}
+	return t, fmt.Errorf("traces: bad term kind %d", t.Kind)
+}
+
+// CheckSignature verifies that every predicate and function symbol of f is
+// in the Reach signature with the right arity.
+func CheckSignature(f *logic.Formula) error {
+	var err error
+	f.Walk(func(g *logic.Formula) {
+		if g.Kind != logic.FAtom || err != nil {
+			return
+		}
+		arity := -1
+		switch g.Pred {
+		case logic.EqPred, PredB:
+			arity = 2
+		case PredP:
+			arity = 3
+		case PredM, PredW, PredT, PredO:
+			arity = 1
+		default:
+			if _, _, ok := ParseDE(g.Pred); ok {
+				arity = 2
+			}
+		}
+		if arity < 0 {
+			err = fmt.Errorf("traces: unknown predicate %q", g.Pred)
+			return
+		}
+		if len(g.Args) != arity {
+			err = fmt.Errorf("traces: predicate %s expects %d arguments, got %d", g.Pred, arity, len(g.Args))
+		}
+	})
+	return err
+}
+
+// evalGroundAtoms replaces every ground atom of f with its truth value in
+// the recursive model (Fact A.1). Together with quantifier elimination this
+// yields the decision procedure of Corollary A.4.
+func evalGroundAtoms(f *logic.Formula) (*logic.Formula, error) {
+	var firstErr error
+	g := f.Map(func(h *logic.Formula) *logic.Formula {
+		if h.Kind != logic.FAtom || firstErr != nil {
+			return h
+		}
+		for _, a := range h.Args {
+			if !a.Ground() {
+				return h
+			}
+		}
+		v, err := domain.EvalQF(Domain{}, domain.Env{}, h)
+		if err != nil {
+			firstErr = err
+			return h
+		}
+		if v {
+			return logic.True()
+		}
+		return logic.False()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return logic.Simplify(g), nil
+}
+
+// Decider returns the decision procedure for the (Reach) Theory of Traces.
+func Decider() domain.Decider {
+	return domain.QEDecider{Elim: Eliminator{}, Interp: Domain{}}
+}

@@ -1,0 +1,209 @@
+package traces
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/turing"
+)
+
+// These tests drive the quantifier-elimination cases that interact in
+// subtle ways: T-4 counting with variable exclusions, D/E atoms with both
+// arguments depending on the quantified trace, shared machines across
+// nested quantifiers, and universally quantified input words.
+
+func TestStressVariableExclusionCounting(t *testing.T) {
+	// ∀p (P(M, w, p) → ∃x (P(M, w, x) ∧ x ≠ p)) ⟺ M has ≥ 2 traces on w.
+	build := func(machineWord, w string) *logic.Formula {
+		p, x := logic.Var("p"), logic.Var("x")
+		return logic.Forall("p", logic.Implies(
+			logic.Atom(PredP, logic.Const(machineWord), logic.Const(w), p),
+			logic.Exists("x", logic.And(
+				logic.Atom(PredP, logic.Const(machineWord), logic.Const(w), x),
+				logic.Neq(x, p)))))
+	}
+	busy := turing.Encode(turing.BusyWork(2))       // 3 traces on every input
+	halt := turing.Encode(turing.HaltImmediately()) // exactly 1 trace
+	loop := turing.Encode(turing.LoopForever())     // infinitely many
+	if !decide(t, build(busy, "1")) {
+		t.Errorf("3-trace machine: a second distinct trace always exists")
+	}
+	if decide(t, build(halt, "1")) {
+		t.Errorf("1-trace machine: no second trace exists")
+	}
+	if !decide(t, build(loop, "1")) {
+		t.Errorf("diverging machine: infinitely many traces")
+	}
+}
+
+func TestStressSharedMachineAcrossQuantifiers(t *testing.T) {
+	p, q := logic.Var("p"), logic.Var("q")
+	// Two distinct traces of the same machine exist.
+	f := logic.ExistsAll([]string{"p", "q"}, logic.And(
+		logic.Atom(PredT, p), logic.Atom(PredT, q),
+		logic.Eq(logic.App(FuncM, p), logic.App(FuncM, q)),
+		logic.Neq(p, q)))
+	if !decide(t, f) {
+		t.Errorf("distinct traces of one machine exist")
+	}
+	// Even with the same input word (a diverging machine provides them).
+	g := logic.ExistsAll([]string{"p", "q"}, logic.And(
+		logic.Atom(PredT, p), logic.Atom(PredT, q),
+		logic.Eq(logic.App(FuncM, p), logic.App(FuncM, q)),
+		logic.Eq(logic.App(FuncW, p), logic.App(FuncW, q)),
+		logic.Neq(p, q)))
+	if !decide(t, g) {
+		t.Errorf("distinct same-input traces exist")
+	}
+}
+
+func TestStressEveryWordIsTraced(t *testing.T) {
+	// ∀y (W(y) → ∃x (T(x) ∧ w(x) = y)): every input word is the input of
+	// some trace — case T-3 with a variable input.
+	f := logic.Forall("y", logic.Implies(
+		logic.Atom(PredW, logic.Var("y")),
+		logic.Exists("x", logic.And(
+			logic.Atom(PredT, logic.Var("x")),
+			logic.Eq(logic.App(FuncW, logic.Var("x")), logic.Var("y"))))))
+	if !decide(t, f) {
+		t.Errorf("every input word is traced")
+	}
+	// The machine version, case T-2 with a variable machine.
+	g := logic.Forall("y", logic.Implies(
+		logic.Atom(PredM, logic.Var("y")),
+		logic.Exists("x", logic.And(
+			logic.Atom(PredT, logic.Var("x")),
+			logic.Eq(logic.App(FuncM, logic.Var("x")), logic.Var("y"))))))
+	if !decide(t, g) {
+		t.Errorf("every machine is traced")
+	}
+	// And the converse fails: not every word is a machine of a trace.
+	h := logic.Forall("y", logic.Implies(
+		logic.Atom(PredW, logic.Var("y")),
+		logic.Exists("x", logic.And(
+			logic.Atom(PredT, logic.Var("x")),
+			logic.Eq(logic.App(FuncM, logic.Var("x")), logic.Var("y"))))))
+	if decide(t, h) {
+		t.Errorf("input words are not machines")
+	}
+}
+
+func TestStressSelfReferentialDE(t *testing.T) {
+	x := logic.Var("x")
+	// ∃x (T(x) ∧ E2(m(x), w(x))): a trace whose machine halts on the
+	// trace's own input in exactly one step. (Both D/E arguments depend on
+	// x; the word side expands over the B classes.)
+	f := logic.Exists("x", logic.And(
+		logic.Atom(PredT, x),
+		logic.Atom("E2", logic.App(FuncM, x), logic.App(FuncW, x))))
+	if !decide(t, f) {
+		t.Errorf("a one-step-halting trace exists")
+	}
+	// ¬D1(m(x), w(x)) is impossible for a trace: D1 means only "machine
+	// and word are well-sorted", which a trace guarantees.
+	g := logic.Exists("x", logic.And(
+		logic.Atom(PredT, x),
+		logic.Not(logic.Atom("D1", logic.App(FuncM, x), logic.App(FuncW, x)))))
+	if decide(t, g) {
+		t.Errorf("D1 holds for every trace's machine and input")
+	}
+	h := logic.Forall("x", logic.Implies(
+		logic.Atom(PredT, x),
+		logic.Atom("D1", logic.App(FuncM, x), logic.App(FuncW, x))))
+	if !decide(t, h) {
+		t.Errorf("universal D1 over traces")
+	}
+}
+
+func TestStressBConstrainedTrace(t *testing.T) {
+	x := logic.Var("x")
+	// A trace of a machine halting in exactly two steps on an input
+	// starting with "11" exists (EdgeTrie provides the machine).
+	f := logic.Exists("x", logic.And(
+		logic.Atom(PredT, x),
+		logic.Atom(PredB, logic.Const("11"), logic.App(FuncW, x)),
+		logic.Atom("E3", logic.App(FuncM, x), logic.App(FuncW, x))))
+	if !decide(t, f) {
+		t.Errorf("B-constrained halting trace exists")
+	}
+	// But not with contradictory B constraints.
+	g := logic.Exists("x", logic.And(
+		logic.Atom(PredT, x),
+		logic.Atom(PredB, logic.Const("11"), logic.App(FuncW, x)),
+		logic.Atom(PredB, logic.Const("&&"), logic.App(FuncW, x))))
+	if decide(t, g) {
+		t.Errorf("incompatible prefixes accepted")
+	}
+}
+
+func TestStressFourQuantifiers(t *testing.T) {
+	// ∀y∀z (W(y) ∧ W(z) ∧ y ≠ z → ∃p∃q (m(p) = m(q) ∧ w(p) = y ∧
+	// w(q) = z ∧ T(p) ∧ T(q) ∧ p ≠ q)): one machine traces any two distinct
+	// words with distinct traces.
+	y, z, p, q := logic.Var("y"), logic.Var("z"), logic.Var("p"), logic.Var("q")
+	f := logic.ForallAll([]string{"y", "z"}, logic.Implies(
+		logic.And(logic.Atom(PredW, y), logic.Atom(PredW, z), logic.Neq(y, z)),
+		logic.ExistsAll([]string{"p", "q"}, logic.And(
+			logic.Atom(PredT, p), logic.Atom(PredT, q),
+			logic.Eq(logic.App(FuncM, p), logic.App(FuncM, q)),
+			logic.Eq(logic.App(FuncW, p), y),
+			logic.Eq(logic.App(FuncW, q), z),
+			logic.Neq(p, q)))))
+	if !decide(t, f) {
+		t.Errorf("pairwise tracing by one machine")
+	}
+}
+
+func TestStressExactTraceCountSentences(t *testing.T) {
+	// For each k, BusyWork(k) has exactly k+1 traces on "1": expressed
+	// without D/E, purely by counting distinct witnesses.
+	for _, k := range []int{0, 1, 2} {
+		enc := turing.Encode(turing.BusyWork(k))
+		atom := func(v string) *logic.Formula {
+			return logic.Atom(PredP, logic.Const(enc), logic.Const("1"), logic.Var(v))
+		}
+		// At least k+1 distinct traces.
+		vars := make([]string, k+1)
+		var conj []*logic.Formula
+		for i := range vars {
+			vars[i] = logic.FreshVar("t", nil) + string(rune('a'+i))
+			conj = append(conj, atom(vars[i]))
+			for j := 0; j < i; j++ {
+				conj = append(conj, logic.Neq(logic.Var(vars[i]), logic.Var(vars[j])))
+			}
+		}
+		atLeast := logic.ExistsAll(vars, logic.And(conj...))
+		if !decide(t, atLeast) {
+			t.Errorf("BusyWork(%d) should have at least %d traces", k, k+1)
+		}
+		// Not k+2.
+		extra := "textra"
+		conj2 := append([]*logic.Formula{}, conj...)
+		conj2 = append(conj2, atom(extra))
+		for _, v := range vars {
+			conj2 = append(conj2, logic.Neq(logic.Var(extra), logic.Var(v)))
+		}
+		atLeastMore := logic.ExistsAll(append(append([]string{}, vars...), extra), logic.And(conj2...))
+		if decide(t, atLeastMore) {
+			t.Errorf("BusyWork(%d) should not have %d traces", k, k+2)
+		}
+	}
+}
+
+func TestStressOtherSortInteraction(t *testing.T) {
+	x, y := logic.Var("x"), logic.Var("y")
+	// "Other" words exist, are not traced, and have ε extractions.
+	f := logic.Exists("x", logic.And(
+		logic.Atom(PredO, x),
+		logic.Eq(logic.App(FuncW, x), logic.Const("")),
+		logic.Eq(logic.App(FuncM, x), logic.Const(""))))
+	if !decide(t, f) {
+		t.Errorf("other words have empty extractions")
+	}
+	// No other word equals a trace.
+	g := logic.ExistsAll([]string{"x", "y"}, logic.And(
+		logic.Atom(PredO, x), logic.Atom(PredT, y), logic.Eq(x, y)))
+	if decide(t, g) {
+		t.Errorf("sorts are disjoint")
+	}
+}

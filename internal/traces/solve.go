@@ -1,0 +1,344 @@
+package traces
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/turing"
+)
+
+// coreSolve eliminates ∃x∈sort from a conjunction of canonical literals (the
+// output of specialize after re-DNF). It implements the appendix's cases M,
+// W, T-1…T-4, and O.
+func (e Eliminator) coreSolve(x, sort string, lits []*logic.Formula) (*logic.Formula, error) {
+	c, err := e.collect(x, sort, lits)
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return logic.False(), nil
+	}
+
+	// A positive x = t outside sort T: substitute and assert the sort.
+	if len(c.eqX) > 0 {
+		t := c.eqX[0]
+		out := []*logic.Formula{logic.Atom(sort, t)}
+		for _, lit := range lits {
+			out = append(out, logic.Subst(lit, x, t))
+		}
+		return normalizeTerms(logic.And(out...))
+	}
+
+	switch sort {
+	case PredM:
+		// Case M: Lemma A.2 decides the D/E system; inequalities are
+		// dodged among the infinitely many behaviourally equivalent
+		// machines.
+		if ok, _ := c.system.Satisfiable(); !ok {
+			return logic.False(), nil
+		}
+		return logic.And(c.rest...), nil
+
+	case PredW:
+		// Case W: positive B atoms must agree on a common refinement;
+		// the class is infinite (blank padding), so inequalities dodge.
+		if _, ok := mergePrefixes(c.bPrefixes); !ok {
+			return logic.False(), nil
+		}
+		return logic.And(c.rest...), nil
+
+	case PredO:
+		// Case O: only inequalities can mention x, and there are
+		// infinitely many "other" words.
+		return logic.And(c.rest...), nil
+
+	case PredT:
+		return e.solveTrace(x, c)
+	}
+	return nil, fmt.Errorf("traces: unknown sort %q", sort)
+}
+
+// canonical is the collected constraint view of a conjunct for one sort.
+type canonical struct {
+	rest      []*logic.Formula // x-free conjuncts
+	eqX       []logic.Term     // x = t (outside sort T)
+	neqX      []logic.Term     // x ≠ t
+	eqM       []logic.Term     // m(x) = t (sort T)
+	neqM      []logic.Term     // m(x) ≠ t
+	eqW       []logic.Term     // w(x) = t (sort T)
+	neqW      []logic.Term     // w(x) ≠ t
+	bPrefixes []string         // B(s, x) or B(s, w(x))
+	system    System           // D/E constraints on x (sort M) or m(x) (sort T)
+}
+
+// collect sorts a conjunct's literals into canonical buckets. It returns
+// nil (without error) when a literal is statically false under the sort.
+func (e Eliminator) collect(x, sort string, lits []*logic.Formula) (*canonical, error) {
+	c := &canonical{}
+	for _, lit := range lits {
+		if lit.Kind == logic.FTrue {
+			continue
+		}
+		if lit.Kind == logic.FFalse {
+			return nil, nil
+		}
+		if !lit.HasFreeVar(x) {
+			c.rest = append(c.rest, lit)
+			continue
+		}
+		atom, positive := logic.LiteralAtom(lit)
+		switch {
+		case atom.IsEq():
+			a, b := atom.Args[0], atom.Args[1]
+			if shapeOf(a, x) == shapeFree {
+				a, b = b, a
+			}
+			switch shapeOf(a, x) {
+			case shapeX:
+				if positive {
+					if sort == PredT {
+						return nil, fmt.Errorf("traces: internal error: positive x = t under sort T")
+					}
+					c.eqX = append(c.eqX, b)
+				} else {
+					c.neqX = append(c.neqX, b)
+				}
+			case shapeMOfX:
+				if positive {
+					c.eqM = append(c.eqM, b)
+				} else {
+					c.neqM = append(c.neqM, b)
+				}
+			case shapeWOfX:
+				if positive {
+					c.eqW = append(c.eqW, b)
+				} else {
+					c.neqW = append(c.neqW, b)
+				}
+			default:
+				return nil, fmt.Errorf("traces: internal error: non-canonical equality %v", lit)
+			}
+		case atom.Pred == PredB:
+			if !positive {
+				return nil, fmt.Errorf("traces: internal error: negative B literal survived specialization")
+			}
+			s := atom.Args[0]
+			if s.Kind != logic.TConst || !turing.ValidInput(s.Name) {
+				return nil, fmt.Errorf("traces: internal error: bad B index %v", s)
+			}
+			c.bPrefixes = append(c.bPrefixes, s.Name)
+		default:
+			exact, k, ok := ParseDE(atom.Pred)
+			if !ok {
+				return nil, fmt.Errorf("traces: internal error: unexpected canonical literal %v", lit)
+			}
+			if !positive {
+				return nil, fmt.Errorf("traces: internal error: negative D/E literal survived specialization")
+			}
+			wt := atom.Args[1]
+			if wt.Kind != logic.TConst {
+				return nil, fmt.Errorf("traces: internal error: non-constant D/E word %v", lit)
+			}
+			if !turing.ValidInput(wt.Name) {
+				return nil, nil // D/E on a non-input-word constant is false
+			}
+			c.system = append(c.system, Constraint{Exact: exact, Count: k, Word: wt.Name})
+		}
+	}
+	return c, nil
+}
+
+// mergePrefixes reconciles positive B constraints: all prefixes must agree
+// with the longest one on their effective overlap.
+func mergePrefixes(prefixes []string) (string, bool) {
+	longest := ""
+	for _, s := range prefixes {
+		if len(s) > len(longest) {
+			longest = s
+		}
+	}
+	for _, s := range prefixes {
+		if turing.EffPrefix(longest, len(s)) != s {
+			return "", false
+		}
+	}
+	return longest, true
+}
+
+// solveTrace implements cases T-1 to T-4.
+func (e Eliminator) solveTrace(x string, c *canonical) (*logic.Formula, error) {
+	if _, ok := mergePrefixes(c.bPrefixes); !ok {
+		return logic.False(), nil
+	}
+	out := append([]*logic.Formula(nil), c.rest...)
+
+	// Multiple m(x)/w(x) equalities collapse to the first plus x-free
+	// equalities between the terms.
+	var mTerm, wTerm *logic.Term
+	if len(c.eqM) > 0 {
+		mTerm = &c.eqM[0]
+		for _, t := range c.eqM[1:] {
+			out = append(out, logic.Eq(*mTerm, t))
+		}
+	}
+	if len(c.eqW) > 0 {
+		wTerm = &c.eqW[0]
+		for _, t := range c.eqW[1:] {
+			out = append(out, logic.Eq(*wTerm, t))
+		}
+	}
+
+	switch {
+	case mTerm != nil && wTerm != nil:
+		// Case T-4: the machine and input are fixed terms; substituting
+		// them makes every remaining constraint x-free except x ≠ p_i,
+		// which the counting formula below absorbs.
+		for _, t := range c.neqM {
+			out = append(out, logic.Neq(*mTerm, t))
+		}
+		for _, t := range c.neqW {
+			out = append(out, logic.Neq(*wTerm, t))
+		}
+		for _, s := range c.bPrefixes {
+			out = append(out, logic.Atom(PredB, logic.Const(s), *wTerm))
+		}
+		for _, con := range c.system {
+			out = append(out, logic.Atom(DEName(con.Exact, con.Count), *mTerm, logic.Const(con.Word)))
+		}
+		count, err := e.countingFormula(*mTerm, *wTerm, c.neqX)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, count)
+		return normalizeTerms(logic.And(out...))
+
+	case mTerm != nil:
+		// Case T-2: machine fixed; inputs (and hence traces) vary over an
+		// infinite class, so all inequalities dodge.
+		for _, t := range c.neqM {
+			out = append(out, logic.Neq(*mTerm, t))
+		}
+		for _, con := range c.system {
+			out = append(out, logic.Atom(DEName(con.Exact, con.Count), *mTerm, logic.Const(con.Word)))
+		}
+		out = append(out, logic.Atom(PredM, *mTerm))
+		return normalizeTerms(logic.And(out...))
+
+	case wTerm != nil:
+		// Case T-3: input fixed; Lemma A.2 decides the machine system and
+		// machines vary infinitely, dodging all inequalities.
+		if ok, _ := c.system.Satisfiable(); !ok {
+			return logic.False(), nil
+		}
+		for _, t := range c.neqW {
+			out = append(out, logic.Neq(*wTerm, t))
+		}
+		for _, s := range c.bPrefixes {
+			out = append(out, logic.Atom(PredB, logic.Const(s), *wTerm))
+		}
+		out = append(out, logic.Atom(PredW, *wTerm))
+		return normalizeTerms(logic.And(out...))
+
+	default:
+		// Case T-1: both machine and input vary; satisfiability reduces to
+		// the D/E system.
+		if ok, _ := c.system.Satisfiable(); !ok {
+			return logic.False(), nil
+		}
+		return logic.And(out...), nil
+	}
+}
+
+// countingFormula renders ∃x (x is a trace of t in v ∧ x ≠ p_1 ∧ … ∧ x ≠ p_n)
+// as a quantifier-free formula: the number of traces of t in v exceeds the
+// number of distinct p_i that are themselves traces of t in v —
+//
+//	⋁_{k=0..n} (exactly k of the p_i are distinct traces of t in v) ∧ D_{k+1}(t, v).
+//
+// Terms p_i that can never be traces (w(·)/m(·) applications, or constants
+// outside class T) drop out of the count, since x ≠ p_i then holds for any
+// trace x.
+func (e Eliminator) countingFormula(t, v logic.Term, excluded []logic.Term) (*logic.Formula, error) {
+	var ps []logic.Term
+	for _, p := range excluded {
+		switch p.Kind {
+		case logic.TApp:
+			continue // w(y)/m(y) is never a trace
+		case logic.TConst:
+			if Classify(p.Name) != ClassTrace {
+				continue
+			}
+		}
+		ps = append(ps, p)
+	}
+	n := len(ps)
+	if n > e.maxExcluded() {
+		return nil, fmt.Errorf("traces: case T-4 with %d exclusions exceeds bound %d", n, e.maxExcluded())
+	}
+
+	// valid_i: p_i is a trace of t in v.
+	valid := make([]*logic.Formula, n)
+	for i, p := range ps {
+		if p.Kind == logic.TConst {
+			valid[i] = logic.And(
+				logic.Eq(logic.Const(MOf(p.Name)), t),
+				logic.Eq(logic.Const(WOf(p.Name)), v),
+			)
+			continue
+		}
+		valid[i] = logic.And(
+			logic.Atom(PredT, p),
+			logic.Eq(logic.App(FuncM, p), t),
+			logic.Eq(logic.App(FuncW, p), v),
+		)
+	}
+
+	// atLeast(k): some k of the p_i are valid and pairwise distinct.
+	atLeast := func(k int) *logic.Formula {
+		if k == 0 {
+			return logic.True()
+		}
+		var opts []*logic.Formula
+		subsets(n, k, func(idx []int) {
+			var conj []*logic.Formula
+			for _, i := range idx {
+				conj = append(conj, valid[i])
+			}
+			for a := 0; a < len(idx); a++ {
+				for b := a + 1; b < len(idx); b++ {
+					conj = append(conj, logic.Neq(ps[idx[a]], ps[idx[b]]))
+				}
+			}
+			opts = append(opts, logic.And(conj...))
+		})
+		return logic.Or(opts...)
+	}
+
+	var cases []*logic.Formula
+	for k := 0; k <= n; k++ {
+		parts := []*logic.Formula{atLeast(k)}
+		if k < n {
+			parts = append(parts, logic.Not(atLeast(k+1)))
+		}
+		parts = append(parts, logic.Atom(DEName(false, k+1), t, v))
+		cases = append(cases, logic.And(parts...))
+	}
+	return logic.Simplify(logic.Or(cases...)), nil
+}
+
+// subsets calls visit with every size-k subset of {0..n-1}.
+func subsets(n, k int, visit func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			visit(append([]int(nil), idx[:k]...))
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}

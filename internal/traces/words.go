@@ -1,0 +1,157 @@
+// Package traces implements the paper's Section 3 domain T — the "theory of
+// traces" — and its Appendix: the four-letter word universe, the ternary
+// predicate P, the enriched Reach Theory of Traces signature (sorts M, W, T,
+// O; prefix predicates B_w; trace-count predicates D_i and E_i; extraction
+// functions w and m), the Lemma A.2 satisfiability criterion with explicit
+// witness machines, quantifier elimination (Theorem A.3), and the resulting
+// decision procedure (Corollary A.4).
+package traces
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/turing"
+)
+
+// Alphabet is the four-letter alphabet of the domain T. The paper's trace
+// separator '⋆' is rendered '|'.
+const Alphabet = "1&*|"
+
+// ValidWord reports whether s is a word over the domain alphabet. Every
+// such word, including the empty word, is an element of T's universe.
+func ValidWord(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1', '&', '*', '|':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Class is the sort of a word: the four classes are pairwise disjoint and
+// cover the universe ("the machines, the input words, and the traces, all
+// being written in different alphabets, do not intersect").
+type Class int
+
+const (
+	// ClassInput is W: words over {1,&}, including the empty word.
+	ClassInput Class = iota
+	// ClassMachine is M: well-formed machine encodings over {1,&,*}.
+	ClassMachine
+	// ClassTrace is T: traces of some machine on some input word.
+	ClassTrace
+	// ClassOther is O: everything else.
+	ClassOther
+)
+
+// String implements fmt.Stringer, using the paper's letters.
+func (c Class) String() string {
+	switch c {
+	case ClassInput:
+		return "W"
+	case ClassMachine:
+		return "M"
+	case ClassTrace:
+		return "T"
+	case ClassOther:
+		return "O"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classify returns the sort of a word. It panics on words outside the
+// alphabet; validate with ValidWord first.
+func Classify(word string) Class {
+	if !ValidWord(word) {
+		panic(fmt.Sprintf("traces: word %q outside alphabet", word))
+	}
+	hasSep := strings.IndexByte(word, turing.Separator) >= 0
+	hasDelim := strings.IndexByte(word, turing.Delimiter) >= 0
+	switch {
+	case hasSep:
+		if turing.IsTraceWord(word) {
+			return ClassTrace
+		}
+		return ClassOther
+	case hasDelim:
+		if turing.IsMachineWord(word) {
+			return ClassMachine
+		}
+		return ClassOther
+	default:
+		return ClassInput
+	}
+}
+
+// WOf is the extraction function w: the input word of a trace, the empty
+// word otherwise.
+func WOf(word string) string {
+	if p, err := turing.ParseTrace(word); err == nil {
+		return p.Input
+	}
+	return ""
+}
+
+// MOf is the extraction function m: the machine word of a trace, the empty
+// word otherwise.
+func MOf(word string) string {
+	if p, err := turing.ParseTrace(word); err == nil {
+		return p.MachineWord
+	}
+	return ""
+}
+
+// P is the domain's only original predicate: P(m, w, p) holds iff m is a
+// machine word, w an input word, p a trace, and p is a trace of m in w.
+func P(m, w, p string) bool {
+	parsed, err := turing.ParseTrace(p)
+	if err != nil {
+		return false
+	}
+	return parsed.MachineWord == m && parsed.Input == w
+}
+
+// B is the padded-prefix predicate family: B(s, x) holds iff s and x are
+// input words and x effectively starts with s — x starts with s, or s is x
+// extended by blanks. Trailing blanks never affect a computation, which is
+// what makes B the right class decomposition for the appendix's expansion
+// of D/E atoms with non-constant word arguments.
+func B(s, x string) bool {
+	if !turing.ValidInput(s) || !turing.ValidInput(x) {
+		return false
+	}
+	return turing.EffPrefix(x, len(s)) == s
+}
+
+// D reports whether machine word m has at least i different traces in input
+// word w (the predicate D_i). With traces counted as partial computations,
+// D_i(m, w) ⟺ m runs at least i−1 steps on w. D is false when m is not a
+// machine word or w not an input word; i must be positive.
+func D(i int, m, w string) bool {
+	if i < 1 {
+		panic(fmt.Sprintf("traces: D index %d must be positive", i))
+	}
+	mach, err := turing.Decode(m)
+	if err != nil || !turing.ValidInput(w) {
+		return false
+	}
+	steps, halted := turing.StepsToHalt(mach, w, i-1)
+	return !halted || steps >= i-1
+}
+
+// E reports whether machine word m has exactly i different traces in input
+// word w (the predicate E_i): m halts on w after exactly i−1 steps.
+func E(i int, m, w string) bool {
+	if i < 1 {
+		panic(fmt.Sprintf("traces: E index %d must be positive", i))
+	}
+	mach, err := turing.Decode(m)
+	if err != nil || !turing.ValidInput(w) {
+		return false
+	}
+	steps, halted := turing.StepsToHalt(mach, w, i)
+	return halted && steps == i-1
+}

@@ -1,0 +1,275 @@
+package traces
+
+import (
+	"testing"
+
+	"repro/internal/turing"
+)
+
+func TestValidWord(t *testing.T) {
+	if !ValidWord("") || !ValidWord("1&*|") {
+		t.Errorf("valid words rejected")
+	}
+	if ValidWord("a") || ValidWord("1 1") {
+		t.Errorf("invalid words accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	loop := turing.Encode(turing.LoopForever())
+	trace, err := turing.Trace(turing.LoopForever(), loop, "1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		word string
+		want Class
+	}{
+		{"", ClassInput},
+		{"1&1", ClassInput},
+		{"&&", ClassInput},
+		{loop, ClassMachine},
+		{"*", ClassMachine}, // zero-rule machine
+		{trace, ClassTrace},
+		{"111*111", ClassOther},  // delimiter but malformed machine
+		{"|", ClassOther},        // separator but not a trace
+		{loop + "|", ClassOther}, // machine prefix, no snapshots
+		{"1*|", ClassOther},      // mixed garbage
+	}
+	for _, c := range cases {
+		if got := Classify(c.word); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestClassifyPanicsOutsideAlphabet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	Classify("abc")
+}
+
+func TestClassesDisjointAndCovering(t *testing.T) {
+	// Enumerate all words up to length 4 plus a few real machines/traces and
+	// check each lands in exactly one class (Classify is a function, so this
+	// mostly documents coverage of the interesting shapes).
+	words := allWordsUpTo(4)
+	counts := map[Class]int{}
+	for _, w := range words {
+		counts[Classify(w)]++
+	}
+	if counts[ClassInput] == 0 || counts[ClassOther] == 0 {
+		t.Errorf("expected inputs and others among short words: %v", counts)
+	}
+	// Machines exist at length 10+ only; "*" is the shortest.
+	if Classify("*") != ClassMachine {
+		t.Errorf("* should be a machine")
+	}
+}
+
+func allWordsUpTo(n int) []string {
+	words := []string{""}
+	frontier := []string{""}
+	for i := 0; i < n; i++ {
+		var next []string
+		for _, w := range frontier {
+			for _, c := range Alphabet {
+				next = append(next, w+string(c))
+			}
+		}
+		words = append(words, next...)
+		frontier = next
+	}
+	return words
+}
+
+func TestWOfMOf(t *testing.T) {
+	m := turing.BusyWork(2)
+	enc := turing.Encode(m)
+	tr, err := turing.Trace(m, enc, "1&", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WOf(tr); got != "1&" {
+		t.Errorf("WOf = %q", got)
+	}
+	if got := MOf(tr); got != enc {
+		t.Errorf("MOf = %q", got)
+	}
+	// Non-traces map to the empty word.
+	for _, w := range []string{"", "11", enc, "|"} {
+		if WOf(w) != "" || MOf(w) != "" {
+			t.Errorf("w/m of non-trace %q should be empty", w)
+		}
+	}
+}
+
+func TestP(t *testing.T) {
+	m := turing.BusyWork(3)
+	enc := turing.Encode(m)
+	other := turing.Encode(turing.LoopForever())
+	traces := turing.Traces(m, enc, "11", 100)
+	if len(traces) != 4 {
+		t.Fatalf("expected 4 traces, got %d", len(traces))
+	}
+	for _, tr := range traces {
+		if !P(enc, "11", tr) {
+			t.Errorf("P should hold for genuine trace %q", tr)
+		}
+		if P(other, "11", tr) {
+			t.Errorf("P should reject wrong machine")
+		}
+		if P(enc, "1", tr) {
+			t.Errorf("P should reject wrong input")
+		}
+	}
+	if P(enc, "11", "garbage|") {
+		t.Errorf("P should reject non-trace")
+	}
+}
+
+func TestB(t *testing.T) {
+	cases := []struct {
+		s, x string
+		want bool
+	}{
+		{"", "", true},
+		{"", "1&", true},
+		{"1", "1&", true},
+		{"1&", "1", true}, // padded prefix: "1" ~ "1&&&…"
+		{"1&&", "1", true},
+		{"11", "1", false},
+		{"1", "&1", false},
+		{"&&", "", true},
+		{"1*", "1", false}, // s outside input alphabet
+		{"1", "1*", false}, // x outside input alphabet
+	}
+	for _, c := range cases {
+		if got := B(c.s, c.x); got != c.want {
+			t.Errorf("B(%q,%q) = %v, want %v", c.s, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBPartitionsByLength(t *testing.T) {
+	// For each word x and length L, exactly one u ∈ {1,&}^L has B(u, x):
+	// the effective prefix. This is what makes the appendix's expansion a
+	// partition.
+	inputs := []string{"", "1", "&", "11&", "&&&&", "1&1&1"}
+	for _, x := range inputs {
+		for L := 0; L <= 4; L++ {
+			count := 0
+			for _, u := range inputWordsOfLength(L) {
+				if B(u, x) {
+					count++
+					if u != turing.EffPrefix(x, L) {
+						t.Errorf("B(%q,%q) holds but is not the effective prefix", u, x)
+					}
+				}
+			}
+			if count != 1 {
+				t.Errorf("x=%q L=%d: %d matching classes, want 1", x, L, count)
+			}
+		}
+	}
+}
+
+func inputWordsOfLength(n int) []string {
+	words := []string{""}
+	for i := 0; i < n; i++ {
+		var next []string
+		for _, w := range words {
+			next = append(next, w+"1", w+"&")
+		}
+		words = next
+	}
+	return words
+}
+
+func TestDE(t *testing.T) {
+	busy := turing.Encode(turing.BusyWork(3)) // halts after 3 steps: 4 traces
+	loop := turing.Encode(turing.LoopForever())
+	for i := 1; i <= 4; i++ {
+		if !D(i, busy, "1") {
+			t.Errorf("D_%d should hold for 4-trace machine", i)
+		}
+	}
+	if D(5, busy, "1") {
+		t.Errorf("D_5 should fail for 4-trace machine")
+	}
+	if !E(4, busy, "1") {
+		t.Errorf("E_4 should hold")
+	}
+	for _, i := range []int{1, 2, 3, 5, 6} {
+		if E(i, busy, "1") {
+			t.Errorf("E_%d should fail", i)
+		}
+	}
+	// Diverging machine: all D hold, no E holds.
+	for _, i := range []int{1, 5, 50} {
+		if !D(i, loop, "&&") {
+			t.Errorf("D_%d should hold for diverging machine", i)
+		}
+		if E(i, loop, "&&") {
+			t.Errorf("E_%d should fail for diverging machine", i)
+		}
+	}
+	// Ill-sorted arguments.
+	if D(1, "not-a-machine", "1") || D(1, busy, "1*") || E(1, "11", "1") {
+		t.Errorf("D/E should reject ill-sorted arguments")
+	}
+}
+
+func TestDEConsistentWithTraceCount(t *testing.T) {
+	// D_i ⟺ at least i traces, E_i ⟺ exactly i traces, checked against the
+	// actual trace family.
+	machines := []*turing.Machine{
+		turing.HaltImmediately(), turing.BusyWork(1), turing.BusyWork(5),
+		turing.Successor(), turing.EraseAndHalt(),
+	}
+	inputs := []string{"", "1", "11", "&1", "111&"}
+	for _, m := range machines {
+		enc := turing.Encode(m)
+		for _, w := range inputs {
+			all := turing.Traces(m, enc, w, 100)
+			n := len(all) // machines above all halt well within 100 steps
+			for i := 1; i <= n+2; i++ {
+				if got := D(i, enc, w); got != (i <= n) {
+					t.Errorf("D_%d(%v, %q) = %v with %d traces", i, m, w, got, n)
+				}
+				if got := E(i, enc, w); got != (i == n) {
+					t.Errorf("E_%d(%v, %q) = %v with %d traces", i, m, w, got, n)
+				}
+			}
+		}
+	}
+}
+
+func TestDEPanicOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	D(0, "*", "")
+}
+
+func TestClassStringAndParserOptions(t *testing.T) {
+	if ClassInput.String() != "W" || ClassMachine.String() != "M" ||
+		ClassTrace.String() != "T" || ClassOther.String() != "O" {
+		t.Errorf("class strings wrong")
+	}
+	if Class(99).String() == "" {
+		t.Errorf("unknown class should still render")
+	}
+	opts := ParserOptions()
+	if !opts[FuncW] || !opts[FuncM] {
+		t.Errorf("parser options missing extraction functions")
+	}
+	if (Domain{}).Name() != "traces" {
+		t.Errorf("domain name")
+	}
+}

@@ -1,0 +1,249 @@
+package turing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file provides a small library of machine constructors. The trie
+// machines are the witnesses of Lemma A.2 ("This machine (that can actually
+// be written as a finite automaton) stops at exactly the specified words in
+// the specified numbers of steps"); the rest are total and partial machines
+// used by tests, examples, and the Theorem 3.1/3.3 demonstrations.
+
+// LoopForever returns a machine that never halts on any input: it sweeps
+// right forever, leaving the tape unchanged.
+func LoopForever() *Machine {
+	return MustMachine(
+		Rule{State: 1, Read: One, Next: 1, Write: One, Move: Right},
+		Rule{State: 1, Read: Blank, Next: 1, Write: Blank, Move: Right},
+	)
+}
+
+// HaltImmediately returns the machine with no rules: it halts in 0 steps on
+// every input, leaving the tape unchanged.
+func HaltImmediately() *Machine {
+	return MustMachine()
+}
+
+// BusyWork returns a total machine that runs exactly n steps on every input
+// (sweeping right, leaving the tape unchanged) and then halts. For every
+// input word w it therefore has exactly n+1 traces.
+func BusyWork(n int) *Machine {
+	var rules []Rule
+	for i := 1; i <= n; i++ {
+		rules = append(rules,
+			Rule{State: i, Read: One, Next: i + 1, Write: One, Move: Right},
+			Rule{State: i, Read: Blank, Next: i + 1, Write: Blank, Move: Right},
+		)
+	}
+	return MustMachine(rules...)
+}
+
+// EraseAndHalt returns a total machine that erases the leading run of 1s and
+// halts at the first blank. It halts on every input in at most
+// (leading 1s)+0 steps.
+func EraseAndHalt() *Machine {
+	return MustMachine(
+		Rule{State: 1, Read: One, Next: 1, Write: Blank, Move: Right},
+	)
+}
+
+// Successor returns a total machine computing the unary successor: it moves
+// right over the leading run of 1s and replaces the first blank with a 1.
+func Successor() *Machine {
+	return MustMachine(
+		Rule{State: 1, Read: One, Next: 1, Write: One, Move: Right},
+		Rule{State: 1, Read: Blank, Next: 2, Write: One, Move: Right},
+	)
+}
+
+// HaltIffStartsWithOne returns a partial machine that halts (in one step)
+// iff the input starts with '1', and otherwise walks left forever. Its
+// halting problem is trivially decidable, which makes it a convenient
+// fixture for validating the Theorem 3.3 reduction.
+func HaltIffStartsWithOne() *Machine {
+	return MustMachine(
+		Rule{State: 1, Read: One, Next: 2, Write: One, Move: Right},
+		Rule{State: 1, Read: Blank, Next: 1, Write: Blank, Move: Left},
+	)
+}
+
+// ReadThenLoop returns the machine used in the appendix to show B_w
+// first-order expressible: it reads w left to right, halting as soon as a
+// tape character deviates from w, and diverges (sweeping right) once all of
+// w has been read successfully.
+func ReadThenLoop(w string) (*Machine, error) {
+	if !ValidInput(w) {
+		return nil, fmt.Errorf("turing: invalid word %q", w)
+	}
+	loop := len(w) + 1
+	var rules []Rule
+	for i := 0; i < len(w); i++ {
+		expected := w[i]
+		next := i + 2
+		if i == len(w)-1 {
+			next = loop
+		}
+		rules = append(rules, Rule{State: i + 1, Read: expected, Next: next, Write: expected, Move: Right})
+		// The unexpected symbol has no rule: the machine halts.
+	}
+	rules = append(rules,
+		Rule{State: loop, Read: One, Next: loop, Write: One, Move: Right},
+		Rule{State: loop, Read: Blank, Next: loop, Write: Blank, Move: Right},
+	)
+	return NewMachine(rules...)
+}
+
+// Trie returns a one-way machine that sweeps right and halts after exactly
+// len(p) steps whenever the tape (input padded with blanks) starts with a
+// halt prefix p, and diverges otherwise. Halting happens after the machine
+// has stepped past the prefix; contrast EdgeTrie, which halts on reading the
+// prefix's last character and is the Lemma A.2 witness shape.
+//
+// The prefixes must be over {1,&} and prefix-free: if one were a proper
+// prefix of another, the machine would halt at the shorter one and the
+// longer could never be reached. Trie reports such conflicts as errors.
+func Trie(haltPrefixes []string) (*Machine, error) {
+	for _, p := range haltPrefixes {
+		if !ValidInput(p) {
+			return nil, fmt.Errorf("turing: invalid prefix %q", p)
+		}
+	}
+	sorted := append([]string(nil), haltPrefixes...)
+	sort.Strings(sorted)
+	for i := 0; i+1 < len(sorted); i++ {
+		if sorted[i] == sorted[i+1] {
+			// Duplicates are harmless; skip.
+			continue
+		}
+		if len(sorted[i]) < len(sorted[i+1]) && sorted[i+1][:len(sorted[i])] == sorted[i] {
+			return nil, fmt.Errorf("turing: prefix %q is a proper prefix of %q", sorted[i], sorted[i+1])
+		}
+	}
+
+	// Assign states to trie nodes. State 1 is the root (empty prefix).
+	halt := map[string]bool{}
+	nodes := map[string]int{"": 1}
+	order := []string{""}
+	for _, p := range haltPrefixes {
+		halt[p] = true
+		for i := 1; i <= len(p); i++ {
+			prefix := p[:i]
+			if _, ok := nodes[prefix]; !ok {
+				nodes[prefix] = len(nodes) + 1
+				order = append(order, prefix)
+			}
+		}
+	}
+	loop := len(nodes) + 1
+
+	var rules []Rule
+	for _, node := range order {
+		if halt[node] {
+			continue // no outgoing rules: entering this state halts
+		}
+		for _, s := range []byte{One, Blank} {
+			child := node + string(s)
+			next, ok := nodes[child]
+			if !ok {
+				next = loop
+			}
+			rules = append(rules, Rule{State: nodes[node], Read: s, Next: next, Write: s, Move: Right})
+		}
+	}
+	rules = append(rules,
+		Rule{State: loop, Read: One, Next: loop, Write: One, Move: Right},
+		Rule{State: loop, Read: Blank, Next: loop, Write: Blank, Move: Right},
+	)
+	return NewMachine(rules...)
+}
+
+// EdgeTrie returns the Lemma A.2 witness machine: a one-way machine that
+// halts after exactly len(p)−1 steps whenever the tape (input padded with
+// blanks) effectively starts with a halt prefix p, and diverges otherwise.
+//
+// The halt decision is made by the absence of a transition for the state
+// reached after len(p)−1 steps reading p's final character — this is why a
+// machine halting after j−1 steps is determined by the input's effective
+// prefix of length j, which is exactly the prefix length in the paper's
+// Lemma A.2 condition.
+//
+// Prefixes must be nonempty words over {1,&} and effectively prefix-free
+// (no prefix a proper prefix of another); conflicts are reported as errors.
+func EdgeTrie(haltPrefixes []string) (*Machine, error) {
+	for _, p := range haltPrefixes {
+		if p == "" {
+			return nil, fmt.Errorf("turing: empty halt prefix")
+		}
+		if !ValidInput(p) {
+			return nil, fmt.Errorf("turing: invalid prefix %q", p)
+		}
+	}
+	sorted := append([]string(nil), haltPrefixes...)
+	sort.Strings(sorted)
+	for i := 0; i+1 < len(sorted); i++ {
+		if sorted[i] == sorted[i+1] {
+			continue
+		}
+		if len(sorted[i]) < len(sorted[i+1]) && sorted[i+1][:len(sorted[i])] == sorted[i] {
+			return nil, fmt.Errorf("turing: prefix %q is a proper prefix of %q", sorted[i], sorted[i+1])
+		}
+	}
+
+	// States are the proper prefixes of halt prefixes; state 1 is the root.
+	halt := map[string]bool{}
+	nodes := map[string]int{"": 1}
+	order := []string{""}
+	for _, p := range haltPrefixes {
+		halt[p] = true
+		for i := 1; i < len(p); i++ {
+			prefix := p[:i]
+			if _, ok := nodes[prefix]; !ok {
+				nodes[prefix] = len(nodes) + 1
+				order = append(order, prefix)
+			}
+		}
+	}
+	loop := len(nodes) + 1
+
+	var rules []Rule
+	for _, node := range order {
+		for _, s := range []byte{One, Blank} {
+			child := node + string(s)
+			if halt[child] {
+				continue // no rule: reading this character halts
+			}
+			next, ok := nodes[child]
+			if !ok {
+				next = loop
+			}
+			rules = append(rules, Rule{State: nodes[node], Read: s, Next: next, Write: s, Move: Right})
+		}
+	}
+	rules = append(rules,
+		Rule{State: loop, Read: One, Next: loop, Write: One, Move: Right},
+		Rule{State: loop, Read: Blank, Next: loop, Write: Blank, Move: Right},
+	)
+	return NewMachine(rules...)
+}
+
+// EffPrefix returns the length-n effective prefix of w: w truncated or
+// padded with blanks to exactly n characters. Cells beyond a word's end
+// read as blanks, so two inputs with equal effective prefixes of length n
+// are indistinguishable to any machine for its first n steps. Lemma A.2's
+// satisfiability criterion is stated in terms of effective prefixes.
+func EffPrefix(w string, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	if len(w) >= n {
+		return w[:n]
+	}
+	buf := make([]byte, n)
+	copy(buf, w)
+	for i := len(w); i < n; i++ {
+		buf[i] = Blank
+	}
+	return string(buf)
+}

@@ -1,0 +1,145 @@
+package turing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Machine encoding (Section 3 of the paper, details left open there and
+// fixed here; see DESIGN.md):
+//
+// A machine is a word over {1, &, *} containing at least one '*'. Each rule
+// (q, a) -> (q', b, m) is encoded as five nonempty unary fields separated by
+// single '&' characters:
+//
+//	1^q & 1^(a+1) & 1^q' & 1^(b+1) & 1^(m+1)
+//
+// where a and b are 0 for '&' and 1 for '1', and m is 0 for Left and 1 for
+// Right. Each rule is terminated by a '*'; the machine is the concatenation
+// of its encoded rules in canonical order. The machine with no rules is
+// encoded as "*". Decoding is strict: any deviation (empty field, field out
+// of range, duplicate (state, read) pair) is rejected, and such words
+// classify as "other" in the trace domain.
+
+// Delimiter is the rule separator in machine encodings.
+const Delimiter byte = '*'
+
+func symCode(b byte) int {
+	if b == One {
+		return 1
+	}
+	return 0
+}
+
+func codeSym(n int) byte {
+	if n == 1 {
+		return One
+	}
+	return Blank
+}
+
+// Encode renders m as its canonical machine word.
+func Encode(m *Machine) string {
+	rules := m.Rules()
+	if len(rules) == 0 {
+		return string(Delimiter)
+	}
+	var b strings.Builder
+	for _, r := range rules {
+		writeUnary(&b, r.State)
+		b.WriteByte(Blank)
+		writeUnary(&b, symCode(r.Read)+1)
+		b.WriteByte(Blank)
+		writeUnary(&b, r.Next)
+		b.WriteByte(Blank)
+		writeUnary(&b, symCode(r.Write)+1)
+		b.WriteByte(Blank)
+		writeUnary(&b, int(r.Move)+1)
+		b.WriteByte(Delimiter)
+	}
+	return b.String()
+}
+
+func writeUnary(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteByte(One)
+	}
+}
+
+// Decode parses a machine word. It enforces the full well-formedness
+// discipline: alphabet {1,&,*}, at least one '*', '*'-terminated rule list,
+// five nonempty unary fields per rule, symbol and move fields in range, and
+// determinism. It does NOT require canonical rule order, so syntactically
+// different words may decode to behaviourally identical machines — the
+// appendix's Case M relies on there being infinitely many such words.
+func Decode(word string) (*Machine, error) {
+	if word == "" {
+		return nil, fmt.Errorf("turing: empty machine word")
+	}
+	for i := 0; i < len(word); i++ {
+		switch word[i] {
+		case One, Blank, Delimiter:
+		default:
+			return nil, fmt.Errorf("turing: machine word has bad character %q", word[i])
+		}
+	}
+	if word[len(word)-1] != Delimiter {
+		return nil, fmt.Errorf("turing: machine word must end with %q", Delimiter)
+	}
+	if word == string(Delimiter) {
+		return NewMachine()
+	}
+	body := word[:len(word)-1]
+	var rules []Rule
+	for _, enc := range strings.Split(body, string(Delimiter)) {
+		r, err := decodeRule(enc)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return NewMachine(rules...)
+}
+
+func decodeRule(enc string) (Rule, error) {
+	fields := strings.Split(enc, string(Blank))
+	if len(fields) != 5 {
+		return Rule{}, fmt.Errorf("turing: rule %q has %d fields, want 5", enc, len(fields))
+	}
+	vals := make([]int, 5)
+	for i, f := range fields {
+		n, err := unary(f)
+		if err != nil {
+			return Rule{}, fmt.Errorf("turing: rule %q field %d: %v", enc, i, err)
+		}
+		vals[i] = n
+	}
+	if vals[1] < 1 || vals[1] > 2 || vals[3] < 1 || vals[3] > 2 || vals[4] < 1 || vals[4] > 2 {
+		return Rule{}, fmt.Errorf("turing: rule %q has out-of-range symbol/move field", enc)
+	}
+	return Rule{
+		State: vals[0],
+		Read:  codeSym(vals[1] - 1),
+		Next:  vals[2],
+		Write: codeSym(vals[3] - 1),
+		Move:  Move(vals[4] - 1),
+	}, nil
+}
+
+func unary(f string) (int, error) {
+	if f == "" {
+		return 0, fmt.Errorf("empty unary field")
+	}
+	for i := 0; i < len(f); i++ {
+		if f[i] != One {
+			return 0, fmt.Errorf("non-unary character %q", f[i])
+		}
+	}
+	return len(f), nil
+}
+
+// IsMachineWord reports whether word decodes as a machine.
+func IsMachineWord(word string) bool {
+	_, err := Decode(word)
+	return err == nil
+}

@@ -1,0 +1,78 @@
+package turing
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks the machine-word decoder never panics, accepts only the
+// documented alphabet, and round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add("*")
+	f.Add("1&1&1&1&11*")
+	f.Add("1&11&1&11&11*1&1&1&1&11*")
+	f.Add("")
+	f.Add("111")
+	f.Add("**")
+	f.Add("1&11&1&11&111*")
+	f.Add(Encode(LoopForever()))
+	f.Add(Encode(BusyWork(3)))
+	f.Fuzz(func(t *testing.T, word string) {
+		m, err := Decode(word)
+		if err != nil {
+			return
+		}
+		for i := 0; i < len(word); i++ {
+			switch word[i] {
+			case One, Blank, Delimiter:
+			default:
+				t.Fatalf("decoded word %q contains %q", word, word[i])
+			}
+		}
+		// Re-encoding canonicalizes; decoding again is stable.
+		enc := Encode(m)
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding %q does not decode: %v", enc, err)
+		}
+		if Encode(m2) != enc {
+			t.Fatalf("canonicalization unstable")
+		}
+		// The decoded machine simulates without panicking.
+		Run(m, "1&", 50)
+	})
+}
+
+// FuzzParseTrace checks the trace validator never panics and that accepted
+// words really are traces: their machine re-generates them.
+func FuzzParseTrace(f *testing.F) {
+	m := BusyWork(2)
+	enc := Encode(m)
+	for _, tr := range Traces(m, enc, "1&", 5) {
+		f.Add(tr)
+	}
+	f.Add("")
+	f.Add("|")
+	f.Add(enc + "|1|1&||")
+	f.Add(enc + "|garbage")
+	f.Fuzz(func(t *testing.T, word string) {
+		for i := 0; i < len(word); i++ {
+			switch word[i] {
+			case One, Blank, Delimiter, Separator:
+			default:
+				return // outside the alphabet; not a candidate
+			}
+		}
+		p, err := ParseTrace(word)
+		if err != nil {
+			return
+		}
+		regen, err := Trace(p.Machine, p.MachineWord, p.Input, p.Steps)
+		if err != nil || regen != word {
+			t.Fatalf("accepted trace %q does not regenerate (err %v)", word, err)
+		}
+		if !strings.HasPrefix(word, p.MachineWord) {
+			t.Fatalf("machine word %q not a prefix of trace", p.MachineWord)
+		}
+	})
+}

@@ -1,0 +1,381 @@
+// Package turing implements the paper's computational substrate: standard
+// single-tape Turing machines over the tape alphabet {1, &}, their string
+// encodings over {1, &, *}, and the snapshot traces that generate the
+// domain T of Section 3.
+//
+// Conventions (Section 3 of the paper):
+//
+//   - The tape alphabet is {'1', '&'}; '&' is the white-space (blank) marker.
+//   - An input word w ∈ {1,&}* is written on the tape surrounded by
+//     infinitely many blanks; the machine starts in internal state 1 reading
+//     the leftmost character of w (cell 0).
+//   - A machine halts when no transition is defined for its current
+//     (state, symbol) pair.
+//   - If the machine stops, the result is the leftmost maximal run of 1s on
+//     the tape, or the empty word if the tape is all blank.
+package turing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Blank and One are the two tape symbols.
+const (
+	Blank byte = '&'
+	One   byte = '1'
+)
+
+// Move is a head movement direction.
+type Move int
+
+const (
+	// Left moves the head one cell to the left.
+	Left Move = iota
+	// Right moves the head one cell to the right.
+	Right
+)
+
+// String implements fmt.Stringer.
+func (m Move) String() string {
+	if m == Left {
+		return "L"
+	}
+	return "R"
+}
+
+// Rule is one transition: in state State reading Read, write Write, move
+// Move, and enter state Next. States are positive integers; state 1 is the
+// start state.
+type Rule struct {
+	State int
+	Read  byte
+	Next  int
+	Write byte
+	Move  Move
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	return fmt.Sprintf("(%d,%c) -> (%d,%c,%s)", r.State, r.Read, r.Next, r.Write, r.Move)
+}
+
+type ruleKey struct {
+	state int
+	read  byte
+}
+
+// Machine is a deterministic single-tape Turing machine.
+type Machine struct {
+	rules map[ruleKey]Rule
+}
+
+// NewMachine builds a machine from rules. It returns an error if any rule is
+// malformed (non-positive state, bad symbol) or if two rules share a
+// (state, read) pair (nondeterminism).
+func NewMachine(rules ...Rule) (*Machine, error) {
+	m := &Machine{rules: make(map[ruleKey]Rule, len(rules))}
+	for _, r := range rules {
+		if err := checkRule(r); err != nil {
+			return nil, err
+		}
+		k := ruleKey{r.State, r.Read}
+		if prev, dup := m.rules[k]; dup {
+			return nil, fmt.Errorf("turing: conflicting rules %v and %v", prev, r)
+		}
+		m.rules[k] = r
+	}
+	return m, nil
+}
+
+// MustMachine is NewMachine panicking on error; for tests and fixed builders.
+func MustMachine(rules ...Rule) *Machine {
+	m, err := NewMachine(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func checkRule(r Rule) error {
+	if r.State < 1 || r.Next < 1 {
+		return fmt.Errorf("turing: rule %v: states must be positive", r)
+	}
+	if r.Read != Blank && r.Read != One {
+		return fmt.Errorf("turing: rule %v: bad read symbol %q", r, r.Read)
+	}
+	if r.Write != Blank && r.Write != One {
+		return fmt.Errorf("turing: rule %v: bad write symbol %q", r, r.Write)
+	}
+	if r.Move != Left && r.Move != Right {
+		return fmt.Errorf("turing: rule %v: bad move %d", r, int(r.Move))
+	}
+	return nil
+}
+
+// Rules returns the machine's rules in a canonical order (by state, then
+// read symbol, blanks first). Encoding uses this order, so structurally
+// equal machines encode identically.
+func (m *Machine) Rules() []Rule {
+	out := make([]Rule, 0, len(m.rules))
+	for _, r := range m.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].State != out[j].State {
+			return out[i].State < out[j].State
+		}
+		return out[i].Read < out[j].Read // '&' (38) < '1' (49)
+	})
+	return out
+}
+
+// NumRules returns the number of transitions.
+func (m *Machine) NumRules() int { return len(m.rules) }
+
+// Lookup returns the rule for (state, read), if any.
+func (m *Machine) Lookup(state int, read byte) (Rule, bool) {
+	r, ok := m.rules[ruleKey{state, read}]
+	return r, ok
+}
+
+// String renders the rule list.
+func (m *Machine) String() string {
+	rs := m.Rules()
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// ValidInput reports whether w is a word over the input alphabet {1,&}.
+// The empty word is a valid input.
+func ValidInput(w string) bool {
+	for i := 0; i < len(w); i++ {
+		if w[i] != Blank && w[i] != One {
+			return false
+		}
+	}
+	return true
+}
+
+// Config is a machine configuration: tape contents, head position, and
+// internal state. The zero Config is not meaningful; use NewConfig.
+type Config struct {
+	machine *Machine
+	state   int
+	head    int
+	// tape holds cells [origin, origin+len(cells)); everything outside is
+	// blank. Cells are grown on demand.
+	cells    []byte
+	origin   int
+	inputLen int
+	steps    int
+	halted   bool
+}
+
+// NewConfig returns the initial configuration of m on input w. It panics if
+// w contains characters outside {1,&}; validate with ValidInput first.
+func NewConfig(m *Machine, w string) *Config {
+	if !ValidInput(w) {
+		panic(fmt.Sprintf("turing: invalid input word %q", w))
+	}
+	c := &Config{
+		machine:  m,
+		state:    1,
+		head:     0,
+		cells:    []byte(w),
+		origin:   0,
+		inputLen: len(w),
+	}
+	_, c.halted = m.Lookup(c.state, c.At(c.head))
+	c.halted = !c.halted
+	return c
+}
+
+// At returns the symbol at absolute cell position pos.
+func (c *Config) At(pos int) byte {
+	i := pos - c.origin
+	if i < 0 || i >= len(c.cells) {
+		return Blank
+	}
+	return c.cells[i]
+}
+
+func (c *Config) set(pos int, b byte) {
+	i := pos - c.origin
+	switch {
+	case i < 0:
+		grown := make([]byte, len(c.cells)-i)
+		for j := 0; j < -i; j++ {
+			grown[j] = Blank
+		}
+		copy(grown[-i:], c.cells)
+		c.cells = grown
+		c.origin = pos
+		i = 0
+	case i >= len(c.cells):
+		for len(c.cells) <= i {
+			c.cells = append(c.cells, Blank)
+		}
+	}
+	c.cells[i] = b
+}
+
+// State returns the current internal state.
+func (c *Config) State() int { return c.state }
+
+// Head returns the absolute head position.
+func (c *Config) Head() int { return c.head }
+
+// Steps returns the number of steps executed so far.
+func (c *Config) Steps() int { return c.steps }
+
+// Halted reports whether no transition applies.
+func (c *Config) Halted() bool { return c.halted }
+
+// InputLen returns the length of the original input word.
+func (c *Config) InputLen() int { return c.inputLen }
+
+// Step executes one transition. It returns false (and does nothing) if the
+// machine has halted.
+func (c *Config) Step() bool {
+	if c.halted {
+		return false
+	}
+	r, ok := c.machine.Lookup(c.state, c.At(c.head))
+	if !ok {
+		c.halted = true
+		return false
+	}
+	c.set(c.head, r.Write)
+	if r.Move == Left {
+		c.head--
+	} else {
+		c.head++
+	}
+	c.state = r.Next
+	c.steps++
+	_, ok = c.machine.Lookup(c.state, c.At(c.head))
+	c.halted = !ok
+	return true
+}
+
+// Result returns the result of a halted computation: the leftmost maximal
+// run of 1s on the tape, or "" if the tape is all blank. Calling Result on a
+// non-halted configuration returns the same extraction applied to the
+// current tape.
+func (c *Config) Result() string {
+	start := -1
+	for i, b := range c.cells {
+		if b == One {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			return string(c.cells[start:i])
+		}
+	}
+	if start >= 0 {
+		return string(c.cells[start:])
+	}
+	return ""
+}
+
+// NonBlankExtent returns the minimal interval [lo, hi] covering the
+// non-blank cells, or empty when the tape is all blank.
+func (c *Config) NonBlankExtent() (lo, hi int, empty bool) {
+	empty = true
+	for i, b := range c.cells {
+		if b != One {
+			continue
+		}
+		pos := c.origin + i
+		if empty || pos < lo {
+			lo = pos
+		}
+		if empty || pos > hi {
+			hi = pos
+		}
+		empty = false
+	}
+	return lo, hi, empty
+}
+
+// Window returns the tape window rendered in snapshots: the minimal cell
+// interval covering all non-blank cells, the initial extent of the input
+// word, and (after at least one step) the head. See DESIGN.md: including the
+// initial extent makes the first snapshot's tape field the input word
+// verbatim, so the trace-domain function w(x) is well defined.
+func (c *Config) Window() (lo, hi int, empty bool) {
+	lo, hi = 0, c.inputLen-1 // initial extent; empty when inputLen == 0
+	have := c.inputLen > 0
+	for i, b := range c.cells {
+		if b != One {
+			continue
+		}
+		pos := c.origin + i
+		if !have || pos < lo {
+			lo = pos
+		}
+		if !have || pos > hi {
+			hi = pos
+		}
+		have = true
+	}
+	if c.steps > 0 {
+		if !have || c.head < lo {
+			lo = c.head
+		}
+		if !have || c.head > hi {
+			hi = c.head
+		}
+		have = true
+	}
+	if !have {
+		return 0, -1, true
+	}
+	return lo, hi, false
+}
+
+// TapeWindow returns the symbols of the snapshot window as a string.
+func (c *Config) TapeWindow() string {
+	lo, hi, empty := c.Window()
+	if empty {
+		return ""
+	}
+	buf := make([]byte, hi-lo+1)
+	for i := range buf {
+		buf[i] = c.At(lo + i)
+	}
+	return string(buf)
+}
+
+// RunResult describes the outcome of a budgeted run.
+type RunResult struct {
+	// Halted is true if the machine stopped within the budget.
+	Halted bool
+	// Steps is the number of steps executed (the full budget if !Halted).
+	Steps int
+	// Output is the computation result; meaningful only if Halted.
+	Output string
+}
+
+// Run executes m on w for at most budget steps.
+func Run(m *Machine, w string, budget int) RunResult {
+	c := NewConfig(m, w)
+	for !c.halted && c.steps < budget {
+		c.Step()
+	}
+	return RunResult{Halted: c.halted, Steps: c.steps, Output: c.Result()}
+}
+
+// StepsToHalt returns the number of steps m takes to halt on w, capped by
+// budget. ok is false if the machine was still running when the budget ran
+// out.
+func StepsToHalt(m *Machine, w string, budget int) (steps int, ok bool) {
+	r := Run(m, w, budget)
+	return r.Steps, r.Halted
+}

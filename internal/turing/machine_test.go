@@ -1,0 +1,579 @@
+package turing
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewMachineValidation(t *testing.T) {
+	ok := Rule{State: 1, Read: One, Next: 2, Write: Blank, Move: Right}
+	if _, err := NewMachine(ok); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	bad := []Rule{
+		{State: 0, Read: One, Next: 1, Write: One, Move: Right},
+		{State: 1, Read: One, Next: 0, Write: One, Move: Right},
+		{State: 1, Read: 'x', Next: 1, Write: One, Move: Right},
+		{State: 1, Read: One, Next: 1, Write: 'x', Move: Right},
+		{State: 1, Read: One, Next: 1, Write: One, Move: Move(7)},
+	}
+	for _, r := range bad {
+		if _, err := NewMachine(r); err == nil {
+			t.Errorf("bad rule %v accepted", r)
+		}
+	}
+	// Nondeterminism.
+	if _, err := NewMachine(ok, Rule{State: 1, Read: One, Next: 3, Write: One, Move: Left}); err == nil {
+		t.Errorf("conflicting rules accepted")
+	}
+}
+
+func TestRunLoopForever(t *testing.T) {
+	r := Run(LoopForever(), "11", 1000)
+	if r.Halted {
+		t.Fatalf("LoopForever halted after %d steps", r.Steps)
+	}
+	if r.Steps != 1000 {
+		t.Errorf("budget not consumed: %d", r.Steps)
+	}
+}
+
+func TestRunHaltImmediately(t *testing.T) {
+	r := Run(HaltImmediately(), "1&1", 10)
+	if !r.Halted || r.Steps != 0 {
+		t.Fatalf("expected immediate halt, got %+v", r)
+	}
+	if r.Output != "1" {
+		t.Errorf("leftmost 1-run of %q should be %q, got %q", "1&1", "1", r.Output)
+	}
+}
+
+func TestBusyWorkStepsExact(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 17} {
+		m := BusyWork(n)
+		for _, w := range []string{"", "1", "&&", "1&1&11"} {
+			steps, ok := StepsToHalt(m, w, n+10)
+			if !ok || steps != n {
+				t.Errorf("BusyWork(%d) on %q: steps=%d ok=%v", n, w, steps, ok)
+			}
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	m := Successor()
+	for _, c := range []struct{ in, out string }{
+		{"", "1"},
+		{"1", "11"},
+		{"111", "1111"},
+	} {
+		r := Run(m, c.in, 100)
+		if !r.Halted {
+			t.Fatalf("Successor diverged on %q", c.in)
+		}
+		if r.Output != c.out {
+			t.Errorf("Successor(%q) = %q, want %q", c.in, r.Output, c.out)
+		}
+	}
+}
+
+func TestEraseAndHalt(t *testing.T) {
+	r := Run(EraseAndHalt(), "111", 100)
+	if !r.Halted || r.Output != "" {
+		t.Errorf("EraseAndHalt: %+v", r)
+	}
+	if r.Steps != 3 {
+		t.Errorf("steps = %d, want 3", r.Steps)
+	}
+}
+
+func TestHaltIffStartsWithOne(t *testing.T) {
+	m := HaltIffStartsWithOne()
+	if r := Run(m, "1&", 100); !r.Halted {
+		t.Errorf("should halt on input starting with 1")
+	}
+	if r := Run(m, "&1", 100); r.Halted {
+		t.Errorf("should diverge on input starting with blank")
+	}
+	if r := Run(m, "", 100); r.Halted {
+		t.Errorf("should diverge on empty input")
+	}
+}
+
+func TestTapeGrowsLeft(t *testing.T) {
+	// Machine writes 1 and walks left twice, then halts.
+	m := MustMachine(
+		Rule{State: 1, Read: Blank, Next: 2, Write: One, Move: Left},
+		Rule{State: 2, Read: Blank, Next: 3, Write: One, Move: Left},
+	)
+	c := NewConfig(m, "")
+	c.Step()
+	c.Step()
+	if !c.Halted() {
+		t.Fatalf("not halted")
+	}
+	if got := c.At(0); got != One {
+		t.Errorf("cell 0 = %q", got)
+	}
+	if got := c.At(-1); got != One {
+		t.Errorf("cell -1 = %q", got)
+	}
+	if got := c.At(-2); got != Blank {
+		t.Errorf("cell -2 = %q", got)
+	}
+	if c.Head() != -2 {
+		t.Errorf("head = %d", c.Head())
+	}
+	if c.Result() != "11" {
+		t.Errorf("result = %q", c.Result())
+	}
+}
+
+func TestResultLeftmostRun(t *testing.T) {
+	cases := []struct{ tape, want string }{
+		{"", ""},
+		{"&&&", ""},
+		{"11&111", "11"},
+		{"&1&11", "1"},
+	}
+	for _, cse := range cases {
+		c := NewConfig(HaltImmediately(), cse.tape)
+		if got := c.Result(); got != cse.want {
+			t.Errorf("Result(%q) = %q, want %q", cse.tape, got, cse.want)
+		}
+	}
+}
+
+func TestValidInput(t *testing.T) {
+	if !ValidInput("") || !ValidInput("1&1") {
+		t.Errorf("valid inputs rejected")
+	}
+	if ValidInput("1*") || ValidInput("abc") || ValidInput("1|") {
+		t.Errorf("invalid inputs accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	machines := []*Machine{
+		HaltImmediately(), LoopForever(), Successor(), BusyWork(3),
+		EraseAndHalt(), HaltIffStartsWithOne(),
+	}
+	tr, err := Trie([]string{"11", "1&"})
+	if err != nil {
+		t.Fatalf("Trie: %v", err)
+	}
+	machines = append(machines, tr)
+	for _, m := range machines {
+		enc := Encode(m)
+		if strings.IndexByte(enc, Delimiter) < 0 {
+			t.Errorf("encoding %q contains no delimiter", enc)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if Encode(got) != enc {
+			t.Errorf("round trip mismatch for %v", m)
+		}
+		if got.NumRules() != m.NumRules() {
+			t.Errorf("rule count changed: %d -> %d", m.NumRules(), got.NumRules())
+		}
+	}
+}
+
+func TestEncodeZeroRules(t *testing.T) {
+	if enc := Encode(HaltImmediately()); enc != "*" {
+		t.Errorf("zero-rule machine encodes as %q", enc)
+	}
+	m, err := Decode("*")
+	if err != nil || m.NumRules() != 0 {
+		t.Errorf("Decode(*) = %v, %v", m, err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                          // empty
+		"11",                        // no delimiter
+		"1&11&1&11&1",               // missing trailing delimiter
+		"1&11&1&11*",                // four fields
+		"1&11&1&11&1&1*",            // six fields
+		"&11&1&11&1*",               // empty first field
+		"1&111&1&11&1*",             // symbol field out of range (3)
+		"1&11&1&11&111*",            // move field out of range
+		"1&11&1&11&1*x",             // bad character
+		"1&11&1&11&1*1&11&2&11&1*",  // non-unary field
+		"1&11&1&11&1*1&11&1&11&11*", // duplicate (state, read)
+		"**",                        // empty rule between delimiters
+	}
+	for _, w := range bad {
+		if m, err := Decode(w); err == nil {
+			t.Errorf("Decode(%q) accepted: %v", w, m)
+		}
+	}
+}
+
+func TestDecodeNonCanonicalOrder(t *testing.T) {
+	// The same two rules in both orders decode to the same machine but are
+	// different words — the "infinitely many behaviourally equivalent but
+	// syntactically different machines" of Case M.
+	r1 := "1&11&1&11&11*" // (1,'1') -> (1,'1',R)
+	r2 := "1&1&1&1&11*"   // (1,'&') -> (1,'&',R)
+	a, err := Decode(r1 + r2)
+	if err != nil {
+		t.Fatalf("decode a: %v", err)
+	}
+	b, err := Decode(r2 + r1)
+	if err != nil {
+		t.Fatalf("decode b: %v", err)
+	}
+	if Encode(a) != Encode(b) {
+		t.Errorf("same rules should canonicalize identically")
+	}
+	if r1+r2 == r2+r1 {
+		t.Errorf("words should differ")
+	}
+}
+
+func TestIsMachineWord(t *testing.T) {
+	if !IsMachineWord(Encode(LoopForever())) {
+		t.Errorf("encoded machine not recognized")
+	}
+	if IsMachineWord("111") || IsMachineWord("1|1") {
+		t.Errorf("non-machine words accepted")
+	}
+}
+
+func TestTraceFirstSnapshot(t *testing.T) {
+	m := LoopForever()
+	enc := Encode(m)
+	tr, err := Trace(m, enc, "1&1", 0)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	want := enc + "|" + "1|1&1||"
+	if tr != want {
+		t.Errorf("trace = %q, want %q", tr, want)
+	}
+}
+
+func TestTraceCountsMatchSteps(t *testing.T) {
+	m := BusyWork(4)
+	enc := Encode(m)
+	all := Traces(m, enc, "11", 100)
+	if len(all) != 5 {
+		t.Fatalf("BusyWork(4) should have 5 traces, got %d", len(all))
+	}
+	// All distinct and strictly increasing in length.
+	for i := 1; i < len(all); i++ {
+		if len(all[i]) <= len(all[i-1]) {
+			t.Errorf("trace lengths not increasing")
+		}
+	}
+	// Requesting more steps than the machine runs is an error.
+	if _, err := Trace(m, enc, "11", 5); err == nil {
+		t.Errorf("Trace beyond halt should fail")
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	machines := []*Machine{LoopForever(), BusyWork(3), Successor(), HaltIffStartsWithOne()}
+	inputs := []string{"", "1", "&", "11&1", "&&&"}
+	for _, m := range machines {
+		enc := Encode(m)
+		for _, w := range inputs {
+			for _, tr := range Traces(m, enc, w, 6) {
+				p, err := ParseTrace(tr)
+				if err != nil {
+					t.Fatalf("ParseTrace(%q): %v", tr, err)
+				}
+				if p.MachineWord != enc {
+					t.Errorf("machine word %q, want %q", p.MachineWord, enc)
+				}
+				if p.Input != w {
+					t.Errorf("input %q, want %q (trace %q)", p.Input, w, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestParseTraceRejectsForgeries(t *testing.T) {
+	m := BusyWork(2)
+	enc := Encode(m)
+	tr, err := Trace(m, enc, "11", 2)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	forgeries := []string{
+		"",
+		"|",
+		enc,                                // no snapshots
+		enc + "|",                          // no snapshots
+		enc + "|1|11|",                     // incomplete snapshot
+		enc + "|1|11||1|11||",              // second snapshot is not a step
+		tr[:len(tr)-1],                     // truncated
+		tr + "1|11||",                      // extra bogus snapshot
+		strings.Replace(tr, "11", "1&", 1), // corrupted tape field
+	}
+	for _, f := range forgeries {
+		if IsTraceWord(f) {
+			t.Errorf("forged trace accepted: %q", f)
+		}
+	}
+}
+
+func TestTraceOfNonCanonicalMachineWord(t *testing.T) {
+	// A trace whose machine prefix is a non-canonical encoding must verify
+	// against that same prefix.
+	r1 := "1&11&1&11&11*"
+	r2 := "1&1&1&1&11*"
+	word := r2 + r1 // non-canonical order
+	m, err := Decode(word)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	tr, err := Trace(m, word, "1", 2)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	p, err := ParseTrace(tr)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if p.MachineWord != word {
+		t.Errorf("machine word %q, want %q", p.MachineWord, word)
+	}
+}
+
+func TestEmptyInputTrace(t *testing.T) {
+	m := Successor()
+	enc := Encode(m)
+	tr, err := Trace(m, enc, "", 0)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	// First snapshot of the empty input: state 1, empty tape, offset 0.
+	want := enc + "|1|||"
+	if tr != want {
+		t.Errorf("trace = %q, want %q", tr, want)
+	}
+	p, err := ParseTrace(tr)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if p.Input != "" {
+		t.Errorf("input %q, want empty", p.Input)
+	}
+}
+
+func TestTrailingBlankInputsDistinctTraces(t *testing.T) {
+	// "1" and "1&" behave identically but must yield distinct traces, or
+	// the trace-domain function w(x) would be ill-defined.
+	m := LoopForever()
+	enc := Encode(m)
+	t1, err := Trace(m, enc, "1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Trace(m, enc, "1&", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == t2 {
+		t.Errorf("traces of %q and %q coincide: %q", "1", "1&", t1)
+	}
+}
+
+func TestWindowIncludesHeadAfterSteps(t *testing.T) {
+	// Machine walks left immediately: head leaves the input extent and the
+	// window must follow it.
+	m := MustMachine(
+		Rule{State: 1, Read: One, Next: 2, Write: One, Move: Left},
+		Rule{State: 2, Read: Blank, Next: 3, Write: Blank, Move: Left},
+	)
+	c := NewConfig(m, "1")
+	c.Step()
+	lo, hi, empty := c.Window()
+	if empty || lo != -1 || hi != 0 {
+		t.Errorf("window = [%d,%d] empty=%v, want [-1,0]", lo, hi, empty)
+	}
+	if got := c.TapeWindow(); got != "&1" {
+		t.Errorf("tape window %q, want \"&1\"", got)
+	}
+	snap := Snapshot(c)
+	if snap != "11|&1||" {
+		t.Errorf("snapshot %q", snap)
+	}
+}
+
+func TestTrie(t *testing.T) {
+	m, err := Trie([]string{"11", "1&", "&&&"})
+	if err != nil {
+		t.Fatalf("Trie: %v", err)
+	}
+	cases := []struct {
+		input string
+		steps int // -1 means diverges
+	}{
+		{"111", 2},  // matches "11" after 2 steps
+		{"11", 2},   // exactly the prefix
+		{"1&1", 2},  // matches "1&"
+		{"1", 2},    // effective prefix "1&" matches "1&"
+		{"&&&1", 3}, // matches "&&&"
+		{"&", 3},    // pads to "&&&"
+		{"", 3},     // pads to "&&&"
+		{"&1", -1},  // no halt prefix matches
+	}
+	for _, c := range cases {
+		steps, halted := StepsToHalt(m, c.input, 1000)
+		if c.steps < 0 {
+			if halted {
+				t.Errorf("Trie on %q should diverge, halted after %d", c.input, steps)
+			}
+			continue
+		}
+		if !halted || steps != c.steps {
+			t.Errorf("Trie on %q: steps=%d halted=%v, want %d", c.input, steps, halted, c.steps)
+		}
+	}
+}
+
+func TestTriePrefixFreeCheck(t *testing.T) {
+	if _, err := Trie([]string{"1", "11"}); err == nil {
+		t.Errorf("proper-prefix conflict accepted")
+	}
+	if _, err := Trie([]string{"", "1"}); err == nil {
+		t.Errorf("empty prefix conflict accepted")
+	}
+	if _, err := Trie([]string{"11", "11"}); err != nil {
+		t.Errorf("duplicates should be fine: %v", err)
+	}
+	if _, err := Trie([]string{"1*"}); err == nil {
+		t.Errorf("invalid alphabet accepted")
+	}
+}
+
+func TestTrieEmptyPrefixAlone(t *testing.T) {
+	m, err := Trie([]string{""})
+	if err != nil {
+		t.Fatalf("Trie: %v", err)
+	}
+	for _, w := range []string{"", "1", "&&"} {
+		steps, halted := StepsToHalt(m, w, 10)
+		if !halted || steps != 0 {
+			t.Errorf("empty-prefix trie on %q: steps=%d halted=%v", w, steps, halted)
+		}
+	}
+}
+
+func TestReadThenLoop(t *testing.T) {
+	m, err := ReadThenLoop("1&1")
+	if err != nil {
+		t.Fatalf("ReadThenLoop: %v", err)
+	}
+	// Matching input: diverges.
+	if r := Run(m, "1&1&", 1000); r.Halted {
+		t.Errorf("should diverge on matching input")
+	}
+	// Mismatch at position 1: halts after 1 step.
+	steps, halted := StepsToHalt(m, "11", 1000)
+	if !halted || steps != 1 {
+		t.Errorf("mismatch halt: steps=%d halted=%v", steps, halted)
+	}
+	// Too-short input pads with blanks: "1" ~ "1&&…" matches "1&" then
+	// mismatches at position 2 ('1' expected, '&' read).
+	steps, halted = StepsToHalt(m, "1", 1000)
+	if !halted || steps != 2 {
+		t.Errorf("padded mismatch: steps=%d halted=%v", steps, halted)
+	}
+	if _, err := ReadThenLoop("1*"); err == nil {
+		t.Errorf("invalid word accepted")
+	}
+}
+
+func TestEffPrefix(t *testing.T) {
+	cases := []struct {
+		w    string
+		n    int
+		want string
+	}{
+		{"11", 0, ""},
+		{"11", 1, "1"},
+		{"11", 2, "11"},
+		{"11", 4, "11&&"},
+		{"", 3, "&&&"},
+		{"1&1", 2, "1&"},
+	}
+	for _, c := range cases {
+		if got := EffPrefix(c.w, c.n); got != c.want {
+			t.Errorf("EffPrefix(%q,%d) = %q, want %q", c.w, c.n, got, c.want)
+		}
+	}
+}
+
+// TestEffectivePrefixDeterminesBehaviour is the semantic fact behind the
+// Lemma A.2 criterion: two inputs with equal effective prefixes of length n
+// are indistinguishable for the first n steps.
+func TestEffectivePrefixDeterminesBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randWord := func(maxLen int) string {
+		n := rng.Intn(maxLen + 1)
+		b := make([]byte, n)
+		for i := range b {
+			if rng.Intn(2) == 0 {
+				b[i] = One
+			} else {
+				b[i] = Blank
+			}
+		}
+		return string(b)
+	}
+	randMachine := func() *Machine {
+		states := 1 + rng.Intn(4)
+		var rules []Rule
+		for q := 1; q <= states; q++ {
+			for _, s := range []byte{One, Blank} {
+				if rng.Intn(5) == 0 {
+					continue // leave some halting holes
+				}
+				mv := Left
+				if rng.Intn(2) == 0 {
+					mv = Right
+				}
+				wr := One
+				if rng.Intn(2) == 0 {
+					wr = Blank
+				}
+				rules = append(rules, Rule{State: q, Read: s, Next: 1 + rng.Intn(states), Write: wr, Move: mv})
+			}
+		}
+		return MustMachine(rules...)
+	}
+	for i := 0; i < 200; i++ {
+		m := randMachine()
+		w1 := randWord(6)
+		n := rng.Intn(6)
+		// w2 shares the effective prefix of length n but differs afterwards.
+		w2 := EffPrefix(w1, n) + randWord(4)
+		c1 := NewConfig(m, w1)
+		c2 := NewConfig(m, w2)
+		for s := 0; s < n; s++ {
+			h1 := c1.Halted()
+			h2 := c2.Halted()
+			if h1 != h2 {
+				t.Fatalf("halting behaviour diverged at step %d within shared prefix %d: %q vs %q on %v",
+					s, n, w1, w2, m)
+			}
+			if h1 {
+				break
+			}
+			if c1.State() != c2.State() || c1.Head() != c2.Head() {
+				t.Fatalf("configurations diverged at step %d within shared prefix %d", s, n)
+			}
+			c1.Step()
+			c2.Step()
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package turing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genMachine wraps a random deterministic machine for testing/quick.
+type genMachine struct {
+	M *Machine
+}
+
+// Generate implements quick.Generator.
+func (genMachine) Generate(rng *rand.Rand, size int) reflect.Value {
+	states := 1 + rng.Intn(5)
+	var rules []Rule
+	for q := 1; q <= states; q++ {
+		for _, s := range []byte{One, Blank} {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			mv := Left
+			if rng.Intn(2) == 0 {
+				mv = Right
+			}
+			wr := One
+			if rng.Intn(2) == 0 {
+				wr = Blank
+			}
+			rules = append(rules, Rule{State: q, Read: s, Next: 1 + rng.Intn(states), Write: wr, Move: mv})
+		}
+	}
+	return reflect.ValueOf(genMachine{M: MustMachine(rules...)})
+}
+
+// genInput wraps a random input word.
+type genInput struct {
+	W string
+}
+
+// Generate implements quick.Generator.
+func (genInput) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		if rng.Intn(2) == 0 {
+			b[i] = One
+		} else {
+			b[i] = Blank
+		}
+	}
+	return reflect.ValueOf(genInput{W: string(b)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// TestQuickEncodeDecodeRoundTrip: Encode∘Decode is the identity on
+// canonical machine words, and Decode∘Encode preserves behaviour (same rule
+// set).
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	prop := func(g genMachine) bool {
+		enc := Encode(g.M)
+		back, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return Encode(back) == enc && back.NumRules() == g.M.NumRules()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMachineWordsClassify: every encoded machine is a machine word;
+// appending a stray character breaks it.
+func TestQuickMachineWordsClassify(t *testing.T) {
+	prop := func(g genMachine) bool {
+		enc := Encode(g.M)
+		if !IsMachineWord(enc) {
+			return false
+		}
+		return !IsMachineWord(enc + "1")
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTraceRoundTrip: every generated trace parses back to its
+// machine, input, and step count.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	prop := func(g genMachine, in genInput) bool {
+		enc := Encode(g.M)
+		for steps, tr := range Traces(g.M, enc, in.W, 4) {
+			p, err := ParseTrace(tr)
+			if err != nil {
+				return false
+			}
+			if p.MachineWord != enc || p.Input != in.W || p.Steps != steps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTracesDistinct: traces of the same run are pairwise distinct
+// (the trace-count identity D/E rests on this).
+func TestQuickTracesDistinct(t *testing.T) {
+	prop := func(g genMachine, in genInput) bool {
+		seen := map[string]bool{}
+		for _, tr := range Traces(g.M, Encode(g.M), in.W, 5) {
+			if seen[tr] {
+				return false
+			}
+			seen[tr] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStepDeterminism: running twice from the same input gives the
+// same halting status, step count, and output.
+func TestQuickStepDeterminism(t *testing.T) {
+	prop := func(g genMachine, in genInput) bool {
+		a := Run(g.M, in.W, 200)
+		b := Run(g.M, in.W, 200)
+		return a == b
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWindowCoversHead: after at least one step the snapshot window
+// always contains the head, so head offsets are non-negative.
+func TestQuickWindowCoversHead(t *testing.T) {
+	prop := func(g genMachine, in genInput) bool {
+		c := NewConfig(g.M, in.W)
+		for i := 0; i < 20 && !c.Halted(); i++ {
+			c.Step()
+			lo, hi, empty := c.Window()
+			if empty {
+				return false
+			}
+			if c.Head() < lo || c.Head() > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEffPrefixIdempotent: EffPrefix is idempotent at fixed length and
+// monotone under extension.
+func TestQuickEffPrefixIdempotent(t *testing.T) {
+	prop := func(in genInput, nRaw uint8) bool {
+		n := int(nRaw % 8)
+		p := EffPrefix(in.W, n)
+		if len(p) != n {
+			return false
+		}
+		if EffPrefix(p, n) != p {
+			return false
+		}
+		// Extending the word beyond n never changes the prefix.
+		return EffPrefix(in.W+"1", n) == p || len(in.W) < n
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

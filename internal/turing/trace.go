@@ -1,0 +1,151 @@
+package turing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Traces (Section 3 of the paper). A trace of machine M on input w is a word
+// over the four-letter alphabet {1, &, *, |} recording a partial computation
+// as a sequence of snapshots. The paper's separator '⋆' is rendered '|'.
+//
+// Layout:
+//
+//	enc(M) '|' snap_0 snap_1 … snap_j
+//
+// where snapshot i is three '|'-terminated fields
+//
+//	1^state_i '|' tapeWindow_i '|' 1^headOffset_i '|'
+//
+// The tape window is Config.TapeWindow (minimal window covering non-blanks,
+// the initial input extent, and — after the first step — the head), and the
+// head offset is the head position relative to the window start, in unary.
+// The first snapshot is therefore 1 | w | |, matching the paper's "1 ⋆ w ⋆"
+// with position the empty unary word.
+//
+// A machine halting after s steps has exactly the s+1 traces with
+// j = 0 … s; a diverging machine has infinitely many traces.
+
+// Separator is the snapshot-field separator in traces (the paper's '⋆').
+const Separator byte = '|'
+
+// Snapshot renders the current configuration as a three-field snapshot.
+func Snapshot(c *Config) string {
+	var b strings.Builder
+	writeSnapshot(&b, c)
+	return b.String()
+}
+
+func writeSnapshot(b *strings.Builder, c *Config) {
+	writeUnary(b, c.state)
+	b.WriteByte(Separator)
+	b.WriteString(c.TapeWindow())
+	b.WriteByte(Separator)
+	lo, _, empty := c.Window()
+	if empty {
+		lo = 0
+	}
+	writeUnary(b, c.head-lo)
+	b.WriteByte(Separator)
+}
+
+// Trace returns the trace of m on w after exactly steps steps, or an error
+// if the machine halts earlier. enc must be the encoding used in the trace
+// prefix; pass Encode(m) for canonical traces, or a non-canonical encoding
+// that decodes to m.
+func Trace(m *Machine, enc, w string, steps int) (string, error) {
+	if !ValidInput(w) {
+		return "", fmt.Errorf("turing: invalid input word %q", w)
+	}
+	var b strings.Builder
+	b.WriteString(enc)
+	b.WriteByte(Separator)
+	c := NewConfig(m, w)
+	writeSnapshot(&b, c)
+	for i := 0; i < steps; i++ {
+		if !c.Step() {
+			return "", fmt.Errorf("turing: machine halted after %d steps, cannot trace %d", i, steps)
+		}
+		writeSnapshot(&b, c)
+	}
+	return b.String(), nil
+}
+
+// Traces returns all traces of m on w with at most maxSteps steps, in order
+// of increasing length. If the machine halts within maxSteps the list is
+// complete (it has steps+1 entries); otherwise it is the finite prefix of an
+// infinite trace family.
+func Traces(m *Machine, enc, w string, maxSteps int) []string {
+	var out []string
+	var b strings.Builder
+	b.WriteString(enc)
+	b.WriteByte(Separator)
+	c := NewConfig(m, w)
+	writeSnapshot(&b, c)
+	out = append(out, b.String())
+	for i := 0; i < maxSteps && !c.Halted(); i++ {
+		c.Step()
+		writeSnapshot(&b, c)
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// ParsedTrace is the decomposition of a well-formed trace word.
+type ParsedTrace struct {
+	// MachineWord is the encoded machine (the prefix before the first '|').
+	MachineWord string
+	// Machine is its decoding.
+	Machine *Machine
+	// Input is the input word (the tape field of the first snapshot).
+	Input string
+	// Steps is the number of computation steps recorded (snapshots - 1).
+	Steps int
+}
+
+// ParseTrace checks whether word is a trace — of some machine on some input
+// — and decomposes it. Validation is by regeneration: the machine prefix is
+// decoded, the input word extracted from the first snapshot, and the trace
+// recomputed and compared byte for byte. This is the recursiveness of the
+// predicate P (Fact A.1): membership is decidable by direct simulation.
+func ParseTrace(word string) (*ParsedTrace, error) {
+	sep := strings.IndexByte(word, Separator)
+	if sep < 0 {
+		return nil, fmt.Errorf("turing: no separator in candidate trace")
+	}
+	encM := word[:sep]
+	m, err := Decode(encM)
+	if err != nil {
+		return nil, fmt.Errorf("turing: trace machine prefix: %v", err)
+	}
+	rest := word[sep+1:]
+	fields := strings.Split(rest, string(Separator))
+	// A '|'-terminated field list splits into n+1 parts with an empty last
+	// part; snapshots have 3 fields each.
+	if len(fields) < 4 || fields[len(fields)-1] != "" {
+		return nil, fmt.Errorf("turing: malformed snapshot fields")
+	}
+	fields = fields[:len(fields)-1]
+	if len(fields)%3 != 0 {
+		return nil, fmt.Errorf("turing: snapshot field count %d not a multiple of 3", len(fields))
+	}
+	steps := len(fields)/3 - 1
+	input := fields[1]
+	if !ValidInput(input) {
+		return nil, fmt.Errorf("turing: first snapshot tape %q is not an input word", input)
+	}
+	regen, err := Trace(m, encM, input, steps)
+	if err != nil {
+		return nil, err
+	}
+	if regen != word {
+		return nil, fmt.Errorf("turing: snapshot sequence is not a computation of the machine")
+	}
+	return &ParsedTrace{MachineWord: encM, Machine: m, Input: input, Steps: steps}, nil
+}
+
+// IsTraceWord reports whether word is a trace.
+func IsTraceWord(word string) bool {
+	_, err := ParseTrace(word)
+	return err == nil
+}

@@ -1,0 +1,107 @@
+package finq
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+)
+
+// stateJSON is the on-disk form of a database state:
+//
+//	{
+//	  "relations": {"F": [["adam", "abel"], ["adam", "cain"]]},
+//	  "constants": {"c": "1&1"}
+//	}
+//
+// Every value is a string naming a domain element (numerals for the
+// arithmetic domains, words for the others).
+type stateJSON struct {
+	Relations map[string][][]string `json:"relations"`
+	Constants map[string]string     `json:"constants,omitempty"`
+}
+
+// ParseState decodes a JSON state over the given domain, building the
+// scheme from the data: relation arities are taken from the first row.
+func ParseState(d DomainInfo, data []byte) (*State, error) {
+	var raw stateJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("finq: bad state JSON: %w", err)
+	}
+	relations := map[string]int{}
+	for name, rows := range raw.Relations {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("finq: relation %q has no rows; arity unknown (add at least one row or omit it)", name)
+		}
+		relations[name] = len(rows[0])
+	}
+	var constants []string
+	for name := range raw.Constants {
+		constants = append(constants, name)
+	}
+	scheme, err := db.NewScheme(relations, constants...)
+	if err != nil {
+		return nil, err
+	}
+	st := db.NewState(scheme)
+	for name, rows := range raw.Relations {
+		for _, row := range rows {
+			if len(row) != relations[name] {
+				return nil, fmt.Errorf("finq: relation %q has rows of differing widths", name)
+			}
+			tuple := make([]domain.Value, len(row))
+			for i, cell := range row {
+				v, err := d.Domain.ConstValue(cell)
+				if err != nil {
+					return nil, fmt.Errorf("finq: relation %q row %v: %w", name, row, err)
+				}
+				tuple[i] = v
+			}
+			if err := st.Insert(name, tuple...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for name, cell := range raw.Constants {
+		v, err := d.Domain.ConstValue(cell)
+		if err != nil {
+			return nil, fmt.Errorf("finq: constant %q: %w", name, err)
+		}
+		if err := st.SetConstant(name, v); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// MarshalState encodes a state as JSON.
+func MarshalState(d DomainInfo, st *State) ([]byte, error) {
+	out := stateJSON{Relations: map[string][][]string{}, Constants: map[string]string{}}
+	for name := range st.Scheme().Relations {
+		rel, err := st.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]string, 0, rel.Len())
+		for _, tuple := range rel.Tuples() {
+			row := make([]string, len(tuple))
+			for i, v := range tuple {
+				row[i] = d.Domain.ConstName(v)
+			}
+			rows = append(rows, row)
+		}
+		out.Relations[name] = rows
+	}
+	for _, cname := range st.Scheme().Constants {
+		v, err := st.Constant(cname)
+		if err != nil {
+			continue // unset constants are omitted
+		}
+		out.Constants[cname] = d.Domain.ConstName(v)
+	}
+	if len(out.Constants) == 0 {
+		out.Constants = nil
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
