@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench measures the observability layer's overhead on EvalActive
+# (instrumented vs. uninstrumented) and writes BENCH_obs.json.
+bench:
+	BENCH_OBS=1 $(GO) test -run TestWriteBenchObs -count=1 -v .

@@ -17,33 +17,47 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	finq "repro"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args, debugAddr := extractDebugAddr(os.Args[1:])
+	if debugAddr != "" {
+		addr, err := finq.ServeDebug(debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "finq:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "finq: debug server on http://%s/debug/obs (pprof under /debug/pprof/)\n", addr)
+	}
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
+	case "version", "-version", "--version":
+		fmt.Println(finq.Version())
+	case "stats":
+		os.Stdout.Write(append(finq.StatsJSON(), '\n'))
 	case "domains":
 		for _, d := range finq.Domains() {
 			fmt.Printf("%-12s %s\n", d.Name, d.Doc)
 		}
 	case "decide":
-		err = runDecide(os.Args[2:])
+		err = runDecide(args[1:])
 	case "eval":
-		err = runEval(os.Args[2:])
+		err = runEval(args[1:])
 	case "translate":
-		err = runTranslate(os.Args[2:])
+		err = runTranslate(args[1:])
 	case "saferange":
-		err = runSafeRange(os.Args[2:])
+		err = runSafeRange(args[1:])
 	case "algebra":
-		err = runAlgebra(os.Args[2:])
+		err = runAlgebra(args[1:])
 	case "repl":
-		err = runREPL(os.Args[2:])
+		err = runREPL(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -54,6 +68,30 @@ func main() {
 	}
 }
 
+// extractDebugAddr strips a global -debug-addr flag (either "-debug-addr
+// <addr>" or "-debug-addr=<addr>", anywhere on the command line) so it
+// works uniformly across subcommands without threading it through each
+// FlagSet.
+func extractDebugAddr(args []string) (rest []string, addr string) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-debug-addr" || a == "--debug-addr":
+			if i+1 < len(args) {
+				addr = args[i+1]
+				i++
+			}
+		case strings.HasPrefix(a, "-debug-addr="):
+			addr = strings.TrimPrefix(a, "-debug-addr=")
+		case strings.HasPrefix(a, "--debug-addr="):
+			addr = strings.TrimPrefix(a, "--debug-addr=")
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, addr
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   finq domains
@@ -62,7 +100,12 @@ func usage() {
   finq translate -domain <name> -state file.json "<formula>"
   finq saferange -state file.json "<formula>"
   finq algebra   -domain <name> -state file.json "<safe-range formula>"
-  finq repl      -domain <name> [-state file.json]`)
+  finq repl      -domain <name> [-state file.json]
+  finq stats
+  finq version
+
+global flags:
+  -debug-addr <host:port>  serve /debug/obs, /debug/vars, /debug/pprof/`)
 }
 
 func loadDomainAndFormula(fs *flag.FlagSet, args []string) (finq.DomainInfo, *finq.Formula, *flag.FlagSet, error) {

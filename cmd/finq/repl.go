@@ -66,7 +66,7 @@ func runREPL(args []string) error {
 		return err
 	}
 	fmt.Printf("finq repl — domain %s (%s)\n", d.Name, d.Doc)
-	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | help | quit")
+	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | :stats [json] | help | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -111,9 +111,18 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 		fmt.Println("decide <f>    truth of a pure sentence")
 		fmt.Println("saferange <f> syntactic range-restriction analysis")
 		fmt.Println("state         print the current state")
+		fmt.Println(":stats [json] session metrics (evaluation, QE, automata, TM, safety)")
 		return nil
 	case "state":
 		fmt.Print(st)
+		return nil
+	case ":stats", "stats":
+		snap := finq.Stats()
+		if rest == "json" {
+			fmt.Printf("%s\n", snap.JSON())
+			return nil
+		}
+		snap.WriteSummary(os.Stdout)
 		return nil
 	case "eval":
 		f, err := parse()

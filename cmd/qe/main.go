@@ -14,14 +14,27 @@ import (
 	"os"
 
 	finq "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	domainName := flag.String("domain", "presburger", "domain name (eq, nless, presburger, nsucc, traces)")
+	version := flag.Bool("version", false, "print version and exit")
+	stats := flag.Bool("stats", false, "print a metrics summary (QE passes, formula growth) to stderr on exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(finq.Version())
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, `usage: qe -domain <name> "<formula>"`)
+		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] -domain <name> "<formula>"`)
 		os.Exit(2)
+	}
+	if *stats {
+		// Take the snapshot inside the closure: a plain
+		// `defer obs.Take().WriteSummary(...)` would snapshot now,
+		// before any elimination has run.
+		defer func() { obs.Take().WriteSummary(os.Stderr) }()
 	}
 	d, err := finq.Lookup(*domainName)
 	if err != nil {

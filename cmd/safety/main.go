@@ -16,6 +16,7 @@ import (
 	"os"
 
 	finq "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,9 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "version", "-version", "--version":
+		fmt.Println(finq.Version())
+		return
 	case "relative":
 		err = runRelative(os.Args[2:])
 	case "halting":
@@ -39,13 +43,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "safety:", err)
 		os.Exit(1)
 	}
+	// Exit report: verdict counts, simulation steps, QE volume.
+	obs.Take().WriteSummary(os.Stderr)
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   safety relative -domain <name> [-state file.json] "<formula>"
   safety halting  -machine "<word>" -input <w>
-  safety totality -machine "<word>" -candidate "<formula>"`)
+  safety totality -machine "<word>" -candidate "<formula>"
+  safety version
+
+a metrics summary (verdicts, simulation steps) is printed to stderr on exit`)
 }
 
 func runRelative(args []string) error {

@@ -17,6 +17,8 @@ import (
 	"os"
 	"sort"
 
+	finq "repro"
+	"repro/internal/obs"
 	"repro/internal/turing"
 )
 
@@ -37,6 +39,9 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "version", "-version", "--version":
+		fmt.Println(finq.Version())
+		return
 	case "builtins":
 		var names []string
 		for n := range builtins {
@@ -63,6 +68,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tmrun:", err)
 		os.Exit(1)
 	}
+	// Exit report: what the run cost (steps, tape growth, traces built).
+	obs.Take().WriteSummary(os.Stderr)
 }
 
 func usage() {
@@ -71,7 +78,10 @@ func usage() {
   tmrun encode -builtin <name>
   tmrun decode "<machine word>"
   tmrun run    [-builtin <name> | -machine "<word>"] -input <w> [-steps n]
-  tmrun traces [-builtin <name> | -machine "<word>"] -input <w> [-max n]`)
+  tmrun traces [-builtin <name> | -machine "<word>"] -input <w> [-max n]
+  tmrun version
+
+a metrics summary (steps, tape growth) is printed to stderr on exit`)
 }
 
 func pickMachine(builtin, word string) (*turing.Machine, string, error) {

@@ -30,6 +30,7 @@ package finq
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/db"
@@ -194,7 +195,11 @@ func Lookup(name string) (DomainInfo, error) {
 			return d, nil
 		}
 	}
-	return DomainInfo{}, fmt.Errorf("finq: unknown domain %q (have eq, nless, presburger, zless, nsucc, traces)", name)
+	names := make([]string, len(registry))
+	for i, d := range registry {
+		names[i] = d.Name
+	}
+	return DomainInfo{}, fmt.Errorf("finq: unknown domain %q (have %s)", name, strings.Join(names, ", "))
 }
 
 // MustLookup is Lookup panicking on error.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/presburger"
 )
 
@@ -162,6 +163,9 @@ func varsOf(coeffs map[string]int64) []string {
 
 // Decide decides a Presburger sentence over ℕ automata-theoretically.
 func Decide(sentence *logic.Formula) (bool, error) {
+	sp := obs.StartSpan("autarith.decide")
+	defer sp.End()
+	mAutarithDecisions.Inc()
 	if fv := sentence.FreeVars(); len(fv) != 0 {
 		return false, fmt.Errorf("autarith: Decide on open formula (free vars %v)", fv)
 	}

@@ -16,6 +16,17 @@ package autarith
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Automata-engine metrics: construction volume and minimization shrinkage.
+var (
+	mDFAStatesBuilt    = obs.NewCounter("autarith.dfa.states_built")
+	mDFAMinimizations  = obs.NewCounter("autarith.dfa.minimizations")
+	hDFAMinimizeIn     = obs.NewHistogram("autarith.dfa.minimize_states_in")
+	hDFAMinimizeOut    = obs.NewHistogram("autarith.dfa.minimize_states_out")
+	mAutarithDecisions = obs.NewCounter("autarith.decide.calls")
 )
 
 // DFA is a deterministic automaton over the alphabet of bit vectors for a
@@ -124,6 +135,7 @@ func (b *builder) state(key string, accepting bool) int {
 		return i
 	}
 	i := len(b.trans)
+	mDFAStatesBuilt.Inc()
 	b.index[key] = i
 	b.trans = append(b.trans, make([]int, 1<<len(b.vars)))
 	b.accept = append(b.accept, accepting)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Minimize returns the canonical minimal automaton of the same relation:
@@ -14,6 +15,10 @@ import (
 // isomorphic DFAs, which Equivalent exploits as a decision procedure for
 // formula equivalence independent of Cooper's.
 func Minimize(d *DFA) *DFA {
+	sp := obs.StartSpan("autarith.minimize")
+	defer sp.End()
+	mDFAMinimizations.Inc()
+	hDFAMinimizeIn.Observe(int64(d.NumStates()))
 	// Reachable restriction.
 	reach := []int{d.Initial}
 	seen := map[int]bool{d.Initial: true}
@@ -79,6 +84,7 @@ func Minimize(d *DFA) *DFA {
 			out.Accept[c] = d.Accept[s]
 		}
 	}
+	hDFAMinimizeOut.Observe(int64(out.NumStates()))
 	return out
 }
 

@@ -10,11 +10,35 @@ import (
 	"repro/internal/domains/nsucc"
 	"repro/internal/domains/wordlex"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/presburger"
 	"repro/internal/query"
 	"repro/internal/traces"
 	"repro/internal/turing"
 )
+
+// Safety-decider metrics, keyed by outcome. The positive deciders return
+// booleans (finite/infinite); the traces semi-decider adds the Unknown
+// bucket that Theorem 3.3 makes unavoidable.
+var (
+	mSafetyCalls    = obs.NewCounter("safety.calls")
+	mSafetyFinite   = obs.NewCounter("safety.verdict.finite")
+	mSafetyInfinite = obs.NewCounter("safety.verdict.infinite")
+	mSafetyUnknown  = obs.NewCounter("safety.verdict.unknown")
+)
+
+// observeSafety records one boolean decider outcome and passes it through.
+func observeSafety(finite bool, err error) (bool, error) {
+	mSafetyCalls.Inc()
+	if err == nil {
+		if finite {
+			mSafetyFinite.Inc()
+		} else {
+			mSafetyInfinite.Inc()
+		}
+	}
+	return finite, err
+}
 
 // This file implements the relative safety ("state finiteness") problem for
 // the paper's domains: given a query and a database state, is the answer
@@ -27,11 +51,12 @@ import (
 // criterion: the query is finite in the state iff its pure translation is
 // equivalent to its finitization.
 func RelativeSafetyPresburger(st *db.State, f *logic.Formula) (bool, error) {
+	defer obs.StartSpan("safety.relative", "domain=presburger").End()
 	pure, err := query.Translate(presburger.Domain{}, st, f)
 	if err != nil {
 		return false, err
 	}
-	return presburger.Eliminator{}.Equivalent(pure, Finitize(pure))
+	return observeSafety(presburger.Eliminator{}.Equivalent(pure, Finitize(pure)))
 }
 
 // RelativeSafetyPresburgerAutomata is RelativeSafetyPresburger with the
@@ -39,11 +64,12 @@ func RelativeSafetyPresburger(st *db.State, f *logic.Formula) (bool, error) {
 // of Cooper's elimination — an independent implementation of the same
 // decider, kept for differential testing.
 func RelativeSafetyPresburgerAutomata(st *db.State, f *logic.Formula) (bool, error) {
+	defer obs.StartSpan("safety.relative", "domain=presburger-automata").End()
 	pure, err := query.Translate(presburger.Domain{}, st, f)
 	if err != nil {
 		return false, err
 	}
-	return autarith.Equivalent(pure, Finitize(pure))
+	return observeSafety(autarith.Equivalent(pure, Finitize(pure)))
 }
 
 // RelativeSafetyEq decides relative safety over the pure-equality domain by
@@ -54,6 +80,7 @@ func RelativeSafetyPresburgerAutomata(st *db.State, f *logic.Formula) (bool, err
 // so the answer is infinite; otherwise the answer lies inside the active
 // domain and is finite.
 func RelativeSafetyEq(st *db.State, f *logic.Formula) (bool, error) {
+	defer obs.StartSpan("safety.relative", "domain=eq").End()
 	dom := eqdom.Domain{}
 	pure, err := query.Translate(dom, st, f)
 	if err != nil {
@@ -106,7 +133,7 @@ func RelativeSafetyEq(st *db.State, f *logic.Formula) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return !infinite, nil
+	return observeSafety(!infinite, nil)
 }
 
 // RelativeSafetyNsucc decides relative safety over N' (Theorem 2.6): the
@@ -117,6 +144,7 @@ func RelativeSafetyEq(st *db.State, f *logic.Formula) (bool, error) {
 // component can be translated upward unboundedly, giving infinitely many
 // answers.
 func RelativeSafetyNsucc(st *db.State, f *logic.Formula) (bool, error) {
+	defer obs.StartSpan("safety.relative", "domain=nsucc").End()
 	pure, err := query.Translate(nsucc.Domain{}, st, f)
 	if err != nil {
 		return false, err
@@ -127,7 +155,7 @@ func RelativeSafetyNsucc(st *db.State, f *logic.Formula) (bool, error) {
 	}
 	freeVars := qf.FreeVars()
 	if len(freeVars) == 0 {
-		return true, nil
+		return observeSafety(true, nil)
 	}
 	dec := nsucc.Decider()
 	for _, clause := range logic.DNF(qf) {
@@ -144,11 +172,11 @@ func RelativeSafetyNsucc(st *db.State, f *logic.Formula) (bool, error) {
 		}
 		for _, v := range freeVars {
 			if !pinned[v] {
-				return false, nil
+				return observeSafety(false, nil)
 			}
 		}
 	}
-	return true, nil
+	return observeSafety(true, nil)
 }
 
 // pinnedVars computes the variables connected to a constant through the
@@ -210,6 +238,7 @@ func pinnedVars(clause []*logic.Formula) (map[string]bool, error) {
 // the Theorem 2.5 criterion there — the paper's "the same ideas can be
 // carried out … for strings with lexicographical ordering".
 func RelativeSafetyWordlex(st *db.State, f *logic.Formula) (bool, error) {
+	defer obs.StartSpan("safety.relative", "domain=wordlex").End()
 	pure, err := query.Translate(wordlex.Domain{}, st, f)
 	if err != nil {
 		return false, err
@@ -218,7 +247,7 @@ func RelativeSafetyWordlex(st *db.State, f *logic.Formula) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return presburger.Eliminator{}.Equivalent(nf, Finitize(nf))
+	return observeSafety(presburger.Eliminator{}.Equivalent(nf, Finitize(nf)))
 }
 
 // TracesBudget bounds the semi-decision procedures over the trace domain.
@@ -239,6 +268,23 @@ var DefaultTracesBudget = TracesBudget{Steps: 1 << 16}
 // configuration), Unknown means the budget ran out or the query shape is
 // not recognized.
 func RelativeSafetyTraces(st *db.State, f *logic.Formula, budget TracesBudget) (domain.Verdict, error) {
+	defer obs.StartSpan("safety.relative", "domain=traces").End()
+	v, err := relativeSafetyTraces(st, f, budget)
+	if err == nil {
+		mSafetyCalls.Inc()
+		switch v {
+		case domain.Holds:
+			mSafetyFinite.Inc()
+		case domain.Fails:
+			mSafetyInfinite.Inc()
+		default:
+			mSafetyUnknown.Inc()
+		}
+	}
+	return v, err
+}
+
+func relativeSafetyTraces(st *db.State, f *logic.Formula, budget TracesBudget) (domain.Verdict, error) {
 	pure, err := query.Translate(traces.Domain{}, st, f)
 	if err != nil {
 		return domain.Unknown, err

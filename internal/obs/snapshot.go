@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+)
+
+// BuildInfo is the binary's identity, read once from the embedded Go build
+// metadata.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// VCSRevision and VCSTime identify the commit, when stamped.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+// Build returns the binary's build information.
+func Build() BuildInfo {
+	out := BuildInfo{Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	out.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.VCSRevision = s.Value
+		case "vcs.time":
+			out.VCSTime = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// Snapshot is a point-in-time view of every registered metric. Maps
+// marshal with sorted keys, so the same metric state always produces the
+// same JSON bytes.
+type Snapshot struct {
+	Enabled    bool                `json:"enabled"`
+	Build      BuildInfo           `json:"build"`
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]int64    `json:"gauges,omitempty"`
+	Histograms map[string]HistView `json:"histograms,omitempty"`
+	Spans      map[string]SpanView `json:"spans,omitempty"`
+}
+
+// Take captures the current value of every registered metric. Metrics that
+// have never recorded anything are included with zero values, so the key
+// set is stable from the moment the instrumented packages initialize.
+func Take() Snapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s := Snapshot{Enabled: enabled.Load(), Build: Build()}
+	if len(registry.counters) > 0 {
+		s.Counters = make(map[string]int64, len(registry.counters))
+		for name, c := range registry.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(registry.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(registry.gauges))
+		for name, g := range registry.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(registry.hists) > 0 {
+		s.Histograms = make(map[string]HistView, len(registry.hists))
+		for name, h := range registry.hists {
+			s.Histograms[name] = h.view()
+		}
+	}
+	if len(registry.spans) > 0 {
+		s.Spans = make(map[string]SpanView, len(registry.spans))
+		for name, sp := range registry.spans {
+			s.Spans[name] = sp.view()
+		}
+	}
+	return s
+}
+
+// JSON marshals the snapshot with indentation and sorted keys.
+func (s Snapshot) JSON() []byte {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Snapshot is plain data; marshaling cannot fail.
+		panic(fmt.Sprintf("obs: marshal snapshot: %v", err))
+	}
+	return out
+}
+
+// WriteSummary prints the non-zero metrics in a compact fixed-order text
+// form — the CLIs' exit report. It prints nothing when every metric is
+// zero (for example when observation was off the whole run).
+func (s Snapshot) WriteSummary(w io.Writer) {
+	var lines []string
+	for _, name := range sortedKeys(s.Counters) {
+		if v := s.Counters[name]; v != 0 {
+			lines = append(lines, fmt.Sprintf("  %-44s %d", name, v))
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if v := s.Gauges[name]; v != 0 {
+			lines = append(lines, fmt.Sprintf("  %-44s %d", name, v))
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  %-44s count=%d mean=%.1f max=%d", name, h.Count, h.Mean, h.Max))
+	}
+	for _, name := range sortedKeys(s.Spans) {
+		sp := s.Spans[name]
+		if sp.Count == 0 {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  %-44s count=%d total=%dµs max=%dµs", name, sp.Count, sp.TotalUS, sp.MaxUS))
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "obs metrics:")
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanStat aggregates all finished spans sharing one aggregation key: a
+// duration histogram in microseconds plus a count of currently-open spans
+// (tracked on the unlabeled path, since labels may be added mid-span).
+type spanStat struct {
+	hist Histogram
+	open atomic.Int64
+}
+
+// Span is one timed region of a computation. Spans nest by path: a child
+// span's path is "parent/child", and the per-path statistics aggregate
+// every execution of that region. StartSpan returns nil when observation
+// is off and every method tolerates a nil receiver, so call sites never
+// branch on the toggle.
+type Span struct {
+	path   string
+	labels string
+	start  time.Time
+}
+
+// spanCache gives spanStatFor a lock-free hit path; the registry map
+// behind it is the source of truth for snapshots.
+var spanCache sync.Map // key -> *spanStat
+
+func spanStatFor(key string) *spanStat {
+	if s, ok := spanCache.Load(key); ok {
+		return s.(*spanStat)
+	}
+	registry.mu.Lock()
+	s, ok := registry.spans[key]
+	if !ok {
+		s = &spanStat{}
+		registry.spans[key] = s
+	}
+	registry.mu.Unlock()
+	spanCache.Store(key, s)
+	return s
+}
+
+// StartSpan opens a span. Labels are "key=value" strings folded into the
+// duration-aggregation key. Returns nil when observation is off.
+func StartSpan(path string, labels ...string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	sp := &Span{path: path, start: time.Now()}
+	for _, l := range labels {
+		sp.labels += "{" + l + "}"
+	}
+	spanStatFor(path).open.Add(1)
+	return sp
+}
+
+// Child opens a sub-span whose path extends the receiver's. On a nil
+// receiver (observation off) it returns nil.
+func (s *Span) Child(name string, labels ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	return StartSpan(s.path+"/"+name, labels...)
+}
+
+// Label adds a "key=value" label to the span's duration-aggregation key.
+// Call before End; on a nil receiver it is a no-op.
+func (s *Span) Label(kv string) {
+	if s == nil {
+		return
+	}
+	s.labels += "{" + kv + "}"
+}
+
+// End closes the span, recording its wall-clock duration (µs) under its
+// path plus labels. No-op on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	spanStatFor(s.path).open.Add(-1)
+	spanStatFor(s.path + s.labels).hist.observe(time.Since(s.start).Microseconds())
+}
+
+// SpanView is a span aggregate rendered for a snapshot.
+type SpanView struct {
+	Count   int64 `json:"count"`
+	TotalUS int64 `json:"total_us"`
+	MaxUS   int64 `json:"max_us"`
+	Open    int64 `json:"open,omitempty"`
+}
+
+func (s *spanStat) view() SpanView {
+	return SpanView{
+		Count:   s.hist.count.Load(),
+		TotalUS: s.hist.sum.Load(),
+		MaxUS:   s.hist.max.Load(),
+		Open:    s.open.Load(),
+	}
+}

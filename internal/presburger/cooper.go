@@ -5,6 +5,14 @@ import (
 	"math/big"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Per-quantifier metrics: each cooper call eliminates one ∃, and the
+// boundary-set size drives the output's growth factor.
+var (
+	mCooperQuantifiers = obs.NewCounter("qe.presburger.quantifiers")
+	hCooperBoundSet    = obs.NewHistogram("qe.presburger.boundary_set_size")
 )
 
 // Internal quantifier-free representation: positive boolean combinations of
@@ -166,9 +174,13 @@ func simplifyAtom(a *qf) *qf {
 // the algorithm correct but multiplies the output by the redundancy of the
 // bound set.
 func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
+	sp := obs.StartSpan("qe.presburger.cooper")
+	defer sp.End()
+	mCooperQuantifiers.Inc()
 	// Step 1: make every x-coefficient ±1. δ is the lcm of |coefficients|;
 	// each atom is scaled so its x-coefficient is ±δ, then δx is renamed to
 	// a fresh unit variable constrained by δ | x.
+	stage := sp.Child("unit")
 	delta := big.NewInt(1)
 	f.visitAtoms(func(a *qf) {
 		c := a.t.Coeff(x)
@@ -206,6 +218,8 @@ func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
 	if delta.Cmp(big.NewInt(1)) > 0 {
 		unit = qfAnd(unit, qfAtom(atomDvd, FromVar(x), new(big.Int).Set(delta)))
 	}
+	stage.End()
+	stage = sp.Child("bounds")
 
 	// Step 2: D = lcm of divisibility moduli involving x.
 	bigD := big.NewInt(1)
@@ -255,6 +269,9 @@ func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
 		}
 	}
 
+	stage.End()
+	hCooperBoundSet.Observe(int64(len(uniq)))
+
 	if !bigD.IsInt64() || bigD.Int64() > 1<<20 {
 		return nil, fmt.Errorf("presburger: divisor lcm %v too large", bigD)
 	}
@@ -267,6 +284,8 @@ func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
 		return nil, fmt.Errorf("presburger: elimination of %s would build ~%.0f nodes (Cooper blowup)", x, est)
 	}
 
+	stage = sp.Child("expand")
+	defer stage.End()
 	var disjuncts []*qf
 	for j := int64(1); j <= n; j++ {
 		disjuncts = append(disjuncts, minusInf.subst(x, FromConst(big.NewInt(j))))

@@ -7,6 +7,15 @@ import (
 
 	"repro/internal/domain"
 	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// QE metrics for the Cooper engine, mirroring the traces eliminator's.
+var (
+	mCooperCalls   = obs.NewCounter("qe.presburger.eliminations")
+	mCooperBlowups = obs.NewCounter("qe.presburger.blowups")
+	hCooperSizeIn  = obs.NewHistogram("qe.presburger.size_in")
+	hCooperSizeOut = obs.NewHistogram("qe.presburger.size_out")
 )
 
 // Eliminator performs quantifier elimination for Presburger arithmetic via
@@ -41,11 +50,17 @@ var ErrTooLarge = fmt.Errorf("presburger: intermediate formula exceeds the size 
 
 // Eliminate implements domain.Eliminator.
 func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
+	sp := obs.StartSpan("qe.presburger.eliminate")
+	defer sp.End()
+	mCooperCalls.Inc()
+	hCooperSizeIn.Observe(int64(f.Size()))
 	g, err := e.elim(f)
 	if err != nil {
 		return nil, err
 	}
-	return logic.Simplify(g), nil
+	g = logic.Simplify(g)
+	hCooperSizeOut.Observe(int64(g.Size()))
+	return g, nil
 }
 
 func (e Eliminator) elim(f *logic.Formula) (*logic.Formula, error) {
@@ -92,6 +107,7 @@ func (e Eliminator) elimExists(x string, body *logic.Formula) (*logic.Formula, e
 	}
 	out, err := cooper(x, g, !e.NoBoundDedup, e.maxNodes())
 	if err != nil {
+		mCooperBlowups.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrTooLarge, err)
 	}
 	return render(out), nil

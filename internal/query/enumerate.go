@@ -6,6 +6,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/domain"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // EnumerationBudget bounds the §1.1 algorithm: Rows caps the number of
@@ -43,6 +44,9 @@ type Enumerable interface {
 func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
 
+	sp := obs.StartSpan("query.enumerate")
+	defer sp.End()
+	mEnumCalls.Inc()
 	pure, err := Translate(dom, st, f)
 	if err != nil {
 		return nil, err
@@ -50,6 +54,7 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	vars := pure.FreeVars()
 	if len(vars) == 0 {
 		// Boolean query: a single decision.
+		mEnumDecisions.Inc()
 		v, err := dec.Decide(pure)
 		if err != nil {
 			return nil, err
@@ -75,12 +80,14 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			}
 			remaining = logic.And(remaining, logic.Not(logic.And(eqs...)))
 		}
+		mEnumDecisions.Inc()
 		more, err := dec.Decide(logic.ExistsAll(vars, remaining))
 		if err != nil {
 			return nil, err
 		}
 		if !more {
 			ans.Complete = true
+			mEnumRows.Add(int64(ans.Rows.Len()))
 			return ans, nil
 		}
 		row, err := nextRow(dom, dec, remaining, vars, budget.Probe)
@@ -88,6 +95,8 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			return nil, err
 		}
 		if row == nil {
+			mEnumExhausted.Inc()
+			mEnumRows.Add(int64(ans.Rows.Len()))
 			return ans, nil // probe budget exhausted
 		}
 		found = append(found, row)
@@ -95,6 +104,8 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			return nil, err
 		}
 	}
+	mEnumExhausted.Inc()
+	mEnumRows.Add(int64(ans.Rows.Len()))
 	return ans, nil
 }
 
@@ -128,6 +139,7 @@ func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
 
 	k := len(vars)
 	for i := 0; i < probe; i++ {
+		mEnumProbes.Inc()
 		idx := tupleIndices(k, i)
 		tuple := make(db.Tuple, k)
 		ground := pure

@@ -7,6 +7,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/domain"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // EvalActiveParallel is EvalActive with the outermost free-variable
@@ -25,10 +26,15 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sp := obs.StartSpan("query.eval_active_parallel")
+	defer sp.End()
+	gParWorkers.SetMax(int64(workers))
 	rng, err := activeRange(dom, st, f)
 	if err != nil {
 		return nil, err
 	}
+	mParJobs.Add(int64(len(rng)))
+	hEvalDomain.Observe(int64(len(rng)))
 	si := stateInterp{dom: dom, st: st}
 
 	type result struct {

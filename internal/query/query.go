@@ -11,6 +11,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/domain"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Translate rewrites a query formula into a pure domain formula relative to
@@ -19,8 +20,10 @@ import (
 // R(x, y) with ((x=a1 ∧ y=b1) ∨ … ∨ (x=ar ∧ y=br))"), and every database
 // constant becomes the domain constant naming its value.
 func Translate(dom domain.Domain, st *db.State, f *logic.Formula) (*logic.Formula, error) {
+	mTranslateCalls.Inc()
 	scheme := st.Scheme()
 	var firstErr error
+	atoms := int64(0)
 	g := f.Map(func(h *logic.Formula) *logic.Formula {
 		if h.Kind != logic.FAtom || firstErr != nil {
 			return h
@@ -29,6 +32,7 @@ func Translate(dom domain.Domain, st *db.State, f *logic.Formula) (*logic.Formul
 		if !isDB {
 			return h
 		}
+		atoms++
 		if len(h.Args) != arity {
 			firstErr = fmt.Errorf("query: relation %s expects %d arguments, got %d", h.Pred, arity, len(h.Args))
 			return h
@@ -48,6 +52,7 @@ func Translate(dom domain.Domain, st *db.State, f *logic.Formula) (*logic.Formul
 		}
 		return logic.Or(rows...)
 	})
+	mTranslateAtoms.Add(atoms)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -133,17 +138,25 @@ type Answer struct {
 // constants. For domain-independent queries this agrees with the natural
 // semantics; for others it is the classical engine approximation.
 func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, error) {
+	sp := obs.StartSpan("query.eval_active")
+	defer sp.End()
+	mEvalCalls.Inc()
 	rng, err := activeRange(dom, st, f)
 	if err != nil {
 		return nil, err
 	}
+	hEvalDomain.Observe(int64(len(rng)))
 	vars := f.FreeVars()
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(maxInt(len(vars), 1)), Complete: true}
 	si := stateInterp{dom: dom, st: st}
 	env := domain.Env{}
+	// Leaf assignments are counted locally and flushed once: the recursion
+	// is the evaluator's hot loop and must carry no atomic traffic.
+	leaves := int64(0)
 	var assign func(i int) error
 	assign = func(i int) error {
 		if i == len(vars) {
+			leaves++
 			v, err := evalIn(si, env, f, rng)
 			if err != nil {
 				return err
@@ -171,9 +184,12 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 		delete(env, vars[i])
 		return nil
 	}
-	if err := assign(0); err != nil {
+	err = assign(0)
+	mEvalAssigns.Add(leaves)
+	if err != nil {
 		return nil, err
 	}
+	mEvalRows.Add(int64(ans.Rows.Len()))
 	return ans, nil
 }
 

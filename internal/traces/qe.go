@@ -4,7 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/turing"
+)
+
+// QE metrics: whole-pass counts, formula growth, and per-quantifier work.
+var (
+	mQECalls       = obs.NewCounter("qe.traces.eliminations")
+	mQEQuantifiers = obs.NewCounter("qe.traces.quantifiers")
+	mQEConjuncts   = obs.NewCounter("qe.traces.conjuncts")
+	hQESizeIn      = obs.NewHistogram("qe.traces.size_in")
+	hQESizeOut     = obs.NewHistogram("qe.traces.size_out")
 )
 
 // Eliminator implements quantifier elimination for the Reach Theory of
@@ -82,22 +92,36 @@ func (e Eliminator) maxExcluded() int {
 // formula equivalent to f over T, in the Reach signature, with ground atoms
 // evaluated away.
 func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
+	sp := obs.StartSpan("qe.traces.eliminate")
+	defer sp.End()
+	mQECalls.Inc()
+	hQESizeIn.Observe(int64(f.Size()))
 	if err := CheckSignature(f); err != nil {
 		return nil, err
 	}
+	st := sp.Child("normalize")
 	g, err := normalizeTerms(TranslateP(f))
+	st.End()
 	if err != nil {
 		return nil, err
 	}
+	st = sp.Child("elim")
 	g, err = e.elim(g)
+	st.End()
 	if err != nil {
 		return nil, err
 	}
+	st = sp.Child("ground")
 	g, err = evalGroundAtoms(g)
+	st.End()
 	if err != nil {
 		return nil, err
 	}
-	return logic.Simplify(g), nil
+	st = sp.Child("simplify")
+	g = logic.Simplify(g)
+	st.End()
+	hQESizeOut.Observe(int64(g.Size()))
+	return g, nil
 }
 
 func (e Eliminator) elim(f *logic.Formula) (*logic.Formula, error) {
@@ -135,12 +159,15 @@ func (e Eliminator) elim(f *logic.Formula) (*logic.Formula, error) {
 
 // elimExists eliminates ∃x from a quantifier-free body.
 func (e Eliminator) elimExists(x string, body *logic.Formula) (*logic.Formula, error) {
+	mQEQuantifiers.Inc()
 	body = e.simplify(body)
 	if !body.HasFreeVar(x) {
 		return body, nil // the universe is nonempty
 	}
 	var disjuncts []*logic.Formula
-	for _, clause := range logic.DNF(body) {
+	clauses := logic.DNF(body)
+	mQEConjuncts.Add(int64(len(clauses)))
+	for _, clause := range clauses {
 		g, err := e.elimConjunct(x, clause)
 		if err != nil {
 			return nil, err

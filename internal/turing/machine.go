@@ -19,6 +19,17 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
+)
+
+// Simulator metrics: total transition volume, tape growth, and per-run
+// step distributions — the observable cost of every Theorem 3.x reduction.
+var (
+	mTMSteps     = obs.NewCounter("turing.steps")
+	mTMTapeGrown = obs.NewCounter("turing.tape.cells_grown")
+	mTMRuns      = obs.NewCounter("turing.runs")
+	hTMRunSteps  = obs.NewHistogram("turing.run.steps")
 )
 
 // Blank and One are the two tape symbols.
@@ -208,6 +219,7 @@ func (c *Config) set(pos int, b byte) {
 	i := pos - c.origin
 	switch {
 	case i < 0:
+		mTMTapeGrown.Add(int64(-i))
 		grown := make([]byte, len(c.cells)-i)
 		for j := 0; j < -i; j++ {
 			grown[j] = Blank
@@ -217,6 +229,7 @@ func (c *Config) set(pos int, b byte) {
 		c.origin = pos
 		i = 0
 	case i >= len(c.cells):
+		mTMTapeGrown.Add(int64(i - len(c.cells) + 1))
 		for len(c.cells) <= i {
 			c.cells = append(c.cells, Blank)
 		}
@@ -250,6 +263,7 @@ func (c *Config) Step() bool {
 		c.halted = true
 		return false
 	}
+	mTMSteps.Inc()
 	c.set(c.head, r.Write)
 	if r.Move == Left {
 		c.head--
@@ -365,10 +379,12 @@ type RunResult struct {
 
 // Run executes m on w for at most budget steps.
 func Run(m *Machine, w string, budget int) RunResult {
+	mTMRuns.Inc()
 	c := NewConfig(m, w)
 	for !c.halted && c.steps < budget {
 		c.Step()
 	}
+	hTMRunSteps.Observe(int64(c.steps))
 	return RunResult{Halted: c.halted, Steps: c.steps, Output: c.Result()}
 }
 

@@ -1,0 +1,53 @@
+package finq
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// BuildInfo is the binary's identity: module version, toolchain, and VCS
+// stamp when present. It also appears in every observability snapshot.
+type BuildInfo = obs.BuildInfo
+
+// Build returns the binary's build information, read from the embedded Go
+// build metadata.
+func Build() BuildInfo { return obs.Build() }
+
+// Version is a one-line human-readable version string for -version flags.
+func Version() string {
+	b := Build()
+	out := "finq " + b.Version
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " " + rev
+		if b.Modified {
+			out += "+dirty"
+		}
+	}
+	if b.GoVersion != "" {
+		out += fmt.Sprintf(" (%s)", b.GoVersion)
+	}
+	return out
+}
+
+// Stats captures a point-in-time snapshot of every observability metric:
+// query-evaluation volume, quantifier-elimination growth, automata sizes,
+// Turing-machine steps, and safety verdicts. See internal/obs.
+func Stats() obs.Snapshot { return obs.Take() }
+
+// StatsJSON is Stats rendered as deterministic, indented JSON.
+func StatsJSON() []byte { return obs.Take().JSON() }
+
+// SetObservability toggles metric collection process-wide (on by default)
+// and returns the previous setting. With collection off the instrumented
+// hot paths pay only an atomic load per would-be record.
+func SetObservability(on bool) bool { return obs.SetEnabled(on) }
+
+// ServeDebug starts the observability debug server (JSON snapshot at
+// /debug/obs, expvar at /debug/vars, profiles under /debug/pprof/) on addr
+// and returns the bound address; use ":0" for an ephemeral port.
+func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
