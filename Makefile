@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench
+.PHONY: build test vet staticcheck race bench trace-demo
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honnef.co/go/tools if installed, falling back to go vet
+# so the target works in minimal environments.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
 # bench measures the observability layer's overhead on EvalActive
-# (instrumented vs. uninstrumented) and writes BENCH_obs.json.
+# (instrumented vs. uninstrumented, flight recorder disarmed) and writes
+# BENCH_obs.json. Fails if the enabled overhead exceeds 5%.
 bench:
 	BENCH_OBS=1 $(GO) test -run TestWriteBenchObs -count=1 -v .
+
+# trace-demo records the E1 experiment (enumeration over the Presburger
+# domain) with the flight recorder armed and writes a Chrome trace —
+# load trace-e1.json in https://ui.perfetto.dev or chrome://tracing.
+trace-demo:
+	$(GO) run ./cmd/finq -trace-out trace-e1.json eval \
+		-domain presburger -mode enumerate -rows 32 \
+		-state testdata/e1_state.json "exists y. (R(y) & lt(x, y))"
+	@echo "wrote trace-e1.json"

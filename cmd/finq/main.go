@@ -17,26 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	finq "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
-	args, debugAddr := extractDebugAddr(os.Args[1:])
-	if debugAddr != "" {
-		addr, err := finq.ServeDebug(debugAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "finq:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "finq: debug server on http://%s/debug/obs (pprof under /debug/pprof/)\n", addr)
+	args, finish, err := cliutil.Setup("finq", os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finq:", err)
+		os.Exit(1)
 	}
+	defer finish()
 	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
 	switch args[0] {
 	case "version", "-version", "--version":
 		fmt.Println(finq.Version())
@@ -64,32 +60,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "finq:", err)
+		finish()
 		os.Exit(1)
 	}
-}
-
-// extractDebugAddr strips a global -debug-addr flag (either "-debug-addr
-// <addr>" or "-debug-addr=<addr>", anywhere on the command line) so it
-// works uniformly across subcommands without threading it through each
-// FlagSet.
-func extractDebugAddr(args []string) (rest []string, addr string) {
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		switch {
-		case a == "-debug-addr" || a == "--debug-addr":
-			if i+1 < len(args) {
-				addr = args[i+1]
-				i++
-			}
-		case strings.HasPrefix(a, "-debug-addr="):
-			addr = strings.TrimPrefix(a, "-debug-addr=")
-		case strings.HasPrefix(a, "--debug-addr="):
-			addr = strings.TrimPrefix(a, "--debug-addr=")
-		default:
-			rest = append(rest, a)
-		}
-	}
-	return rest, addr
 }
 
 func usage() {
@@ -105,7 +78,8 @@ func usage() {
   finq version
 
 global flags:
-  -debug-addr <host:port>  serve /debug/obs, /debug/vars, /debug/pprof/`)
+  -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
+  -trace-out <file>        record execution and write a Chrome trace on exit`)
 }
 
 func loadDomainAndFormula(fs *flag.FlagSet, args []string) (finq.DomainInfo, *finq.Formula, *flag.FlagSet, error) {

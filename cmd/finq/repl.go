@@ -9,6 +9,7 @@ import (
 
 	finq "repro"
 	"repro/internal/algebra"
+	"repro/internal/obs/trace"
 )
 
 // runAlgebra compiles a safe-range query to a relational algebra plan,
@@ -66,7 +67,7 @@ func runREPL(args []string) error {
 		return err
 	}
 	fmt.Printf("finq repl — domain %s (%s)\n", d.Name, d.Doc)
-	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | :stats [json] | help | quit")
+	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | :explain <f> | :trace on|off|dump | :stats [json] | help | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -111,6 +112,8 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 		fmt.Println("decide <f>    truth of a pure sentence")
 		fmt.Println("saferange <f> syntactic range-restriction analysis")
 		fmt.Println("state         print the current state")
+		fmt.Println(":explain <f>  EXPLAIN profile: per-node eval counts, row counts, wall time")
+		fmt.Println(":trace on|off|dump [file]  arm/disarm the flight recorder; dump writes a Chrome trace (default trace.json)")
 		fmt.Println(":stats [json] session metrics (evaluation, QE, automata, TM, safety)")
 		return nil
 	case "state":
@@ -123,6 +126,20 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 			return nil
 		}
 		snap.WriteSummary(os.Stdout)
+		return nil
+	case ":trace", "trace":
+		return replTrace(rest)
+	case ":explain", "explain":
+		f, err := parse()
+		if err != nil {
+			return err
+		}
+		ans, prof, err := finq.Explain(d, st, f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(prof.Text())
+		printAnswer(ans)
 		return nil
 	case "eval":
 		f, err := parse()
@@ -193,6 +210,49 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+// replTrace implements :trace — arming, disarming, and dumping the flight
+// recorder from inside a session.
+func replTrace(rest string) error {
+	cmd, arg := rest, ""
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		cmd, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	switch cmd {
+	case "on":
+		trace.Arm(0)
+		fmt.Println("tracing armed (ring capacity", trace.DefaultCapacity, "events)")
+		return nil
+	case "off":
+		trace.Disarm()
+		fmt.Printf("tracing disarmed; %d events held (%d dropped) — :trace dump to export\n",
+			trace.Len(), trace.Dropped())
+		return nil
+	case "dump":
+		if arg == "" {
+			arg = "trace.json"
+		}
+		f, err := os.Create(arg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events := trace.Dump()
+		if err := trace.WriteChrome(f, events); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s — load in Perfetto or chrome://tracing\n", len(events), arg)
+		return nil
+	case "":
+		state := "disarmed"
+		if trace.Armed() {
+			state = "armed"
+		}
+		fmt.Printf("tracing %s; %d events held, %d dropped\n", state, trace.Len(), trace.Dropped())
+		return nil
+	}
+	return fmt.Errorf(":trace takes on, off, or dump [file]")
 }
 
 func printAnswer(ans *finq.Answer) {

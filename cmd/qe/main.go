@@ -14,20 +14,32 @@ import (
 	"os"
 
 	finq "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
+// finish flushes the trace file; fail must call it because os.Exit skips
+// deferred calls.
+var finish = func() {}
+
 func main() {
-	domainName := flag.String("domain", "presburger", "domain name (eq, nless, presburger, nsucc, traces)")
-	version := flag.Bool("version", false, "print version and exit")
-	stats := flag.Bool("stats", false, "print a metrics summary (QE passes, formula growth) to stderr on exit")
-	flag.Parse()
+	rest, fin, err := cliutil.Setup("qe", os.Args[1:])
+	if err != nil {
+		fail(err)
+	}
+	finish = fin
+	defer finish()
+	fs := flag.NewFlagSet("qe", flag.ExitOnError)
+	domainName := fs.String("domain", "presburger", "domain name (eq, nless, presburger, nsucc, traces)")
+	version := fs.Bool("version", false, "print version and exit")
+	stats := fs.Bool("stats", false, "print a metrics summary (QE passes, formula growth) to stderr on exit")
+	fs.Parse(rest)
 	if *version {
 		fmt.Println(finq.Version())
 		return
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] -domain <name> "<formula>"`)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] [-debug-addr <host:port>] [-trace-out <file>] -domain <name> "<formula>"`)
 		os.Exit(2)
 	}
 	if *stats {
@@ -40,7 +52,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	f, err := d.Parse(flag.Arg(0))
+	f, err := d.Parse(fs.Arg(0))
 	if err != nil {
 		fail(err)
 	}
@@ -60,5 +72,6 @@ func main() {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "qe:", err)
+	finish()
 	os.Exit(1)
 }

@@ -16,31 +16,38 @@ import (
 	"os"
 
 	finq "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args, finish, err := cliutil.Setup("safety", os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safety:", err)
+		os.Exit(1)
+	}
+	defer finish()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "version", "-version", "--version":
 		fmt.Println(finq.Version())
 		return
 	case "relative":
-		err = runRelative(os.Args[2:])
+		err = runRelative(args[1:])
 	case "halting":
-		err = runHalting(os.Args[2:])
+		err = runHalting(args[1:])
 	case "totality":
-		err = runTotality(os.Args[2:])
+		err = runTotality(args[1:])
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safety:", err)
+		finish()
 		os.Exit(1)
 	}
 	// Exit report: verdict counts, simulation steps, QE volume.
@@ -53,6 +60,10 @@ func usage() {
   safety halting  -machine "<word>" -input <w>
   safety totality -machine "<word>" -candidate "<formula>"
   safety version
+
+global flags:
+  -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
+  -trace-out <file>        record execution and write a Chrome trace on exit
 
 a metrics summary (verdicts, simulation steps) is printed to stderr on exit`)
 }

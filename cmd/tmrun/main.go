@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	finq "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/turing"
 )
@@ -33,12 +34,17 @@ var builtins = map[string]func() *turing.Machine{
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	args, finish, err := cliutil.Setup("tmrun", os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmrun:", err)
+		os.Exit(1)
+	}
+	defer finish()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "version", "-version", "--version":
 		fmt.Println(finq.Version())
 		return
@@ -53,19 +59,20 @@ func main() {
 			fmt.Printf("%-12s %2d rules  %s\n", n, m.NumRules(), turing.Encode(m))
 		}
 	case "encode":
-		err = runEncode(os.Args[2:])
+		err = runEncode(args[1:])
 	case "decode":
-		err = runDecode(os.Args[2:])
+		err = runDecode(args[1:])
 	case "run":
-		err = runRun(os.Args[2:])
+		err = runRun(args[1:])
 	case "traces":
-		err = runTraces(os.Args[2:])
+		err = runTraces(args[1:])
 	default:
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmrun:", err)
+		finish()
 		os.Exit(1)
 	}
 	// Exit report: what the run cost (steps, tape growth, traces built).
@@ -80,6 +87,10 @@ func usage() {
   tmrun run    [-builtin <name> | -machine "<word>"] -input <w> [-steps n]
   tmrun traces [-builtin <name> | -machine "<word>"] -input <w> [-max n]
   tmrun version
+
+global flags:
+  -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
+  -trace-out <file>        record execution and write a Chrome trace on exit
 
 a metrics summary (steps, tape growth) is printed to stderr on exit`)
 }

@@ -222,6 +222,19 @@ func EvalActive(d DomainInfo, st *State, f *Formula) (*Answer, error) {
 	return query.EvalActive(d.Domain, st, f)
 }
 
+// Profile is a per-query EXPLAIN report: a tree mirroring the formula with
+// per-node eval counts, row cardinalities, quantifier range sizes, and
+// wall time, rendered by its Text and JSON methods.
+type Profile = query.Profile
+
+// Explain evaluates a query under active-domain semantics with per-node
+// profiling and returns the answer plus its EXPLAIN profile. Profiling
+// adds per-node timers, so this is slower than EvalActive — use it to
+// understand a query, not to serve it.
+func Explain(d DomainInfo, st *State, f *Formula) (*Answer, *Profile, error) {
+	return query.EvalActiveProfiled(d.Domain, st, f)
+}
+
 // EnumerationBudget bounds Enumerate.
 type EnumerationBudget = query.EnumerationBudget
 

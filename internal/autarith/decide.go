@@ -173,6 +173,7 @@ func Decide(sentence *logic.Formula) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	sp.Arg("dfa_states", int64(d.NumStates()))
 	// All tracks are projected away, so the single-symbol language encodes
 	// the empty tuple; by zero-stability its membership shows at the
 	// initial state.

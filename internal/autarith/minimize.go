@@ -19,6 +19,7 @@ func Minimize(d *DFA) *DFA {
 	defer sp.End()
 	mDFAMinimizations.Inc()
 	hDFAMinimizeIn.Observe(int64(d.NumStates()))
+	sp.Arg("states_in", int64(d.NumStates()))
 	// Reachable restriction.
 	reach := []int{d.Initial}
 	seen := map[int]bool{d.Initial: true}
@@ -85,6 +86,7 @@ func Minimize(d *DFA) *DFA {
 		}
 	}
 	hDFAMinimizeOut.Observe(int64(out.NumStates()))
+	sp.Arg("states_out", int64(out.NumStates()))
 	return out
 }
 

@@ -1,0 +1,113 @@
+// Package cliutil holds the global flags shared by every CLI in this
+// repository (finq, tmrun, safety, qe):
+//
+//	-debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars,
+//	                         /debug/pprof/ for the life of the process
+//	-trace-out <file>        arm the execution flight recorder and write a
+//	                         Chrome trace (Perfetto / chrome://tracing) on exit
+//
+// Both flags may appear anywhere on the command line, in "-flag value" or
+// "-flag=value" form (single or double dash), and are stripped before the
+// subcommand flag sets see the arguments — hoisting them here keeps the
+// four CLIs' flag handling identical without threading the flags through
+// every FlagSet.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// Setup extracts the global flags from args, starts the debug server and
+// arms the flight recorder as requested, and returns the remaining
+// arguments plus a finish function. Call finish before exiting (it is
+// idempotent): it disarms the recorder and writes the Chrome trace file.
+// A startup failure (unusable debug address, unwritable trace path) is
+// returned as an error so the CLI can exit nonzero before doing work.
+func Setup(tool string, args []string) (rest []string, finish func(), err error) {
+	rest, debugAddr, traceOut := extractGlobals(args)
+	if debugAddr != "" {
+		addr, err := obs.ServeDebug(debugAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/obs (Prometheus at /metrics, pprof under /debug/pprof/)\n", tool, addr)
+	}
+	if traceOut != "" {
+		// Fail before the run, not after it, if the path is unwritable.
+		probe, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		probe.Close()
+		trace.Arm(0)
+	}
+	done := false
+	finish = func() {
+		if done {
+			return
+		}
+		done = true
+		if traceOut == "" {
+			return
+		}
+		trace.Disarm()
+		events := trace.Dump()
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: trace: %v\n", tool, err)
+			return
+		}
+		defer f.Close()
+		if err := trace.WriteChrome(f, events); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: trace: %v\n", tool, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %d trace events (%d dropped) to %s — load in Perfetto or chrome://tracing\n",
+			tool, len(events), trace.Dropped(), traceOut)
+	}
+	return rest, finish, nil
+}
+
+// extractGlobals strips -debug-addr and -trace-out (all four spellings
+// each) from the argument list.
+func extractGlobals(args []string) (rest []string, debugAddr, traceOut string) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, val, hasVal := splitFlag(a)
+		switch name {
+		case "debug-addr", "trace-out":
+			if !hasVal {
+				if i+1 < len(args) {
+					val = args[i+1]
+					i++
+				}
+			}
+			if name == "debug-addr" {
+				debugAddr = val
+			} else {
+				traceOut = val
+			}
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, debugAddr, traceOut
+}
+
+// splitFlag parses "-name", "--name", "-name=value" into its parts; a
+// non-flag argument returns name "".
+func splitFlag(a string) (name, value string, hasValue bool) {
+	if !strings.HasPrefix(a, "-") {
+		return "", "", false
+	}
+	a = strings.TrimPrefix(strings.TrimPrefix(a, "-"), "-")
+	if i := strings.IndexByte(a, '='); i >= 0 {
+		return a[:i], a[i+1:], true
+	}
+	return a, "", false
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/domains/wordlex"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/presburger"
 	"repro/internal/query"
 	"repro/internal/traces"
@@ -35,6 +36,13 @@ func observeSafety(finite bool, err error) (bool, error) {
 			mSafetyFinite.Inc()
 		} else {
 			mSafetyInfinite.Inc()
+		}
+		if trace.Armed() {
+			v := "infinite"
+			if finite {
+				v = "finite"
+			}
+			trace.Instant("safety.verdict", "safety", trace.Str("verdict", v))
 		}
 	}
 	return finite, err
@@ -279,6 +287,10 @@ func RelativeSafetyTraces(st *db.State, f *logic.Formula, budget TracesBudget) (
 			mSafetyInfinite.Inc()
 		default:
 			mSafetyUnknown.Inc()
+		}
+		if trace.Armed() {
+			trace.Instant("safety.verdict", "safety",
+				trace.Str("domain", "traces"), trace.Str("verdict", v.String()))
 		}
 	}
 	return v, err

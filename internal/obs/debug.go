@@ -22,6 +22,7 @@ func publishExpvar() {
 // Handler returns an http.Handler serving the debug surface:
 //
 //	/debug/obs     the obs snapshot as JSON
+//	/metrics       the snapshot in Prometheus text exposition format
 //	/debug/vars    expvar (including the snapshot under "obs")
 //	/debug/pprof/  the standard pprof profiles
 func Handler() http.Handler {
@@ -30,6 +31,10 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(Take().JSON())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Take().WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 // spanStat aggregates all finished spans sharing one aggregation key: a
@@ -19,10 +21,19 @@ type spanStat struct {
 // every execution of that region. StartSpan returns nil when observation
 // is off and every method tolerates a nil receiver, so call sites never
 // branch on the toggle.
+//
+// When the flight recorder is armed (internal/obs/trace), every span also
+// emits a begin/end event pair carrying any Arg key=values, so the same
+// call sites feed both the aggregate histograms and the per-execution
+// timeline.
 type Span struct {
 	path   string
 	labels string
 	start  time.Time
+	// tid is the trace goroutine id captured at start when the recorder
+	// was armed; 0 means no trace events for this span.
+	tid  int64
+	args []trace.Arg
 }
 
 // spanCache gives spanStatFor a lock-free hit path; the registry map
@@ -54,6 +65,9 @@ func StartSpan(path string, labels ...string) *Span {
 	for _, l := range labels {
 		sp.labels += "{" + l + "}"
 	}
+	if trace.Armed() {
+		sp.tid = trace.Begin(path, "span")
+	}
 	spanStatFor(path).open.Add(1)
 	return sp
 }
@@ -76,11 +90,36 @@ func (s *Span) Label(kv string) {
 	s.labels += "{" + kv + "}"
 }
 
+// Traced reports whether the span is feeding the flight recorder; use it
+// to guard Arg values that are themselves costly to compute.
+func (s *Span) Traced() bool { return s != nil && s.tid != 0 }
+
+// Arg attaches an integer key=value to the span's trace end event. It is
+// recorded only while the flight recorder is armed (and is a no-op — no
+// allocation — otherwise); aggregation keys are unaffected, unlike Label.
+func (s *Span) Arg(key string, v int64) {
+	if s == nil || s.tid == 0 {
+		return
+	}
+	s.args = append(s.args, trace.I64(key, v))
+}
+
+// ArgStr attaches a string key=value to the span's trace end event.
+func (s *Span) ArgStr(key, v string) {
+	if s == nil || s.tid == 0 {
+		return
+	}
+	s.args = append(s.args, trace.Str(key, v))
+}
+
 // End closes the span, recording its wall-clock duration (µs) under its
 // path plus labels. No-op on a nil receiver.
 func (s *Span) End() {
 	if s == nil {
 		return
+	}
+	if s.tid != 0 {
+		trace.End(s.path, "span", s.tid, s.start, s.args...)
 	}
 	spanStatFor(s.path).open.Add(-1)
 	spanStatFor(s.path + s.labels).hist.observe(time.Since(s.start).Microseconds())

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the JSONL rendering of an Event: flat, one object per line,
+// grep- and jq-friendly.
+type jsonlEvent struct {
+	Seq   int64          `json:"seq"`
+	Phase string         `json:"ph"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	TSUS  int64          `json:"ts_us"`
+	DurUS int64          `json:"dur_us,omitempty"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// argsMap renders an event's args for JSON output.
+func argsMap(args []Arg) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// WriteJSONL writes the events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonlEvent{
+			Seq:   e.Seq,
+			Phase: string(e.Phase),
+			Name:  e.Name,
+			Cat:   e.Cat,
+			TSUS:  e.TS,
+			TID:   e.TID,
+			Args:  argsMap(e.Args),
+		}
+		if e.Phase == PhaseComplete || e.Phase == PhaseEnd {
+			je.DurUS = e.Dur
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// understood by Perfetto and chrome://tracing. Timestamps and durations are
+// microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromePID is the process id stamped on every exported event; the
+// recorder traces one process, so it is constant.
+const ChromePID = 1
+
+// WriteChrome writes the events as a Chrome trace-event JSON array. For
+// PhaseEnd events the recorded duration is carried in the args (the format
+// keys duration off the matching 'B' event's timestamps), so nothing
+// recorded is lost.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Name,
+			Cat:   e.Cat,
+			Phase: string(e.Phase),
+			TS:    e.TS,
+			PID:   ChromePID,
+			TID:   e.TID,
+			Args:  argsMap(e.Args),
+		}
+		if ce.Cat == "" {
+			ce.Cat = "default"
+		}
+		switch e.Phase {
+		case PhaseComplete:
+			d := e.Dur
+			ce.Dur = &d
+			// A Complete event's ts is its start time.
+			ce.TS = e.TS - e.Dur
+			if ce.TS < 0 {
+				ce.TS = 0
+			}
+		case PhaseInstant:
+			ce.Scope = "t" // thread-scoped instant
+		case PhaseEnd:
+			if e.Dur > 0 {
+				if ce.Args == nil {
+					ce.Args = map[string]any{}
+				}
+				ce.Args["dur_us"] = e.Dur
+			}
+		}
+		out = append(out, ce)
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,300 @@
+// Package trace is the execution flight recorder behind internal/obs: a
+// bounded, lock-cheap ring of structured events (span begin/end, complete
+// ops, instant marks, each with key=value args) that the instrumented hot
+// paths feed while tracing is armed.
+//
+// The aggregate metrics of internal/obs answer "how much, overall"; this
+// package answers "what happened, in order, in *this* run" — which
+// subformula blew up during Cooper elimination, why one enumeration row
+// cost 100× the previous one, where a Turing simulation spent its budget.
+// Events carry microsecond timestamps relative to the arming instant and
+// the emitting goroutine's id, so the two exporters (JSONL and the Chrome
+// trace-event format, loadable in Perfetto or chrome://tracing) reconstruct
+// the full nested timeline per goroutine.
+//
+// Tracing is disarmed by default. Every emit site first checks Armed() —
+// a single atomic load — so the disarmed cost matches the obs toggle's
+// budget: instrumented code pays ~1ns when nobody is recording. When armed,
+// events go into a fixed-capacity ring guarded by one mutex held only for
+// the slot copy; when the ring wraps, the oldest events are dropped (and
+// counted), except that slow operations — spans and complete events whose
+// duration meets SetSlowThreshold — are retained in a separate bounded
+// slow-op log so the interesting outliers survive arbitrarily long runs.
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase classifies an event, using the Chrome trace-event phase letters.
+type Phase byte
+
+const (
+	// PhaseBegin opens a span on its goroutine ('B').
+	PhaseBegin Phase = 'B'
+	// PhaseEnd closes the most recent open span on its goroutine ('E').
+	PhaseEnd Phase = 'E'
+	// PhaseComplete is a self-contained timed operation ('X', with Dur).
+	PhaseComplete Phase = 'X'
+	// PhaseInstant is a point-in-time mark ('i').
+	PhaseInstant Phase = 'i'
+)
+
+// Arg is one key=value event argument. Values are either int64 or string;
+// the two-field form avoids an interface allocation per argument.
+type Arg struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// I64 builds an integer argument.
+func I64(key string, v int64) Arg { return Arg{Key: key, Int: v} }
+
+// Str builds a string argument.
+func Str(key, v string) Arg { return Arg{Key: key, Str: v, IsStr: true} }
+
+// Value returns the argument's value as an any (for JSON rendering).
+func (a Arg) Value() any {
+	if a.IsStr {
+		return a.Str
+	}
+	return a.Int
+}
+
+// Event is one recorded occurrence. TS and Dur are microseconds; TS is
+// measured from the Arm call. Seq is a global emission sequence number used
+// to order and deduplicate events across the ring and the slow-op log.
+type Event struct {
+	Seq   int64
+	Phase Phase
+	Name  string
+	Cat   string
+	TS    int64
+	Dur   int64 // PhaseComplete and PhaseEnd only
+	TID   int64
+	Args  []Arg
+}
+
+// DefaultCapacity is the ring size used when Arm is given a non-positive
+// capacity: 64k events ≈ a few MB, enough for seconds of dense recording.
+const DefaultCapacity = 1 << 16
+
+// defaultSlowCap bounds the slow-op log.
+const defaultSlowCap = 256
+
+// recorder is the package-global flight recorder.
+var rec struct {
+	armed atomic.Bool
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int // next write slot
+	wrapped bool
+	seq     int64
+	dropped int64
+	epoch   time.Time
+
+	slow       []Event
+	slowThresh int64 // µs; End/Complete events at least this slow are retained
+}
+
+func init() { rec.slowThresh = 1000 } // 1ms
+
+// Arm starts recording into a fresh ring of the given capacity
+// (DefaultCapacity when cap ≤ 0). Arming resets previously recorded events,
+// the drop counter, and the timestamp epoch.
+func Arm(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	rec.mu.Lock()
+	rec.ring = make([]Event, capacity)
+	rec.next = 0
+	rec.wrapped = false
+	rec.seq = 0
+	rec.dropped = 0
+	rec.slow = nil
+	rec.epoch = time.Now()
+	rec.mu.Unlock()
+	rec.armed.Store(true)
+}
+
+// Disarm stops recording. Events already in the ring remain readable via
+// Events/Dump until the next Arm.
+func Disarm() { rec.armed.Store(false) }
+
+// Armed reports whether the recorder is accepting events. Emit sites check
+// this (one atomic load) before building arguments, so the disarmed cost of
+// an instrumented site is a single branch.
+func Armed() bool { return rec.armed.Load() }
+
+// SetSlowThreshold sets the duration at or above which ending spans and
+// complete events are additionally retained in the slow-op log, surviving
+// ring wrap-around. The default is 1ms.
+func SetSlowThreshold(d time.Duration) {
+	rec.mu.Lock()
+	rec.slowThresh = d.Microseconds()
+	rec.mu.Unlock()
+}
+
+// GoID returns the calling goroutine's id, parsed from the runtime stack
+// header ("goroutine N [...]"). It costs roughly a microsecond, paid only
+// while tracing is armed; span emitters resolve it once per span.
+func GoID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const skip = len("goroutine ")
+	id := int64(0)
+	for i := skip; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// emit appends one event to the ring (and, when slow enough, to the
+// slow-op log). The timestamp is taken under the lock so it is consistent
+// with the epoch even across a concurrent re-Arm.
+func emit(ph Phase, name, cat string, tid, dur int64, args []Arg) {
+	rec.mu.Lock()
+	if !rec.armed.Load() || len(rec.ring) == 0 {
+		rec.mu.Unlock()
+		return
+	}
+	rec.seq++
+	e := Event{
+		Seq:   rec.seq,
+		Phase: ph,
+		Name:  name,
+		Cat:   cat,
+		TS:    time.Since(rec.epoch).Microseconds(),
+		Dur:   dur,
+		TID:   tid,
+		Args:  args,
+	}
+	if rec.wrapped {
+		rec.dropped++
+	}
+	rec.ring[rec.next] = e
+	rec.next++
+	if rec.next == len(rec.ring) {
+		rec.next = 0
+		rec.wrapped = true
+	}
+	if (ph == PhaseEnd || ph == PhaseComplete) && dur >= rec.slowThresh && len(rec.slow) < defaultSlowCap {
+		rec.slow = append(rec.slow, e)
+	}
+	rec.mu.Unlock()
+}
+
+// Begin emits a span-begin event and returns the goroutine id the matching
+// End must be given (0 when disarmed, which End treats as "skip").
+func Begin(name, cat string, args ...Arg) int64 {
+	if !rec.armed.Load() {
+		return 0
+	}
+	tid := GoID()
+	emit(PhaseBegin, name, cat, tid, 0, args)
+	return tid
+}
+
+// End emits the span-end event matching a Begin that returned tid. The
+// duration is computed from start and drives slow-op retention. No-op when
+// tid is 0.
+func End(name, cat string, tid int64, start time.Time, args ...Arg) {
+	if tid == 0 || !rec.armed.Load() {
+		return
+	}
+	emit(PhaseEnd, name, cat, tid, time.Since(start).Microseconds(), args)
+}
+
+// Complete emits a self-contained timed event covering start..now.
+func Complete(name, cat string, start time.Time, args ...Arg) {
+	if !rec.armed.Load() {
+		return
+	}
+	emit(PhaseComplete, name, cat, GoID(), time.Since(start).Microseconds(), args)
+}
+
+// Instant emits a point-in-time mark.
+func Instant(name, cat string, args ...Arg) {
+	if !rec.armed.Load() {
+		return
+	}
+	emit(PhaseInstant, name, cat, GoID(), 0, args)
+}
+
+// Events returns the ring contents in emission order (oldest first).
+func Events() []Event {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return ringLocked()
+}
+
+func ringLocked() []Event {
+	if !rec.wrapped {
+		return append([]Event(nil), rec.ring[:rec.next]...)
+	}
+	out := make([]Event, 0, len(rec.ring))
+	out = append(out, rec.ring[rec.next:]...)
+	return append(out, rec.ring[:rec.next]...)
+}
+
+// SlowEvents returns the slow-op log: End/Complete events whose duration
+// met the slow threshold, retained even after the ring wrapped past them.
+func SlowEvents() []Event {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]Event(nil), rec.slow...)
+}
+
+// Dump merges the ring with the slow-op entries that have already been
+// overwritten in the ring, ordered by sequence number — the complete
+// retained record of the run.
+func Dump() []Event {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	ring := ringLocked()
+	oldest := int64(1)
+	if len(ring) > 0 {
+		oldest = ring[0].Seq
+	} else {
+		oldest = rec.seq + 1
+	}
+	var evicted []Event
+	for _, e := range rec.slow {
+		if e.Seq < oldest {
+			evicted = append(evicted, e)
+		}
+	}
+	if len(evicted) == 0 {
+		return ring
+	}
+	return append(evicted, ring...)
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around
+// since the last Arm (slow-op retention not counted).
+func Dropped() int64 {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.dropped
+}
+
+// Len returns the number of events currently held in the ring.
+func Len() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.wrapped {
+		return len(rec.ring)
+	}
+	return rec.next
+}

@@ -1,0 +1,76 @@
+// Package tracetest validates exported Chrome traces in tests, shared
+// between the trace package's own tests and the end-to-end CLI tests in
+// the repository root.
+package tracetest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+// ValidateChrome asserts data is a structurally valid Chrome trace-event
+// array: parseable JSON, only B/E/X/i phases, one pid, X events carrying
+// durations, and per-tid begin/end stack discipline (depth never negative,
+// every span closed, E names matching their B). Returns the event count.
+func ValidateChrome(t *testing.T, data []byte) int {
+	t.Helper()
+	var evs []struct {
+		Name  string         `json:"name"`
+		Cat   string         `json:"cat"`
+		Phase string         `json:"ph"`
+		TS    int64          `json:"ts"`
+		Dur   *int64         `json:"dur"`
+		PID   int64          `json:"pid"`
+		TID   int64          `json:"tid"`
+		Args  map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("export is not a JSON array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("export holds no events")
+	}
+	stacks := make(map[int64][]string) // per-tid open span names
+	for i, e := range evs {
+		if e.Name == "" {
+			t.Errorf("event %d has no name", i)
+		}
+		if e.PID != trace.ChromePID {
+			t.Errorf("event %d pid %d, want %d", i, e.PID, trace.ChromePID)
+		}
+		switch e.Phase {
+		case "B":
+			stacks[e.TID] = append(stacks[e.TID], e.Name)
+		case "E":
+			st := stacks[e.TID]
+			if len(st) == 0 {
+				t.Errorf("event %d: E %q on tid %d with no open span", i, e.Name, e.TID)
+				continue
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				t.Errorf("event %d: E %q closes open span %q on tid %d", i, e.Name, top, e.TID)
+			}
+			stacks[e.TID] = st[:len(st)-1]
+		case "X":
+			if e.Dur == nil {
+				t.Errorf("event %d: X %q without dur", i, e.Name)
+			}
+		case "i":
+			// fine: instants carry no pairing obligations
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, e.Phase)
+		}
+		if e.TS < 0 {
+			t.Errorf("event %d: negative ts %d", i, e.TS)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d ends with %d unclosed spans: %s", tid, len(st), strings.Join(st, ", "))
+		}
+	}
+	return len(evs)
+}

@@ -218,6 +218,9 @@ func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
 	if delta.Cmp(big.NewInt(1)) > 0 {
 		unit = qfAnd(unit, qfAtom(atomDvd, FromVar(x), new(big.Int).Set(delta)))
 	}
+	if stage.Traced() {
+		stage.Arg("nodes", int64(unit.nodes()))
+	}
 	stage.End()
 	stage = sp.Child("bounds")
 
@@ -269,6 +272,8 @@ func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
 		}
 	}
 
+	stage.Arg("bound_set", int64(len(uniq)))
+	stage.Arg("bound_set_raw", int64(len(bset)))
 	stage.End()
 	hCooperBoundSet.Observe(int64(len(uniq)))
 
@@ -293,7 +298,13 @@ func cooper(x string, f *qf, dedupBounds bool, maxNodes int) (*qf, error) {
 			disjuncts = append(disjuncts, unit.subst(x, r.AddInt(j)))
 		}
 	}
-	return qfOr(disjuncts...), nil
+	out := qfOr(disjuncts...)
+	if stage.Traced() {
+		stage.Arg("divisor_lcm", n)
+		stage.Arg("disjuncts", int64(len(disjuncts)))
+		stage.Arg("nodes", int64(out.nodes()))
+	}
+	return out, nil
 }
 
 func lcm(a, b *big.Int) *big.Int {

@@ -53,13 +53,17 @@ func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
 	sp := obs.StartSpan("qe.presburger.eliminate")
 	defer sp.End()
 	mCooperCalls.Inc()
-	hCooperSizeIn.Observe(int64(f.Size()))
+	sizeIn := int64(f.Size())
+	hCooperSizeIn.Observe(sizeIn)
+	sp.Arg("size_in", sizeIn)
 	g, err := e.elim(f)
 	if err != nil {
 		return nil, err
 	}
 	g = logic.Simplify(g)
-	hCooperSizeOut.Observe(int64(g.Size()))
+	sizeOut := int64(g.Size())
+	hCooperSizeOut.Observe(sizeOut)
+	sp.Arg("size_out", sizeOut)
 	return g, nil
 }
 

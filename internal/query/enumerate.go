@@ -71,6 +71,11 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(len(vars)), Complete: false}
 	var found []db.Tuple
 	for len(found) < budget.Rows {
+		// Each iteration (one existential decision plus the probe scan for
+		// the next row) is a child span: in an exported trace the successive
+		// "row" spans make the per-row cost growth of E1 directly visible.
+		rsp := sp.Child("row")
+		rsp.Arg("row_index", int64(len(found)))
 		// ∃x̄ (φ' ∧ ⋀_rows ¬(x̄ = row)).
 		remaining := pure
 		for _, row := range found {
@@ -80,23 +85,32 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			}
 			remaining = logic.And(remaining, logic.Not(logic.And(eqs...)))
 		}
+		if rsp.Traced() {
+			rsp.Arg("formula_size", int64(remaining.Size()))
+		}
 		mEnumDecisions.Inc()
 		more, err := dec.Decide(logic.ExistsAll(vars, remaining))
 		if err != nil {
+			rsp.End()
 			return nil, err
 		}
 		if !more {
+			rsp.End()
 			ans.Complete = true
 			mEnumRows.Add(int64(ans.Rows.Len()))
+			sp.Arg("rows", int64(ans.Rows.Len()))
 			return ans, nil
 		}
-		row, err := nextRow(dom, dec, remaining, vars, budget.Probe)
+		row, probes, err := nextRow(dom, dec, remaining, vars, budget.Probe)
+		rsp.Arg("probes", int64(probes))
+		rsp.End()
 		if err != nil {
 			return nil, err
 		}
 		if row == nil {
 			mEnumExhausted.Inc()
 			mEnumRows.Add(int64(ans.Rows.Len()))
+			sp.Arg("rows", int64(ans.Rows.Len()))
 			return ans, nil // probe budget exhausted
 		}
 		found = append(found, row)
@@ -106,6 +120,7 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	}
 	mEnumExhausted.Inc()
 	mEnumRows.Add(int64(ans.Rows.Len()))
+	sp.Arg("rows", int64(ans.Rows.Len()))
 	return ans, nil
 }
 
@@ -132,10 +147,10 @@ func NaturalMember(dom domain.Domain, dec domain.Decider, st *db.State,
 }
 
 // nextRow enumerates candidate tuples ("let us order all tuples of elements
-// of the domain of the size of x̄") and returns the first satisfying one,
-// or nil when the probe budget runs out.
+// of the domain of the size of x̄") and returns the first satisfying one
+// plus the number of probes spent, or nil when the probe budget runs out.
 func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
-	vars []string, probe int) (db.Tuple, error) {
+	vars []string, probe int) (db.Tuple, int, error) {
 
 	k := len(vars)
 	for i := 0; i < probe; i++ {
@@ -150,13 +165,13 @@ func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
 		}
 		ok, err := dec.Decide(ground)
 		if err != nil {
-			return nil, fmt.Errorf("query: deciding ground instance: %w", err)
+			return nil, i + 1, fmt.Errorf("query: deciding ground instance: %w", err)
 		}
 		if ok {
-			return tuple, nil
+			return tuple, i + 1, nil
 		}
 	}
-	return nil, nil
+	return nil, probe, nil
 }
 
 // tupleIndices is a bijective enumeration of ℕ^k: tuples are ordered by

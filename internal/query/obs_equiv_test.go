@@ -10,6 +10,7 @@ import (
 	"repro/internal/domains/eqdom"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // rowsKey renders an answer's rows as a canonical sorted string.
@@ -76,6 +77,57 @@ func TestEvalActiveUnchangedByInstrumentation(t *testing.T) {
 		if on.Complete != off.Complete {
 			t.Errorf("query %d: Complete differs with observation on/off", i)
 		}
+	}
+}
+
+// TestParallelSerialAgreementTraced: with observability enabled AND the
+// flight recorder armed, the parallel evaluator agrees with the serial one
+// row for row. Run under -race this also exercises the recorder's
+// concurrent emit path (worker goroutines each resolve their own tid and
+// share the ring).
+func TestParallelSerialAgreementTraced(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	trace.Arm(1 << 12)
+	defer trace.Disarm()
+	st := db.NewState(db.MustScheme(map[string]int{"F": 2}))
+	words := []string{"adam", "eve", "cain", "abel", "seth", "enos"}
+	for i, a := range words {
+		for j, b := range words {
+			if (i+j)%3 == 0 && i != j {
+				if err := st.Insert("F", domain.Word(a), domain.Word(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	queries := []*logic.Formula{
+		logic.Exists("y", logic.Atom("F", logic.Var("x"), logic.Var("y"))),
+		logic.Forall("y", logic.Implies(
+			logic.Atom("F", logic.Var("x"), logic.Var("y")),
+			logic.Exists("z", logic.Atom("F", logic.Var("y"), logic.Var("z"))))),
+		logic.And(
+			logic.Atom("F", logic.Var("x"), logic.Var("y")),
+			logic.Not(logic.Atom("F", logic.Var("y"), logic.Var("x")))),
+	}
+	dom := eqdom.Domain{}
+	for i, f := range queries {
+		serial, err := EvalActive(dom, st, f)
+		if err != nil {
+			t.Fatalf("query %d serial: %v", i, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			par, err := EvalActiveParallel(dom, st, f, workers)
+			if err != nil {
+				t.Fatalf("query %d parallel(%d): %v", i, workers, err)
+			}
+			if ks, kp := rowsKey(t, serial), rowsKey(t, par); ks != kp {
+				t.Errorf("query %d: serial and parallel(%d) rows differ while traced:\n%s\n%s", i, workers, ks, kp)
+			}
+		}
+	}
+	if trace.Len() == 0 {
+		t.Error("armed recorder captured no events from the evaluators")
 	}
 }
 

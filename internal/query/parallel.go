@@ -35,6 +35,8 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 	}
 	mParJobs.Add(int64(len(rng)))
 	hEvalDomain.Observe(int64(len(rng)))
+	sp.Arg("workers", int64(workers))
+	sp.Arg("jobs", int64(len(rng)))
 	si := stateInterp{dom: dom, st: st}
 
 	type result struct {
@@ -85,6 +87,7 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 			}
 		}
 	}
+	sp.Arg("rows", int64(ans.Rows.Len()))
 	return ans, nil
 }
 

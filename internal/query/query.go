@@ -146,6 +146,10 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 		return nil, err
 	}
 	hEvalDomain.Observe(int64(len(rng)))
+	sp.Arg("active_domain", int64(len(rng)))
+	if sp.Traced() {
+		sp.Arg("formula_size", int64(f.Size()))
+	}
 	vars := f.FreeVars()
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(maxInt(len(vars), 1)), Complete: true}
 	si := stateInterp{dom: dom, st: st}
@@ -190,6 +194,8 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 		return nil, err
 	}
 	mEvalRows.Add(int64(ans.Rows.Len()))
+	sp.Arg("assignments", leaves)
+	sp.Arg("rows", int64(ans.Rows.Len()))
 	return ans, nil
 }
 

@@ -95,33 +95,50 @@ func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
 	sp := obs.StartSpan("qe.traces.eliminate")
 	defer sp.End()
 	mQECalls.Inc()
-	hQESizeIn.Observe(int64(f.Size()))
+	sizeIn := int64(f.Size())
+	hQESizeIn.Observe(sizeIn)
+	sp.Arg("size_in", sizeIn)
 	if err := CheckSignature(f); err != nil {
 		return nil, err
 	}
+	// Each stage span carries the formula size it produced, so an exported
+	// trace shows which stage blew the formula up (or shrank it back).
 	st := sp.Child("normalize")
 	g, err := normalizeTerms(TranslateP(f))
+	stageSize(st, g)
 	st.End()
 	if err != nil {
 		return nil, err
 	}
 	st = sp.Child("elim")
 	g, err = e.elim(g)
+	stageSize(st, g)
 	st.End()
 	if err != nil {
 		return nil, err
 	}
 	st = sp.Child("ground")
 	g, err = evalGroundAtoms(g)
+	stageSize(st, g)
 	st.End()
 	if err != nil {
 		return nil, err
 	}
 	st = sp.Child("simplify")
 	g = logic.Simplify(g)
+	stageSize(st, g)
 	st.End()
-	hQESizeOut.Observe(int64(g.Size()))
+	sizeOut := int64(g.Size())
+	hQESizeOut.Observe(sizeOut)
+	sp.Arg("size_out", sizeOut)
 	return g, nil
+}
+
+// stageSize records a stage's output formula size on its trace span.
+func stageSize(st *obs.Span, g *logic.Formula) {
+	if st.Traced() && g != nil {
+		st.Arg("size", int64(g.Size()))
+	}
 }
 
 func (e Eliminator) elim(f *logic.Formula) (*logic.Formula, error) {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Simulator metrics: total transition volume, tape growth, and per-run
@@ -31,6 +32,12 @@ var (
 	mTMRuns      = obs.NewCounter("turing.runs")
 	hTMRunSteps  = obs.NewHistogram("turing.run.steps")
 )
+
+// TraceStride samples every TraceStride-th step into the flight recorder
+// while tracing is armed (step 0 is always sampled), so a million-step
+// simulation stays within the recorder's bounded ring instead of flooding
+// it. Set to 1 for every step; ≤ 0 disables step events.
+var TraceStride = 64
 
 // Blank and One are the two tape symbols.
 const (
@@ -264,6 +271,15 @@ func (c *Config) Step() bool {
 		return false
 	}
 	mTMSteps.Inc()
+	// Sampled step events: the Armed check is one atomic load, so the
+	// disarmed simulator pays nothing beyond it per transition.
+	if trace.Armed() && TraceStride > 0 && c.steps%TraceStride == 0 {
+		trace.Instant("turing.step", "turing",
+			trace.I64("step", int64(c.steps)),
+			trace.I64("state", int64(c.state)),
+			trace.I64("head", int64(c.head)),
+			trace.I64("tape_cells", int64(len(c.cells))))
+	}
 	c.set(c.head, r.Write)
 	if r.Move == Left {
 		c.head--
@@ -379,12 +395,20 @@ type RunResult struct {
 
 // Run executes m on w for at most budget steps.
 func Run(m *Machine, w string, budget int) RunResult {
+	sp := obs.StartSpan("turing.run")
+	defer sp.End()
 	mTMRuns.Inc()
 	c := NewConfig(m, w)
 	for !c.halted && c.steps < budget {
 		c.Step()
 	}
 	hTMRunSteps.Observe(int64(c.steps))
+	sp.Arg("steps", int64(c.steps))
+	if c.halted {
+		sp.Arg("halted", 1)
+	} else {
+		sp.Arg("halted", 0)
+	}
 	return RunResult{Halted: c.halted, Steps: c.steps, Output: c.Result()}
 }
 
