@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench trace-demo
+.PHONY: build test vet staticcheck race bench bench-perf trace-demo
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ race:
 # BENCH_obs.json. Fails if the enabled overhead exceeds 5%.
 bench:
 	BENCH_OBS=1 $(GO) test -run TestWriteBenchObs -count=1 -v .
+
+# bench-perf measures the E1 enumeration through three evaluators (the
+# pre-optimization loop, the incremental loop with the decision cache off,
+# and with it on) and writes BENCH_perf.json with rows/sec and the cache
+# hit rate. Fails if cache + incremental enumeration is not at least 2x
+# the uncached rows/sec.
+bench-perf:
+	BENCH_PERF=1 $(GO) test -run TestWriteBenchPerf -count=1 -v .
 
 # trace-demo records the E1 experiment (enumeration over the Presburger
 # domain) with the flight recorder armed and writes a Chrome trace —

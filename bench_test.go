@@ -221,10 +221,13 @@ func BenchmarkE7TraceQE(b *testing.B) {
 			logic.Exists("p", logic.And(logic.Atom(traces.PredT, logic.Var("p")),
 				logic.Eq(logic.App(traces.FuncM, logic.Var("p")), x)))))},
 	}
-	dec := traces.Decider()
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
+				// Fresh decider (and thus fresh decision cache) per
+				// iteration: a shared one would reduce every iteration after
+				// the first to a cache hit and benchmark the map, not QE.
+				dec := traces.Decider()
 				if _, err := dec.Decide(c.f); err != nil {
 					b.Fatal(err)
 				}

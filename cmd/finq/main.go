@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	args, finish, err := cliutil.Setup("finq", os.Args[1:])
+	args, finish, err := cliutil.Setup("finq", os.Args[1:], true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "finq:", err)
 		os.Exit(1)
@@ -79,7 +79,8 @@ func usage() {
 
 global flags:
   -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
-  -trace-out <file>        record execution and write a Chrome trace on exit`)
+  -trace-out <file>        record execution and write a Chrome trace on exit
+  -cache[=on|off]          memoize decision-procedure calls (default on)`)
 }
 
 func loadDomainAndFormula(fs *flag.FlagSet, args []string) (finq.DomainInfo, *finq.Formula, *flag.FlagSet, error) {

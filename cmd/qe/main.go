@@ -23,7 +23,7 @@ import (
 var finish = func() {}
 
 func main() {
-	rest, fin, err := cliutil.Setup("qe", os.Args[1:])
+	rest, fin, err := cliutil.Setup("qe", os.Args[1:], false)
 	if err != nil {
 		fail(err)
 	}
@@ -39,7 +39,7 @@ func main() {
 		return
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] [-debug-addr <host:port>] [-trace-out <file>] -domain <name> "<formula>"`)
+		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] [-debug-addr <host:port>] [-trace-out <file>] [-cache[=on|off]] -domain <name> "<formula>"`)
 		os.Exit(2)
 	}
 	if *stats {

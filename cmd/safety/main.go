@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	args, finish, err := cliutil.Setup("safety", os.Args[1:])
+	args, finish, err := cliutil.Setup("safety", os.Args[1:], true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "safety:", err)
 		os.Exit(1)
@@ -64,6 +64,7 @@ func usage() {
 global flags:
   -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
   -trace-out <file>        record execution and write a Chrome trace on exit
+  -cache[=on|off]          memoize decision-procedure calls (default on)
 
 a metrics summary (verdicts, simulation steps) is printed to stderr on exit`)
 }

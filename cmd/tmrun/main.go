@@ -34,7 +34,7 @@ var builtins = map[string]func() *turing.Machine{
 }
 
 func main() {
-	args, finish, err := cliutil.Setup("tmrun", os.Args[1:])
+	args, finish, err := cliutil.Setup("tmrun", os.Args[1:], false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmrun:", err)
 		os.Exit(1)
@@ -91,6 +91,7 @@ func usage() {
 global flags:
   -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
   -trace-out <file>        record execution and write a Chrome trace on exit
+  -cache[=on|off]          memoize decision-procedure calls (default off)
 
 a metrics summary (steps, tape growth) is printed to stderr on exit`)
 }

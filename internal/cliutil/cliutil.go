@@ -5,12 +5,15 @@
 //	                         /debug/pprof/ for the life of the process
 //	-trace-out <file>        arm the execution flight recorder and write a
 //	                         Chrome trace (Perfetto / chrome://tracing) on exit
+//	-cache[=on|off]          toggle the memoized decision cache
+//	                         (internal/deccache); each tool picks its default
 //
-// Both flags may appear anywhere on the command line, in "-flag value" or
-// "-flag=value" form (single or double dash), and are stripped before the
-// subcommand flag sets see the arguments — hoisting them here keeps the
-// four CLIs' flag handling identical without threading the flags through
-// every FlagSet.
+// The flags may appear anywhere on the command line, in "-flag value" or
+// "-flag=value" form (single or double dash) — except -cache, whose value
+// must be attached with "=" (a bare -cache means on) so that "-cache eval"
+// does not swallow the subcommand — and are stripped before the subcommand
+// flag sets see the arguments. Hoisting them here keeps the four CLIs' flag
+// handling identical without threading the flags through every FlagSet.
 package cliutil
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/deccache"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 )
@@ -26,10 +30,23 @@ import (
 // arms the flight recorder as requested, and returns the remaining
 // arguments plus a finish function. Call finish before exiting (it is
 // idempotent): it disarms the recorder and writes the Chrome trace file.
-// A startup failure (unusable debug address, unwritable trace path) is
-// returned as an error so the CLI can exit nonzero before doing work.
-func Setup(tool string, args []string) (rest []string, finish func(), err error) {
-	rest, debugAddr, traceOut := extractGlobals(args)
+// A startup failure (unusable debug address, unwritable trace path,
+// malformed -cache value) is returned as an error so the CLI can exit
+// nonzero before doing work.
+//
+// cacheDefault is the tool's decision-cache posture when no -cache flag is
+// given: the enumeration tools (finq, safety) default on, the others off.
+func Setup(tool string, args []string, cacheDefault bool) (rest []string, finish func(), err error) {
+	rest, debugAddr, traceOut, cacheVal := extractGlobals(args)
+	useCache := cacheDefault
+	if cacheVal != "" {
+		on, err := parseCacheValue(cacheVal)
+		if err != nil {
+			return nil, nil, err
+		}
+		useCache = on
+	}
+	deccache.SetEnabled(useCache)
 	if debugAddr != "" {
 		addr, err := obs.ServeDebug(debugAddr)
 		if err != nil {
@@ -73,9 +90,12 @@ func Setup(tool string, args []string) (rest []string, finish func(), err error)
 	return rest, finish, nil
 }
 
-// extractGlobals strips -debug-addr and -trace-out (all four spellings
-// each) from the argument list.
-func extractGlobals(args []string) (rest []string, debugAddr, traceOut string) {
+// extractGlobals strips -debug-addr, -trace-out (all four spellings each)
+// and -cache from the argument list. cacheVal is "" when the flag is
+// absent, "on" for a bare -cache, and the literal value for -cache=value;
+// unlike the other globals a bare -cache never consumes the next argument,
+// which is usually the subcommand.
+func extractGlobals(args []string) (rest []string, debugAddr, traceOut, cacheVal string) {
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		name, val, hasVal := splitFlag(a)
@@ -92,11 +112,28 @@ func extractGlobals(args []string) (rest []string, debugAddr, traceOut string) {
 			} else {
 				traceOut = val
 			}
+		case "cache":
+			if hasVal {
+				cacheVal = val
+			} else {
+				cacheVal = "on"
+			}
 		default:
 			rest = append(rest, a)
 		}
 	}
-	return rest, debugAddr, traceOut
+	return rest, debugAddr, traceOut, cacheVal
+}
+
+// parseCacheValue maps the accepted -cache values onto the toggle.
+func parseCacheValue(v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("-cache: want on|off, got %q", v)
 }
 
 // splitFlag parses "-name", "--name", "-name=value" into its parts; a

@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/deccache"
+)
+
+func TestExtractGlobalsCacheFlag(t *testing.T) {
+	cases := []struct {
+		args     []string
+		rest     []string
+		cacheVal string
+	}{
+		// Bare -cache must not swallow the subcommand that follows it.
+		{[]string{"-cache", "eval", "q.fq"}, []string{"eval", "q.fq"}, "on"},
+		{[]string{"--cache=off", "eval"}, []string{"eval"}, "off"},
+		{[]string{"eval", "-cache=1"}, []string{"eval"}, "1"},
+		{[]string{"eval"}, []string{"eval"}, ""},
+		// Interleaved with a value-consuming global.
+		{[]string{"-cache=off", "-trace-out", "t.json", "eval"}, []string{"eval"}, "off"},
+	}
+	for _, c := range cases {
+		rest, _, traceOut, cacheVal := extractGlobals(c.args)
+		if !reflect.DeepEqual(rest, c.rest) || cacheVal != c.cacheVal {
+			t.Errorf("extractGlobals(%v) = rest %v cache %q, want %v %q",
+				c.args, rest, cacheVal, c.rest, c.cacheVal)
+		}
+		_ = traceOut
+	}
+}
+
+func TestParseCacheValue(t *testing.T) {
+	for _, v := range []string{"on", "true", "1", "ON", "True"} {
+		if got, err := parseCacheValue(v); err != nil || !got {
+			t.Errorf("parseCacheValue(%q) = %v, %v; want true", v, got, err)
+		}
+	}
+	for _, v := range []string{"off", "false", "0", "OFF"} {
+		if got, err := parseCacheValue(v); err != nil || got {
+			t.Errorf("parseCacheValue(%q) = %v, %v; want false", v, got, err)
+		}
+	}
+	if _, err := parseCacheValue("maybe"); err == nil {
+		t.Error("parseCacheValue accepted garbage")
+	}
+}
+
+// TestSetupWiresCacheToggle checks the three-way interaction of tool
+// default and explicit flag.
+func TestSetupWiresCacheToggle(t *testing.T) {
+	prev := deccache.Enabled()
+	defer deccache.SetEnabled(prev)
+
+	cases := []struct {
+		args []string
+		def  bool
+		want bool
+	}{
+		{nil, true, true},
+		{nil, false, false},
+		{[]string{"-cache=off"}, true, false},
+		{[]string{"-cache"}, false, true},
+	}
+	for _, c := range cases {
+		rest, finish, err := Setup("test", c.args, c.def)
+		if err != nil {
+			t.Fatalf("Setup(%v, default %v): %v", c.args, c.def, err)
+		}
+		finish()
+		if len(rest) != 0 {
+			t.Errorf("Setup(%v) left args %v", c.args, rest)
+		}
+		if deccache.Enabled() != c.want {
+			t.Errorf("Setup(%v, default %v): cache enabled = %v, want %v",
+				c.args, c.def, deccache.Enabled(), c.want)
+		}
+	}
+
+	if _, _, err := Setup("test", []string{"-cache=sideways"}, true); err == nil {
+		t.Error("Setup accepted a malformed -cache value")
+	}
+}

@@ -1,0 +1,156 @@
+// Package deccache memoizes domain decision procedures. The §1.1
+// enumeration re-decides identical ground sentences on every row (each
+// row's probe scan restarts from candidate 0), and the relative-safety
+// deciders re-ask the same equivalence sub-sentences; a bounded cache in
+// front of the decider turns those repeats into map lookups.
+//
+// The cache is keyed by logic.(*Formula).CanonicalKey, an injective
+// serialization, so key equality is collision-safe; the stored sentence is
+// nevertheless re-checked with Equal on every hit as defense in depth.
+// Eviction is LRU with a fixed capacity. A process-wide toggle
+// (Enable/Disable, wired to the CLIs' -cache flag through
+// internal/cliutil) turns every wrapper into a transparent pass-through,
+// so correctness never depends on the cache being on.
+package deccache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/domain"
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Cache behavior counters, aggregated across all caches in the process;
+// exposed on /metrics and in obs snapshots like every other metric.
+var (
+	mHits      = obs.NewCounter("deccache.hits")
+	mMisses    = obs.NewCounter("deccache.misses")
+	mEvictions = obs.NewCounter("deccache.evictions")
+)
+
+// enabled is the process-wide toggle. Caching is on by default: a memoized
+// decider is observationally identical to the raw one (deciders are pure),
+// so the default favors the fast path.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enable turns decision caching on (the default).
+func Enable() { enabled.Store(true) }
+
+// Disable turns decision caching off; wrapped deciders pass through.
+func Disable() { enabled.Store(false) }
+
+// SetEnabled sets the toggle and returns the previous value, for scoped
+// use in tests and benchmarks.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether decision caching is on.
+func Enabled() bool { return enabled.Load() }
+
+// DefaultCapacity bounds a cache created by the domain constructors: large
+// enough to hold every ground decision of a budget-sized enumeration,
+// small enough that pinned formulas stay in the tens of megabytes even for
+// pathological sentence sizes.
+const DefaultCapacity = 4096
+
+// Cache is a memoized domain.Decider with bounded LRU eviction. It is
+// safe for concurrent use; the inner decider is invoked outside the lock.
+type Cache struct {
+	inner    domain.Decider
+	capacity int
+
+	mu    sync.Mutex
+	order *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type entry struct {
+	key      string
+	sentence *logic.Formula
+	value    bool
+}
+
+// Wrap returns a caching decider in front of inner. A capacity ≤ 0 selects
+// DefaultCapacity.
+func Wrap(inner domain.Decider, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		inner:    inner,
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    map[string]*list.Element{},
+	}
+}
+
+// Decide implements domain.Decider: a hit returns the memoized verdict, a
+// miss consults the inner decider and caches the result. Errors are never
+// cached — a failing sentence is re-asked on every call, like an unwrapped
+// decider. When the package toggle is off the call passes straight
+// through (no key is built, no stats move).
+func (c *Cache) Decide(sentence *logic.Formula) (bool, error) {
+	if !enabled.Load() {
+		return c.inner.Decide(sentence)
+	}
+	sp := obs.StartSpan("deccache.decide")
+	defer sp.End()
+	key := sentence.CanonicalKey()
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*entry)
+		if e.sentence.Equal(sentence) {
+			c.order.MoveToFront(el)
+			v := e.value
+			c.hits++
+			c.mu.Unlock()
+			mHits.Inc()
+			sp.Arg("hit", 1)
+			return v, nil
+		}
+		// An injective key cannot collide; if it ever did, fall through to
+		// the inner decider rather than return a wrong verdict.
+		c.mu.Unlock()
+		sp.Arg("hit", 0)
+		return c.inner.Decide(sentence)
+	}
+	c.misses++
+	c.mu.Unlock()
+	mMisses.Inc()
+	sp.Arg("hit", 0)
+
+	v, err := c.inner.Decide(sentence)
+	if err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	// A concurrent miss on the same sentence may have inserted first; the
+	// verdicts are identical (deciders are pure), keep the existing entry.
+	if _, ok := c.byKey[key]; !ok {
+		c.byKey[key] = c.order.PushFront(&entry{key: key, sentence: sentence, value: v})
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*entry).key)
+			c.evictions++
+			mEvictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Stats returns the cache's own hit/miss/eviction counts and current size
+// (the package-level obs counters aggregate across all caches).
+func (c *Cache) Stats() (hits, misses, evictions int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

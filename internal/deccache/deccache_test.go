@@ -1,0 +1,199 @@
+package deccache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// countingDecider decides by formula shape and counts inner invocations.
+type countingDecider struct {
+	mu    sync.Mutex
+	calls int
+	fail  bool
+}
+
+func (d *countingDecider) Decide(f *logic.Formula) (bool, error) {
+	d.mu.Lock()
+	d.calls++
+	d.mu.Unlock()
+	if d.fail {
+		return false, fmt.Errorf("countingDecider: forced failure")
+	}
+	return f.Kind == logic.FTrue || f.Kind == logic.FExists, nil
+}
+
+func (d *countingDecider) callCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calls
+}
+
+func atomSentence(name string) *logic.Formula {
+	return logic.Exists("x", logic.Atom(name, logic.Var("x")))
+}
+
+func TestCacheHitOnStructurallyEqualFormula(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	inner := &countingDecider{}
+	c := Wrap(inner, 16)
+	f := atomSentence("P")
+	v1, err := c.Decide(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A distinct but structurally equal formula must hit.
+	v2, err := c.Decide(atomSentence("P"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("cached verdict %v differs from first %v", v2, v1)
+	}
+	if got := inner.callCount(); got != 1 {
+		t.Errorf("inner decided %d times, want 1", got)
+	}
+	hits, misses, _, size := c.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Errorf("stats = %d hits, %d misses, size %d; want 1, 1, 1", hits, misses, size)
+	}
+}
+
+func TestCacheDistinctFormulasDistinctEntries(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	inner := &countingDecider{}
+	c := Wrap(inner, 16)
+	for _, name := range []string{"P", "Q", "R"} {
+		if _, err := c.Decide(atomSentence(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.callCount(); got != 3 {
+		t.Errorf("inner decided %d times, want 3", got)
+	}
+	if _, _, _, size := c.Stats(); size != 3 {
+		t.Errorf("cache size %d, want 3", size)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	inner := &countingDecider{}
+	c := Wrap(inner, 2)
+	p, q, r := atomSentence("P"), atomSentence("Q"), atomSentence("R")
+	mustDecide := func(f *logic.Formula) {
+		t.Helper()
+		if _, err := c.Decide(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDecide(p)
+	mustDecide(q)
+	mustDecide(p) // touch P so Q becomes least recently used
+	mustDecide(r) // evicts Q
+	_, _, evictions, size := c.Stats()
+	if evictions != 1 || size != 2 {
+		t.Fatalf("evictions=%d size=%d, want 1 and 2", evictions, size)
+	}
+	base := inner.callCount()
+	mustDecide(p) // still cached
+	if inner.callCount() != base {
+		t.Errorf("P was evicted but should have been retained")
+	}
+	mustDecide(q) // was evicted: inner consulted again
+	if inner.callCount() != base+1 {
+		t.Errorf("Q should have been evicted and re-decided")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	inner := &countingDecider{fail: true}
+	c := Wrap(inner, 16)
+	f := atomSentence("P")
+	for i := 0; i < 2; i++ {
+		if _, err := c.Decide(f); err == nil {
+			t.Fatal("expected forced failure")
+		}
+	}
+	if got := inner.callCount(); got != 2 {
+		t.Errorf("failing sentence decided %d times, want 2 (errors must not be cached)", got)
+	}
+	if _, _, _, size := c.Stats(); size != 0 {
+		t.Errorf("error left an entry in the cache (size %d)", size)
+	}
+}
+
+func TestCacheDisabledPassesThrough(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	inner := &countingDecider{}
+	c := Wrap(inner, 16)
+	f := atomSentence("P")
+	for i := 0; i < 3; i++ {
+		if _, err := c.Decide(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.callCount(); got != 3 {
+		t.Errorf("disabled cache still memoized: %d inner calls, want 3", got)
+	}
+	if hits, misses, _, size := c.Stats(); hits != 0 || misses != 0 || size != 0 {
+		t.Errorf("disabled cache recorded stats: %d/%d/%d", hits, misses, size)
+	}
+}
+
+func TestCacheWrapDefaults(t *testing.T) {
+	if c := Wrap(&countingDecider{}, 0); c.capacity != DefaultCapacity {
+		t.Errorf("capacity %d, want DefaultCapacity", c.capacity)
+	}
+	if c := Wrap(&countingDecider{}, -5); c.capacity != DefaultCapacity {
+		t.Errorf("negative capacity not defaulted")
+	}
+}
+
+// TestCacheConcurrent exercises the lock discipline under -race: many
+// goroutines deciding an overlapping working set.
+func TestCacheConcurrent(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	inner := &countingDecider{}
+	c := Wrap(inner, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("P%d", (g+i)%12) // 12 formulas through capacity 8
+				want := true                         // countingDecider: FExists decides true
+				got, err := c.Decide(atomSentence(name))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want {
+					t.Errorf("verdict flipped under concurrency: %v", got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses, evictions, size := c.Stats()
+	if hits+misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, 8*200)
+	}
+	if size > 8 {
+		t.Errorf("cache size %d exceeds capacity 8", size)
+	}
+	if evictions == 0 {
+		t.Errorf("working set exceeds capacity but nothing was evicted")
+	}
+}

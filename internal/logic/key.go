@@ -1,0 +1,67 @@
+package logic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CanonicalKey returns a deterministic, injective serialization of the
+// formula, suitable as a map key: two formulas have the same key exactly
+// when Equal reports them structurally equal. The encoding is a prefix
+// code — every node writes a kind tag, its length-prefixed Pred and Var
+// fields, and the counts of its term and subformula children before the
+// children themselves — so no two distinct trees can render to the same
+// string (unlike String(), where e.g. quoting and operator flattening
+// could collide).
+//
+// The decision cache (internal/deccache) keys memoized Decide calls by
+// this string; keys are compared byte-for-byte, so equality of keys is
+// collision-safe by construction.
+func (f *Formula) CanonicalKey() string {
+	var b strings.Builder
+	// Rough pre-size: tag + two empty name prefixes + counts per node.
+	b.Grow(f.Size() * 8)
+	appendFormulaKey(&b, f)
+	return b.String()
+}
+
+func appendFormulaKey(b *strings.Builder, f *Formula) {
+	b.WriteByte(byte('A') + byte(f.Kind))
+	appendNameKey(b, f.Pred)
+	appendNameKey(b, f.Var)
+	b.WriteString(strconv.Itoa(len(f.Args)))
+	b.WriteByte('(')
+	for _, t := range f.Args {
+		appendTermKey(b, t)
+	}
+	b.WriteString(strconv.Itoa(len(f.Sub)))
+	b.WriteByte('[')
+	for _, s := range f.Sub {
+		appendFormulaKey(b, s)
+	}
+}
+
+func appendTermKey(b *strings.Builder, t Term) {
+	switch t.Kind {
+	case TVar:
+		b.WriteByte('v')
+	case TConst:
+		b.WriteByte('c')
+	default:
+		b.WriteByte('f')
+	}
+	appendNameKey(b, t.Name)
+	b.WriteString(strconv.Itoa(len(t.Args)))
+	b.WriteByte('(')
+	for _, a := range t.Args {
+		appendTermKey(b, a)
+	}
+}
+
+// appendNameKey writes a length-prefixed name, making the encoding
+// unambiguous regardless of the characters a name contains.
+func appendNameKey(b *strings.Builder, name string) {
+	b.WriteString(strconv.Itoa(len(name)))
+	b.WriteByte(':')
+	b.WriteString(name)
+}

@@ -1,0 +1,84 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCanonicalKeyAdversarialPairs pins the injectivity of the encoding on
+// pairs a naive serialization would conflate.
+func TestCanonicalKeyAdversarialPairs(t *testing.T) {
+	pairs := [][2]*Formula{
+		// Name-boundary ambiguity: P(ab, c) vs P(a, bc).
+		{Atom("P", Var("ab"), Var("c")), Atom("P", Var("a"), Var("bc"))},
+		// Predicate/argument boundary: Pa(b) vs P(ab).
+		{Atom("Pa", Var("b")), Atom("P", Var("ab"))},
+		// Variable vs constant of the same name.
+		{Atom("P", Var("x")), Atom("P", Const("x"))},
+		// Nullary function application vs constant.
+		{Atom("P", App("x")), Atom("P", Const("x"))},
+		// Connective flattening: (a & b) & c vs a & (b & c).
+		{&Formula{Kind: FAnd, Sub: []*Formula{And(Atom("a"), Atom("b")), Atom("c")}},
+			&Formula{Kind: FAnd, Sub: []*Formula{Atom("a"), And(Atom("b"), Atom("c"))}}},
+		// Binary vs ternary conjunction over the same leaves.
+		{&Formula{Kind: FAnd, Sub: []*Formula{Atom("a"), Atom("b"), Atom("c")}},
+			&Formula{Kind: FAnd, Sub: []*Formula{And(Atom("a"), Atom("b")), Atom("c")}}},
+		// Quantifier variable matters.
+		{Exists("x", Atom("P", Var("x"))), Exists("y", Atom("P", Var("x")))},
+		// Kind matters with identical children.
+		{Exists("x", Atom("P", Var("x"))), Forall("x", Atom("P", Var("x")))},
+		{Implies(Atom("a"), Atom("b")), Iff(Atom("a"), Atom("b"))},
+		// Nesting shape: f(g(x), y) vs f(g(x, y)).
+		{Atom("P", App("f", App("g", Var("x")), Var("y"))),
+			Atom("P", App("f", App("g", Var("x"), Var("y"))))},
+	}
+	for i, p := range pairs {
+		if p[0].Equal(p[1]) {
+			t.Fatalf("pair %d: test formulas unexpectedly Equal", i)
+		}
+		if p[0].CanonicalKey() == p[1].CanonicalKey() {
+			t.Errorf("pair %d: distinct formulas share key %q", i, p[0].CanonicalKey())
+		}
+	}
+}
+
+// TestCanonicalKeyMatchesEqual checks, on random formula pairs, that key
+// equality coincides with structural equality in both directions.
+func TestCanonicalKeyMatchesEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	gen := func(depth int) *Formula {
+		var rec func(d int) *Formula
+		names := []string{"P", "Q", "="}
+		vars := []string{"x", "y", "xy"}
+		rec = func(d int) *Formula {
+			if d == 0 {
+				args := []Term{Var(vars[rng.Intn(3)]), Const(vars[rng.Intn(3)])}
+				return Atom(names[rng.Intn(3)], args[:1+rng.Intn(2)]...)
+			}
+			switch rng.Intn(5) {
+			case 0:
+				return Not(rec(d - 1))
+			case 1:
+				return And(rec(d-1), rec(d-1))
+			case 2:
+				return Or(rec(d-1), rec(d-1))
+			case 3:
+				return Exists(vars[rng.Intn(3)], rec(d-1))
+			default:
+				return Implies(rec(d-1), rec(d-1))
+			}
+		}
+		return rec(depth)
+	}
+	for i := 0; i < 500; i++ {
+		f, g := gen(3), gen(3)
+		eq, keyEq := f.Equal(g), f.CanonicalKey() == g.CanonicalKey()
+		if eq != keyEq {
+			t.Fatalf("iter %d: Equal=%v but key equality=%v for\n%v\n%v", i, eq, keyEq, f, g)
+		}
+		// A formula always agrees with its own clone.
+		if f.CanonicalKey() != f.Clone().CanonicalKey() {
+			t.Fatalf("iter %d: clone changed the key of %v", i, f)
+		}
+	}
+}

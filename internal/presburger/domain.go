@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"strconv"
 
+	"repro/internal/deccache"
 	"repro/internal/domain"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -237,5 +238,6 @@ func (Domain) Pred(name string, args []domain.Value) (bool, error) {
 func (Domain) Element(i int) domain.Value { return domain.Int(i) }
 
 // Decider returns the decision procedure for ℕ with the Presburger
-// signature.
-func Decider() domain.Decider { return Eliminator{} }
+// signature, memoized behind a bounded decision cache (a no-op pass-through
+// when caching is disabled; see internal/deccache).
+func Decider() domain.Decider { return deccache.Wrap(Eliminator{}, deccache.DefaultCapacity) }

@@ -41,6 +41,16 @@ type Enumerable interface {
 // "Note that, at least for safe queries, this algorithm always stops." For
 // unsafe queries in unlucky states it would not, so the budget caps it and
 // Complete is reported false.
+//
+// Two cost structures of the naive transcription are avoided: the
+// exclusion conjunction ⋀ x̄ ∉ found is extended by one clause per found
+// row instead of being rebuilt from φ' each iteration (the resulting
+// formula is node-for-node the same, since formulas are immutable and
+// share structure), and the probe scan grounds φ' itself — already-found
+// rows are skipped by a membership check rather than re-asked through the
+// decider — so with a memoized decider (internal/deccache) the re-scanned
+// prefix of each row's probe sequence costs map lookups, not quantifier
+// eliminations.
 func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
 
@@ -69,22 +79,18 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	}
 
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(len(vars)), Complete: false}
-	var found []db.Tuple
-	for len(found) < budget.Rows {
+	// remaining carries φ' ∧ ⋀_rows ¬(x̄ = row) across iterations, growing
+	// by one conjunct per row; foundKeys mirrors the exclusion as a set so
+	// the probe scan can skip found rows without a decision.
+	remaining := pure
+	foundKeys := map[string]bool{}
+	rows := 0
+	for rows < budget.Rows {
 		// Each iteration (one existential decision plus the probe scan for
 		// the next row) is a child span: in an exported trace the successive
 		// "row" spans make the per-row cost growth of E1 directly visible.
 		rsp := sp.Child("row")
-		rsp.Arg("row_index", int64(len(found)))
-		// ∃x̄ (φ' ∧ ⋀_rows ¬(x̄ = row)).
-		remaining := pure
-		for _, row := range found {
-			var eqs []*logic.Formula
-			for i, name := range vars {
-				eqs = append(eqs, logic.Eq(logic.Var(name), logic.Const(dom.ConstName(row[i]))))
-			}
-			remaining = logic.And(remaining, logic.Not(logic.And(eqs...)))
-		}
+		rsp.Arg("row_index", int64(rows))
 		if rsp.Traced() {
 			rsp.Arg("formula_size", int64(remaining.Size()))
 		}
@@ -101,7 +107,7 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			sp.Arg("rows", int64(ans.Rows.Len()))
 			return ans, nil
 		}
-		row, probes, err := nextRow(dom, dec, remaining, vars, budget.Probe)
+		row, probes, err := nextRow(dom, dec, pure, foundKeys, vars, budget.Probe)
 		rsp.Arg("probes", int64(probes))
 		rsp.End()
 		if err != nil {
@@ -113,7 +119,14 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			sp.Arg("rows", int64(ans.Rows.Len()))
 			return ans, nil // probe budget exhausted
 		}
-		found = append(found, row)
+		// ∃x̄ (φ' ∧ ⋀_rows ¬(x̄ = row)): one more exclusion conjunct.
+		var eqs []*logic.Formula
+		for i, name := range vars {
+			eqs = append(eqs, logic.Eq(logic.Var(name), logic.Const(dom.ConstName(row[i]))))
+		}
+		remaining = logic.And(remaining, logic.Not(logic.And(eqs...)))
+		foundKeys[row.Key()] = true
+		rows++
 		if err := ans.Rows.Add(row); err != nil {
 			return nil, err
 		}
@@ -149,19 +162,31 @@ func NaturalMember(dom domain.Domain, dec domain.Decider, st *db.State,
 // nextRow enumerates candidate tuples ("let us order all tuples of elements
 // of the domain of the size of x̄") and returns the first satisfying one
 // plus the number of probes spent, or nil when the probe budget runs out.
+//
+// Candidates already in found consume a probe — exactly as they did when
+// the exclusion conjunction was grounded and decided for them — but are
+// skipped by the set lookup instead of a decision. The remaining
+// candidates ground φ' itself, so the same ground sentence is asked for a
+// candidate on every row that re-scans past it, which is what makes the
+// decision cache effective on this path.
 func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
-	vars []string, probe int) (db.Tuple, int, error) {
+	found map[string]bool, vars []string, probe int) (db.Tuple, int, error) {
 
 	k := len(vars)
+	gen := newTupleGen(k)
 	for i := 0; i < probe; i++ {
 		mEnumProbes.Inc()
-		idx := tupleIndices(k, i)
+		idx := gen.next()
 		tuple := make(db.Tuple, k)
+		for j := range idx {
+			tuple[j] = dom.Element(idx[j])
+		}
+		if found[tuple.Key()] {
+			continue
+		}
 		ground := pure
 		for j, name := range vars {
-			v := dom.Element(idx[j])
-			tuple[j] = v
-			ground = logic.Subst(ground, name, logic.Const(dom.ConstName(v)))
+			ground = logic.Subst(ground, name, logic.Const(dom.ConstName(tuple[j])))
 		}
 		ok, err := dec.Decide(ground)
 		if err != nil {
@@ -174,8 +199,89 @@ func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
 	return nil, probe, nil
 }
 
+// tupleGen yields the bijective enumeration of ℕ^k incrementally: call
+// next() repeatedly to receive tupleIndices(k, 0), tupleIndices(k, 1), ….
+// Where tupleIndices re-scans every block from m = 0 and linearly searches
+// the final block on each call (quadratic in the probe count), the
+// generator keeps the current block and code and advances in O(1)
+// amortized per tuple: walking block m enumerates (m+1)^k base-(m+1)
+// codes, which is also the total number of tuples yielded through that
+// block.
+type tupleGen struct {
+	k int
+	// n is the plain counter for k = 1, where the enumeration is identity.
+	n int
+	// m is the current block: tuples whose maximum component is exactly m.
+	m int
+	// digits is the current code in base m+1, most significant first.
+	digits []int
+	// maxCount tracks how many digits equal m, so "contains the maximum"
+	// is an O(1) test instead of a scan.
+	maxCount int
+	started  bool
+}
+
+func newTupleGen(k int) *tupleGen {
+	return &tupleGen{k: k, digits: make([]int, k)}
+}
+
+// next returns the next tuple in enumeration order. The returned slice is
+// fresh and owned by the caller.
+func (g *tupleGen) next() []int {
+	if g.k == 1 {
+		g.n++
+		return []int{g.n - 1}
+	}
+	if !g.started {
+		// Block m = 0 holds exactly the all-zero tuple.
+		g.started = true
+		g.maxCount = g.k
+		return make([]int, g.k)
+	}
+	for {
+		if !g.inc() {
+			// Block exhausted: move to base m+2 and restart from all zeros
+			// (which contains no m+1, so the loop skips forward to the
+			// first code of the new block).
+			g.m++
+			for i := range g.digits {
+				g.digits[i] = 0
+			}
+			g.maxCount = 0
+			continue
+		}
+		if g.maxCount > 0 {
+			out := make([]int, g.k)
+			copy(out, g.digits)
+			return out
+		}
+	}
+}
+
+// inc advances digits by one in base m+1, maintaining maxCount; it reports
+// false on overflow (all digits were m).
+func (g *tupleGen) inc() bool {
+	i := g.k - 1
+	for i >= 0 && g.digits[i] == g.m {
+		g.digits[i] = 0
+		g.maxCount--
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	g.digits[i]++
+	if g.digits[i] == g.m {
+		g.maxCount++
+	}
+	return true
+}
+
 // tupleIndices is a bijective enumeration of ℕ^k: tuples are ordered by
-// maximum component, so every tuple has a finite index.
+// maximum component, so every tuple has a finite index. It recomputes the
+// block decomposition from scratch on every call; the enumeration loop
+// uses tupleGen instead, and this function remains as the independent
+// oracle the generator is tested against.
 func tupleIndices(k, n int) []int {
 	if k == 1 {
 		return []int{n}

@@ -1,0 +1,92 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/logic"
+	"repro/internal/presburger"
+)
+
+// TestTupleGenMatchesOracle checks the incremental generator against
+// tupleIndices, the from-scratch enumeration it replaced, across the index
+// prefix the probe budget actually visits.
+func TestTupleGenMatchesOracle(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		gen := newTupleGen(k)
+		n := 3000
+		if k == 1 {
+			n = 5000
+		}
+		for i := 0; i < n; i++ {
+			got := gen.next()
+			want := tupleIndices(k, i)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d i=%d: length %d vs %d", k, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d i=%d: generator %v, oracle %v", k, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTupleGenFreshSlices pins that next() hands out independent slices —
+// the enumeration loop stores components into tuples that outlive the call.
+func TestTupleGenFreshSlices(t *testing.T) {
+	gen := newTupleGen(2)
+	a := gen.next()
+	b := gen.next()
+	a[0], a[1] = -1, -1
+	if b[0] == -1 || b[1] == -1 {
+		t.Fatalf("next() aliases earlier results: %v", b)
+	}
+}
+
+// TestEnumerationProbeBudgetExhausted forces the probe cap to bite: every
+// answer lies beyond the candidates a 5-probe scan reaches, so the
+// enumeration must stop with zero rows and Complete = false.
+func TestEnumerationProbeBudgetExhausted(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{}))
+	// φ(x): 10 < x — satisfiable (the existential keeps succeeding) but the
+	// first witness is index 11, out of reach for Probe: 5.
+	f := logic.Atom(presburger.PredLt, logic.Const("10"), logic.Var("x"))
+	ans, err := EnumerationAnswer(presburger.Domain{}, presburger.Decider(), st, f,
+		EnumerationBudget{Rows: 10, Probe: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Complete {
+		t.Errorf("probe-capped run reported complete")
+	}
+	if ans.Rows.Len() != 0 {
+		t.Errorf("probe cap 5 cannot reach x > 10, yet got %d rows", ans.Rows.Len())
+	}
+}
+
+// TestEnumerationRowBudgetExhausted caps rows below the (infinite) answer:
+// the run must fill exactly the cap and report incomplete.
+func TestEnumerationRowBudgetExhausted(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{}))
+	// φ(x): 0 ≤ x, true of every natural — infinitely many rows.
+	f := logic.Atom(presburger.PredLe, logic.Const("0"), logic.Var("x"))
+	ans, err := EnumerationAnswer(presburger.Domain{}, presburger.Decider(), st, f,
+		EnumerationBudget{Rows: 4, Probe: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Complete {
+		t.Errorf("row-capped run reported complete")
+	}
+	if ans.Rows.Len() != 4 {
+		t.Errorf("row cap 4, got %d rows", ans.Rows.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if !ans.Rows.Has(db.Tuple{domain.Int(int64(i))}) {
+			t.Errorf("row cap should keep the first 4 naturals; missing %d", i)
+		}
+	}
+}

@@ -43,19 +43,24 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 		rows []db.Tuple
 		err  error
 	}
+	// results is buffered to one slot per worker so every worker can deliver
+	// its single result and exit even if nothing is receiving anymore. stop
+	// aborts the feeder when a worker fails; without it, a failing worker
+	// stops draining jobs, the feeder blocks forever on the unbuffered send,
+	// and the collection loop deadlocks waiting for results that never come.
 	jobs := make(chan domain.Value)
 	results := make(chan result, workers)
-	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
 			var out []db.Tuple
 			env := domain.Env{}
 			for v := range jobs {
 				env[vars[0]] = v
 				rows, err := assignRest(si, env, vars, rng, f)
 				if err != nil {
+					stopOnce.Do(func() { close(stop) })
 					results <- result{err: err}
 					return
 				}
@@ -65,27 +70,40 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 		}()
 	}
 	go func() {
+		defer close(jobs)
 		for _, v := range rng {
-			jobs <- v
+			select {
+			case jobs <- v:
+			case <-stop:
+				return
+			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
 	}()
 
+	// Collect exactly one result per worker; this both gathers the rows and
+	// guarantees no goroutine outlives the call, whichever mix of successes
+	// and failures the workers report.
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(len(vars)), Complete: true}
-	for r := range results {
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		r := <-results
 		if r.err != nil {
-			// Drain remaining workers before returning.
-			for range results {
+			if firstErr == nil {
+				firstErr = r.err
 			}
-			return nil, r.err
+			continue
+		}
+		if firstErr != nil {
+			continue
 		}
 		for _, row := range r.rows {
-			if err := ans.Rows.Add(row); err != nil {
-				return nil, err
+			if err := ans.Rows.Add(row); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	sp.Arg("rows", int64(ans.Rows.Len()))
 	return ans, nil

@@ -3,6 +3,7 @@ package traces
 import (
 	"fmt"
 
+	"repro/internal/deccache"
 	"repro/internal/domain"
 	"repro/internal/logic"
 )
@@ -137,7 +138,9 @@ func evalGroundAtoms(f *logic.Formula) (*logic.Formula, error) {
 	return logic.Simplify(g), nil
 }
 
-// Decider returns the decision procedure for the (Reach) Theory of Traces.
+// Decider returns the decision procedure for the (Reach) Theory of Traces,
+// memoized behind a bounded decision cache (a no-op pass-through when
+// caching is disabled; see internal/deccache).
 func Decider() domain.Decider {
-	return domain.QEDecider{Elim: Eliminator{}, Interp: Domain{}}
+	return deccache.Wrap(domain.QEDecider{Elim: Eliminator{}, Interp: Domain{}}, deccache.DefaultCapacity)
 }
