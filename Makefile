@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-perf trace-demo
+.PHONY: build test vet staticcheck race bench bench-perf trace-demo serve-smoke
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,10 @@ trace-demo:
 		-domain presburger -mode enumerate -rows 32 \
 		-state testdata/e1_state.json "exists y. (R(y) & lt(x, y))"
 	@echo "wrote trace-e1.json"
+
+# serve-smoke boots finqd on an ephemeral port, exercises every endpoint
+# once in-process (no curl needed), verifies the service metrics, and
+# writes a Chrome trace of the server-side evaluations to trace-serve.json.
+serve-smoke:
+	$(GO) run ./cmd/finqd -trace-out trace-serve.json -smoke
+	@echo "wrote trace-serve.json"

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	finq "repro"
 	"repro/internal/cliutil"
@@ -69,7 +72,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   finq domains
   finq decide    -domain <name> "<sentence>"
-  finq eval      -domain <name> [-state file.json] [-mode active|enumerate] "<formula>"
+  finq eval      -domain <name> [-state file.json] [-mode active|enumerate] [-workers n] [-profile] [-json] "<formula>"
   finq translate -domain <name> -state file.json "<formula>"
   finq saferange -state file.json "<formula>"
   finq algebra   -domain <name> -state file.json "<safe-range formula>"
@@ -133,6 +136,9 @@ func runEval(args []string) error {
 	statePath := fs.String("state", "", "state JSON file")
 	mode := fs.String("mode", "active", "evaluation mode: active or enumerate")
 	rows := fs.Int("rows", 100, "row budget for -mode enumerate")
+	workers := fs.Int("workers", 0, "fan active-domain evaluation over n workers (0 = serial)")
+	profile := fs.Bool("profile", false, "print the EXPLAIN profile alongside the answer")
+	jsonOut := fs.Bool("json", false, "print the result as JSON (the finqd /v1/eval wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,25 +157,48 @@ func runEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	var ans *finq.Answer
+	req := finq.Request{
+		Domain: d.Name, State: st, Formula: f,
+		Workers: *workers, Profile: *profile,
+	}
 	switch *mode {
 	case "active":
-		ans, err = finq.EvalActive(d, st, f)
+		req.Mode = finq.ModeActive
 	case "enumerate":
 		budget := finq.DefaultBudget
 		budget.Rows = *rows
-		ans, err = finq.Enumerate(d, st, f, budget)
+		req.Mode, req.Budget = finq.ModeEnumerate, &budget
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	// Ctrl-C cancels the evaluation; the rows found so far still print,
+	// marked partial, exactly as a finqd deadline would return them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := finq.Eval(ctx, req)
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(finq.EncodeResult(d, res), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if res.Profile != nil {
+		fmt.Print(res.Profile.Text())
+	}
+	ans := res.Answer
 	fmt.Printf("free variables: %v\n", ans.Vars)
 	for _, row := range ans.Rows.Tuples() {
 		fmt.Println(" ", row)
 	}
 	fmt.Printf("%d rows, complete=%v\n", ans.Rows.Len(), ans.Complete)
+	if res.Partial {
+		fmt.Printf("partial result (stopped: %s)\n", res.Stopped)
+	}
 	return nil
 }
 

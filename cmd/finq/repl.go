@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -134,34 +135,41 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 		if err != nil {
 			return err
 		}
-		ans, prof, err := finq.Explain(d, st, f)
+		res, err := finq.Eval(context.Background(), finq.Request{
+			Domain: d.Name, State: st, Formula: f, Profile: true,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Print(prof.Text())
-		printAnswer(ans)
+		fmt.Print(res.Profile.Text())
+		printAnswer(res.Answer)
 		return nil
 	case "eval":
 		f, err := parse()
 		if err != nil {
 			return err
 		}
-		ans, err := finq.EvalActive(d, st, f)
+		res, err := finq.Eval(context.Background(), finq.Request{
+			Domain: d.Name, State: st, Formula: f,
+		})
 		if err != nil {
 			return err
 		}
-		printAnswer(ans)
+		printAnswer(res.Answer)
 		return nil
 	case "enum":
 		f, err := parse()
 		if err != nil {
 			return err
 		}
-		ans, err := finq.Enumerate(d, st, f, finq.DefaultBudget)
+		budget := finq.DefaultBudget
+		res, err := finq.Eval(context.Background(), finq.Request{
+			Domain: d.Name, State: st, Formula: f, Mode: finq.ModeEnumerate, Budget: &budget,
+		})
 		if err != nil {
 			return err
 		}
-		printAnswer(ans)
+		printAnswer(res.Answer)
 		return nil
 	case "safety":
 		f, err := parse()

@@ -1,0 +1,92 @@
+// Command finqd serves the library over HTTP/JSON: evaluation, decision,
+// quantifier elimination, and relative safety as a long-running service
+// with bounded concurrency and cancellable, request-scoped evaluation.
+//
+// Usage:
+//
+//	finqd [-addr host:port] [-workers n] [-queue n]
+//	      [-timeout-eval d] [-timeout-decide d] [-max-body bytes]
+//	finqd -smoke
+//
+// The global flags (-debug-addr, -trace-out, -cache) apply as in the other
+// tools; /metrics, /debug/obs, and /debug/pprof/ are also served by finqd
+// itself, so -debug-addr is only needed to put them on a separate port.
+//
+// SIGINT or SIGTERM begins a graceful shutdown: the listener closes and
+// in-flight requests run to completion (bounded by their own deadlines).
+//
+// -smoke starts the server on an ephemeral port, exercises every endpoint
+// once in-process, verifies the service metrics appear on /metrics, and
+// exits nonzero on any failure. It exists for CI and `make serve-smoke`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/server"
+)
+
+func main() {
+	args, finish, err := cliutil.Setup("finqd", os.Args[1:], true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finqd:", err)
+		os.Exit(1)
+	}
+	defer finish()
+	fs := flag.NewFlagSet("finqd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8347", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max queued requests beyond the workers (0 = 2x workers)")
+	timeoutEval := fs.Duration("timeout-eval", 30*time.Second, "per-request deadline for /v1/eval")
+	timeoutDecide := fs.Duration("timeout-decide", 10*time.Second, "per-request deadline for /v1/decide, /v1/qe, /v1/safety")
+	maxBody := fs.Int64("max-body", 1<<20, "request body limit in bytes")
+	smoke := fs.Bool("smoke", false, "start on an ephemeral port, exercise every endpoint once, exit")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	cfg := server.Config{
+		Addr:          *addr,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		EvalTimeout:   *timeoutEval,
+		DecideTimeout: *timeoutDecide,
+		MaxBody:       *maxBody,
+	}
+	if *smoke {
+		cfg.Addr = "127.0.0.1:0"
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "finqd: smoke:", err)
+			finish()
+			os.Exit(1)
+		}
+		return
+	}
+	if err := serve(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "finqd:", err)
+		finish()
+		os.Exit(1)
+	}
+}
+
+func serve(cfg server.Config) error {
+	srv := server.New(cfg)
+	addr, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "finqd: serving on http://%s (POST /v1/eval /v1/decide /v1/qe /v1/safety, GET /v1/domains /metrics)\n", addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "finqd: shutting down, draining in-flight requests")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// smokeChecks drives one request per endpoint against a live server. Each
+// body doubles as a tiny example of the wire format.
+var smokeChecks = []struct {
+	name   string
+	method string
+	path   string
+	body   string
+	want   string // substring the 200 response must contain
+}{
+	{
+		name: "domains", method: "GET", path: "/v1/domains",
+		want: `"presburger"`,
+	},
+	{
+		name: "decide", method: "POST", path: "/v1/decide",
+		body: `{"domain": "presburger", "sentence": "forall x. exists y. lt(x, y)"}`,
+		want: `"truth":true`,
+	},
+	{
+		name: "qe", method: "POST", path: "/v1/qe",
+		body: `{"domain": "eq", "formula": "exists y. ~(y = x)"}`,
+		want: `"formula"`,
+	},
+	{
+		name: "eval", method: "POST", path: "/v1/eval",
+		body: `{"domain": "eq",
+		        "state": {"relations": {"F": [["adam", "abel"], ["adam", "cain"]]}},
+		        "formula": "exists y. F(x, y)"}`,
+		want: `"complete":true`,
+	},
+	{
+		name: "eval-enumerate-partial", method: "POST", path: "/v1/eval",
+		body: `{"domain": "presburger",
+		        "state": {"relations": {"R": [["5"]]}},
+		        "formula": "~R(x)", "mode": "enumerate",
+		        "budget": {"rows": 4, "probe": 4096}}`,
+		want: `"stopped":"budget"`,
+	},
+	{
+		name: "safety", method: "POST", path: "/v1/safety",
+		body: `{"domain": "eq",
+		        "state": {"relations": {"F": [["adam", "abel"]]}},
+		        "formula": "exists y. F(x, y)"}`,
+		want: `"verdict":"holds"`,
+	},
+	{
+		name: "metrics", method: "GET", path: "/metrics",
+		want: "server_requests",
+	},
+}
+
+// runSmoke starts the service on an ephemeral port, fires the checks, and
+// shuts down gracefully; any wrong status or missing substring is an error.
+func runSmoke(cfg server.Config) error {
+	srv := server.New(cfg)
+	addr, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, c := range smokeChecks {
+		var body io.Reader
+		if c.body != "" {
+			body = bytes.NewReader([]byte(c.body))
+		}
+		req, err := http.NewRequest(c.method, "http://"+addr+c.path, body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: reading response: %w", c.name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d: %s", c.name, resp.StatusCode, data)
+		}
+		if !strings.Contains(string(data), c.want) {
+			return fmt.Errorf("%s: response misses %q: %s", c.name, c.want, data)
+		}
+		fmt.Printf("smoke %-22s ok  %s %s\n", c.name, c.method, c.path)
+	}
+	fmt.Printf("smoke: %d/%d endpoints ok on %s\n", len(smokeChecks), len(smokeChecks), addr)
+	return nil
+}

@@ -29,6 +29,8 @@
 package finq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -217,9 +219,147 @@ func Translate(d DomainInfo, st *State, f *Formula) (*Formula, error) {
 	return query.Translate(d.Domain, st, f)
 }
 
+// EvalMode selects the evaluation algorithm for Eval.
+type EvalMode string
+
+const (
+	// ModeActive is active-domain evaluation (the default): quantifiers
+	// and free variables range over the state's active domain plus the
+	// query's constants.
+	ModeActive EvalMode = "active"
+	// ModeEnumerate is the paper's §1.1 enumeration algorithm: complete on
+	// finite (safe) queries, budget-capped on infinite ones.
+	ModeEnumerate EvalMode = "enumerate"
+)
+
+// Request describes one evaluation for Eval: which domain, against which
+// state, which formula, and how to run it. The zero value of every option
+// is a sensible default, so Request{Domain: "eq", Formula: f} is a
+// complete request.
+type Request struct {
+	// Domain names the registered domain ("eq", "nless", "presburger",
+	// "zless", "nsucc", "wordlex", "traces").
+	Domain string
+	// State is the database state; nil means the empty state of the empty
+	// scheme.
+	State *State
+	// Formula is the parsed query. Required.
+	Formula *Formula
+	// Mode selects the algorithm; empty means ModeActive.
+	Mode EvalMode
+	// Workers fans active-domain evaluation out over a worker pool when
+	// > 1; ≤ 1 evaluates serially. Ignored under ModeEnumerate and when
+	// Profile is set (profiling is serial by construction).
+	Workers int
+	// Budget bounds ModeEnumerate; nil means DefaultBudget. Ignored under
+	// ModeActive.
+	Budget *EnumerationBudget
+	// Profile requests a per-node EXPLAIN profile alongside the answer.
+	// Profiling adds per-node timers, so profiled runs are slower.
+	Profile bool
+}
+
+// Result is Eval's outcome. Partial answers — a row budget or the request
+// context stopped the computation — are results, not errors: Answer holds
+// the rows found so far, Partial is set, and Stopped names what stopped
+// the run ("budget", "deadline", or "canceled").
+type Result struct {
+	// Answer is the computed (possibly partial) answer.
+	Answer *Answer
+	// Profile is the EXPLAIN profile, when the request asked for one.
+	Profile *Profile
+	// Partial reports that the computation was stopped before completion.
+	Partial bool
+	// Stopped is "" for a complete answer, else "budget", "deadline", or
+	// "canceled".
+	Stopped string
+}
+
+// Eval is the single evaluation entrypoint: it runs the request's formula
+// over the named domain and state under the given context, honoring
+// cancellation between rows, probes, and quantifier-elimination stages.
+// When the context dies mid-computation the rows found so far come back as
+// a partial Result rather than an error, so services can serve what was
+// computed. The CLIs, the REPL, and the finqd server all evaluate through
+// this function.
+func Eval(ctx context.Context, req Request) (*Result, error) {
+	if req.Formula == nil {
+		return nil, errors.New("finq: Eval: Request.Formula is required")
+	}
+	d, err := Lookup(req.Domain)
+	if err != nil {
+		return nil, err
+	}
+	st := req.State
+	if st == nil {
+		st = db.NewState(db.MustScheme(map[string]int{}))
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = ModeActive
+	}
+	switch mode {
+	case ModeActive:
+		if req.Profile {
+			ans, prof, err := query.EvalActiveProfiledCtx(ctx, d.Domain, st, req.Formula)
+			return packResult(ans, prof, err)
+		}
+		if req.Workers > 1 {
+			ans, err := query.EvalActiveParallelCtx(ctx, d.Domain, st, req.Formula, req.Workers)
+			return packResult(ans, nil, err)
+		}
+		ans, err := query.EvalActiveCtx(ctx, d.Domain, st, req.Formula)
+		return packResult(ans, nil, err)
+	case ModeEnumerate:
+		en, ok := d.Domain.(query.Enumerable)
+		if !ok || d.Enumerator == nil {
+			return nil, fmt.Errorf("finq: domain %s does not support enumeration", d.Name)
+		}
+		budget := DefaultBudget
+		if req.Budget != nil {
+			budget = *req.Budget
+		}
+		ans, err := query.EnumerationAnswerCtx(ctx, en, d.Decider, st, req.Formula, budget)
+		return packResult(ans, nil, err)
+	}
+	return nil, fmt.Errorf("finq: Eval: unknown mode %q (want %q or %q)", mode, ModeActive, ModeEnumerate)
+}
+
+// packResult folds an evaluator's (answer, error) pair into the Result
+// contract: cancellations with a partial answer become partial results,
+// budget-stopped answers are marked partial, other errors pass through.
+func packResult(ans *Answer, prof *Profile, err error) (*Result, error) {
+	if err != nil {
+		var stopped string
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			stopped = "deadline"
+		case errors.Is(err, context.Canceled):
+			stopped = "canceled"
+		}
+		if stopped != "" && ans != nil {
+			return &Result{Answer: ans, Profile: prof, Partial: true, Stopped: stopped}, nil
+		}
+		return nil, err
+	}
+	res := &Result{Answer: ans, Profile: prof}
+	if ans != nil && !ans.Complete {
+		res.Partial, res.Stopped = true, "budget"
+	}
+	return res, nil
+}
+
 // EvalActive evaluates a query under active-domain semantics.
+//
+// Deprecated: use Eval, the options-struct entrypoint, which additionally
+// honors a request context. EvalActive is Eval with a background context
+// and default options.
 func EvalActive(d DomainInfo, st *State, f *Formula) (*Answer, error) {
-	return query.EvalActive(d.Domain, st, f)
+	res, err := Eval(context.Background(), Request{Domain: d.Name, State: st, Formula: f})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answer, nil
 }
 
 // Profile is a per-query EXPLAIN report: a tree mirroring the formula with
@@ -231,8 +371,15 @@ type Profile = query.Profile
 // profiling and returns the answer plus its EXPLAIN profile. Profiling
 // adds per-node timers, so this is slower than EvalActive — use it to
 // understand a query, not to serve it.
+//
+// Deprecated: use Eval with Request.Profile set, which additionally honors
+// a request context.
 func Explain(d DomainInfo, st *State, f *Formula) (*Answer, *Profile, error) {
-	return query.EvalActiveProfiled(d.Domain, st, f)
+	res, err := Eval(context.Background(), Request{Domain: d.Name, State: st, Formula: f, Profile: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Answer, res.Profile, nil
 }
 
 // EnumerationBudget bounds Enumerate.
@@ -243,12 +390,17 @@ var DefaultBudget = query.DefaultBudget
 
 // Enumerate runs the paper's §1.1 query-answering algorithm: complete on
 // finite (safe) queries, budget-capped on infinite ones.
+//
+// Deprecated: use Eval with Request.Mode set to ModeEnumerate, which
+// additionally honors a request context.
 func Enumerate(d DomainInfo, st *State, f *Formula, budget EnumerationBudget) (*Answer, error) {
-	en, ok := d.Domain.(query.Enumerable)
-	if !ok || d.Enumerator == nil {
-		return nil, fmt.Errorf("finq: domain %s does not support enumeration", d.Name)
+	res, err := Eval(context.Background(), Request{
+		Domain: d.Name, State: st, Formula: f, Mode: ModeEnumerate, Budget: &budget,
+	})
+	if err != nil {
+		return nil, err
 	}
-	return query.EnumerationAnswer(en, d.Decider, st, f, budget)
+	return res.Answer, nil
 }
 
 // Decide decides a pure-domain sentence.

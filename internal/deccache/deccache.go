@@ -15,6 +15,7 @@ package deccache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -96,8 +97,17 @@ func Wrap(inner domain.Decider, capacity int) *Cache {
 // decider. When the package toggle is off the call passes straight
 // through (no key is built, no stats move).
 func (c *Cache) Decide(sentence *logic.Formula) (bool, error) {
+	return c.DecideCtx(nil, sentence)
+}
+
+// DecideCtx implements domain.CtxDecider: the hit path is a map lookup and
+// ignores the context; the miss path hands the context to the inner
+// decider (via domain.DecideCtx, so context-aware deciders can abandon a
+// long-running elimination) and, as with errors, caches nothing when the
+// decision was cut short.
+func (c *Cache) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, error) {
 	if !enabled.Load() {
-		return c.inner.Decide(sentence)
+		return domain.DecideCtx(ctx, c.inner, sentence)
 	}
 	sp := obs.StartSpan("deccache.decide")
 	defer sp.End()
@@ -119,14 +129,14 @@ func (c *Cache) Decide(sentence *logic.Formula) (bool, error) {
 		// the inner decider rather than return a wrong verdict.
 		c.mu.Unlock()
 		sp.Arg("hit", 0)
-		return c.inner.Decide(sentence)
+		return domain.DecideCtx(ctx, c.inner, sentence)
 	}
 	c.misses++
 	c.mu.Unlock()
 	mMisses.Inc()
 	sp.Arg("hit", 0)
 
-	v, err := c.inner.Decide(sentence)
+	v, err := domain.DecideCtx(ctx, c.inner, sentence)
 	if err != nil {
 		return false, err
 	}

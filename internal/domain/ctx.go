@@ -1,0 +1,84 @@
+package domain
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Request-scoped evaluation support. Deciders and eliminators predate
+// context plumbing, and over the trace domain a single decision can run
+// unboundedly long (Theorem 3.3 reduces halting to query finiteness), so a
+// service in front of them needs a way to abandon work. The capability is
+// optional: implementations that understand contexts advertise it through
+// CtxDecider / CtxEliminator, and the DecideCtx / EliminateCtx helpers
+// dispatch to the capability when present and otherwise fall back to a
+// single cancellation check before the blocking call.
+
+// CtxDecider is an optional capability of a Decider: deciding a sentence
+// under a context, returning early (with the context's error) when the
+// context is cancelled between internal stages.
+type CtxDecider interface {
+	Decider
+	DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, error)
+}
+
+// CtxEliminator is the analogous optional capability of an Eliminator.
+type CtxEliminator interface {
+	Eliminator
+	EliminateCtx(ctx context.Context, f *logic.Formula) (*logic.Formula, error)
+}
+
+// DecideCtx decides a sentence under a context: context-aware deciders are
+// handed the context, others get one cancellation check up front. A nil or
+// Background context makes this exactly dec.Decide.
+func DecideCtx(ctx context.Context, dec Decider, sentence *logic.Formula) (bool, error) {
+	if ctx == nil {
+		return dec.Decide(sentence)
+	}
+	if cd, ok := dec.(CtxDecider); ok {
+		return cd.DecideCtx(ctx, sentence)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return dec.Decide(sentence)
+}
+
+// EliminateCtx eliminates quantifiers under a context, dispatching like
+// DecideCtx.
+func EliminateCtx(ctx context.Context, elim Eliminator, f *logic.Formula) (*logic.Formula, error) {
+	if ctx == nil {
+		return elim.Eliminate(f)
+	}
+	if ce, ok := elim.(CtxEliminator); ok {
+		return ce.EliminateCtx(ctx, f)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return elim.Eliminate(f)
+}
+
+// DecideCtx implements CtxDecider for the QE-derived decider: the context
+// is checked before elimination, threaded into a context-aware eliminator,
+// and checked again before the ground evaluation of the residue.
+func (d QEDecider) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, error) {
+	if fv := sentence.FreeVars(); len(fv) != 0 {
+		return false, fmt.Errorf("domain: Decide on open formula (free vars %v)", fv)
+	}
+	qf, err := EliminateCtx(ctx, d.Elim, sentence)
+	if err != nil {
+		return false, err
+	}
+	if !qf.QuantifierFree() {
+		return false, fmt.Errorf("domain: eliminator left quantifiers in %v", qf)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	return EvalQF(d.Interp, Env{}, qf)
+}

@@ -125,6 +125,32 @@ func (v Verdict) String() string {
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
 
+// MarshalJSON encodes the verdict as its lower-case name ("holds",
+// "fails", "unknown"), the wire form shared by the CLI -json output and
+// the finqd /v1/safety endpoint.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	switch v {
+	case Holds, Fails, Unknown:
+		return []byte(`"` + v.String() + `"`), nil
+	}
+	return nil, fmt.Errorf("domain: marshal invalid verdict %d", int(v))
+}
+
+// UnmarshalJSON decodes the wire form written by MarshalJSON.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"holds"`:
+		*v = Holds
+	case `"fails"`:
+		*v = Fails
+	case `"unknown"`:
+		*v = Unknown
+	default:
+		return fmt.Errorf("domain: unmarshal verdict %s: want \"holds\", \"fails\", or \"unknown\"", data)
+	}
+	return nil
+}
+
 // Env binds variables to values during evaluation.
 type Env map[string]Value
 

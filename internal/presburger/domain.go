@@ -1,6 +1,7 @@
 package presburger
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strconv"
@@ -34,6 +35,33 @@ type Eliminator struct {
 	// guard turns a blowup into an error instead of an endless run.
 	// 0 means DefaultMaxNodes.
 	MaxNodes int
+
+	// ctx, when set via EliminateCtx/DecideCtx, is polled before each
+	// quantifier elimination so a request-scoped deadline can abandon a
+	// Cooper run between quantifiers rather than wait for the size guard.
+	ctx context.Context
+}
+
+// EliminateCtx implements domain.CtxEliminator: elimination under a
+// context, aborted with the context's error at the next quantifier
+// boundary after cancellation.
+func (e Eliminator) EliminateCtx(ctx context.Context, f *logic.Formula) (*logic.Formula, error) {
+	e.ctx = ctx
+	return e.Eliminate(f)
+}
+
+// DecideCtx implements domain.CtxDecider via EliminateCtx.
+func (e Eliminator) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, error) {
+	e.ctx = ctx
+	return e.Decide(sentence)
+}
+
+// checkCtx reports the context's error, if a context is set and cancelled.
+func (e Eliminator) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // DefaultMaxNodes is the default intermediate-size bound.
@@ -102,6 +130,9 @@ func (e Eliminator) elim(f *logic.Formula) (*logic.Formula, error) {
 }
 
 func (e Eliminator) elimExists(x string, body *logic.Formula) (*logic.Formula, error) {
+	if err := e.checkCtx(); err != nil {
+		return nil, err
+	}
 	if !e.Integers {
 		// Relativize to ℕ: ∃x∈ℕ φ ⟺ ∃x∈ℤ (x ≥ 0 ∧ φ).
 		body = logic.And(logic.Atom(PredGe, logic.Var(x), logic.Const("0")), body)

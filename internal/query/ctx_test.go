@@ -1,0 +1,156 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/domain"
+	"repro/internal/logic"
+	"repro/internal/presburger"
+)
+
+// slowDecider delays every decision so tests can cancel a context
+// mid-enumeration deterministically.
+type slowDecider struct {
+	inner domain.Decider
+	delay time.Duration
+}
+
+func (s slowDecider) Decide(f *logic.Formula) (bool, error) {
+	time.Sleep(s.delay)
+	return s.inner.Decide(f)
+}
+
+// TestEnumerationCtxCancelMidRun cancels the context while the §1.1 loop
+// is between rows: the partial answer found so far must come back with
+// Complete=false and the context's error.
+func TestEnumerationCtxCancelMidRun(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"R": 1}))
+	if err := st.Insert("R", domain.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	// ¬R(x) is infinite: without a deadline the budget is the only stop.
+	f := logic.Not(logic.Atom("R", logic.Var("x")))
+	dec := slowDecider{inner: presburger.Decider(), delay: 2 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	ans, err := EnumerationAnswerCtx(ctx, presburger.Domain{}, dec, st, f,
+		EnumerationBudget{Rows: 1 << 20, Probe: 1 << 20})
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if ans == nil {
+		t.Fatal("cancelled enumeration must return the partial answer")
+	}
+	if ans.Complete {
+		t.Fatal("cancelled enumeration reported complete")
+	}
+	// Promptness: the loop checks between rows and probes, so the return
+	// should come within one probe granule (a slow decision) of the
+	// deadline, not after the huge budget.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancelled enumeration took %v", elapsed)
+	}
+}
+
+// TestEnumerationCtxAlreadyCancelled: a dead context stops the run before
+// the first decision.
+func TestEnumerationCtxAlreadyCancelled(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"R": 1}))
+	if err := st.Insert("R", domain.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	f := logic.Not(logic.Atom("R", logic.Var("x")))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ans, err := EnumerationAnswerCtx(ctx, presburger.Domain{}, presburger.Decider(), st, f, DefaultBudget)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if ans != nil && ans.Rows.Len() != 0 {
+		t.Fatalf("dead context produced %d rows", ans.Rows.Len())
+	}
+}
+
+// TestEvalActiveCtxCancel cancels active-domain evaluation and checks the
+// partial answer contract: rows so far, Complete=false, context error.
+func TestEvalActiveCtxCancel(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"F": 2}))
+	for i := 0; i < 64; i++ {
+		if err := st.Insert("F", domain.Int(int64(i)), domain.Int(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := logic.Atom("F", logic.Var("x"), logic.Var("y"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ans, err := EvalActiveCtx(ctx, eqDomainOverInts{}, st, f)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	if ans == nil || ans.Complete {
+		t.Fatalf("cancelled eval: want partial answer, got %+v", ans)
+	}
+}
+
+// TestEvalActiveCtxBackgroundMatchesDeprecated: with no cancellation the
+// ctx evaluator and the deprecated wrapper agree exactly.
+func TestEvalActiveCtxBackgroundMatchesDeprecated(t *testing.T) {
+	st := db.NewState(db.MustScheme(map[string]int{"F": 2}))
+	for i := 0; i < 8; i++ {
+		if err := st.Insert("F", domain.Int(int64(i)), domain.Int(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := logic.Exists("y", logic.Atom("F", logic.Var("x"), logic.Var("y")))
+	a, err := EvalActive(eqDomainOverInts{}, st, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvalActiveCtx(context.Background(), eqDomainOverInts{}, st, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows.Len() != b.Rows.Len() || !a.Complete || !b.Complete {
+		t.Fatalf("wrapper and ctx evaluator disagree: %d vs %d rows", a.Rows.Len(), b.Rows.Len())
+	}
+	for _, row := range a.Rows.Tuples() {
+		if !b.Rows.Has(row) {
+			t.Errorf("row %v missing from ctx evaluator", row)
+		}
+	}
+}
+
+// TestEvalActiveParallelCtxCancelNoLeak cancels parallel evaluations
+// repeatedly and checks that workers and feeder always exit: the goroutine
+// count must settle back to its baseline.
+func TestEvalActiveParallelCtxCancelNoLeak(t *testing.T) {
+	st := failingState(t)
+	f := logic.Exists("y", logic.Atom("F", logic.Var("x"), logic.Var("y")))
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := EvalActiveParallelCtx(ctx, eqDomainOverInts{}, st, f, 4); !errors.Is(err, context.Canceled) {
+			t.Fatalf("want Canceled, got %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across cancelled parallel evaluations", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/db"
@@ -53,6 +54,18 @@ type Enumerable interface {
 // eliminations.
 func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
+	return EnumerationAnswerCtx(context.Background(), dom, dec, st, f, budget)
+}
+
+// EnumerationAnswerCtx is the §1.1 algorithm under a context: the context
+// is polled before every existential decision, handed to context-aware
+// deciders (so a cancellation can also abandon a quantifier elimination in
+// flight), and polled between probe candidates. On cancellation the rows
+// found so far are returned with Complete=false alongside the context's
+// error — one request's deadline yields a partial answer, not a wasted
+// computation.
+func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decider, st *db.State,
+	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
 
 	sp := obs.StartSpan("query.enumerate")
 	defer sp.End()
@@ -65,17 +78,11 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 	if len(vars) == 0 {
 		// Boolean query: a single decision.
 		mEnumDecisions.Inc()
-		v, err := dec.Decide(pure)
+		v, err := domain.DecideCtx(ctx, dec, pure)
 		if err != nil {
 			return nil, err
 		}
-		ans := &Answer{Vars: nil, Rows: db.NewRelation(1), Complete: true}
-		if v {
-			if err := ans.Rows.Add(db.Tuple{markerTrue{}}); err != nil {
-				return nil, err
-			}
-		}
-		return ans, nil
+		return NewBoolAnswer(v), nil
 	}
 
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(len(vars)), Complete: false}
@@ -95,9 +102,13 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			rsp.Arg("formula_size", int64(remaining.Size()))
 		}
 		mEnumDecisions.Inc()
-		more, err := dec.Decide(logic.ExistsAll(vars, remaining))
+		more, err := domain.DecideCtx(ctx, dec, logic.ExistsAll(vars, remaining))
 		if err != nil {
 			rsp.End()
+			if canceledErr(err) {
+				sp.Arg("rows", int64(ans.Rows.Len()))
+				return ans, err
+			}
 			return nil, err
 		}
 		if !more {
@@ -107,10 +118,14 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 			sp.Arg("rows", int64(ans.Rows.Len()))
 			return ans, nil
 		}
-		row, probes, err := nextRow(dom, dec, pure, foundKeys, vars, budget.Probe)
+		row, probes, err := nextRow(ctx, dom, dec, pure, foundKeys, vars, budget.Probe)
 		rsp.Arg("probes", int64(probes))
 		rsp.End()
 		if err != nil {
+			if canceledErr(err) {
+				sp.Arg("rows", int64(ans.Rows.Len()))
+				return ans, err
+			}
 			return nil, err
 		}
 		if row == nil {
@@ -159,6 +174,20 @@ func NaturalMember(dom domain.Domain, dec domain.Decider, st *db.State,
 	return dec.Decide(pure)
 }
 
+// NewBoolAnswer builds the answer of a boolean (no free variables) query:
+// a single marker row when true, no rows when false. It is the
+// construction the evaluators use internally, exported so wire codecs
+// (statejson) can rebuild boolean answers.
+func NewBoolAnswer(truth bool) *Answer {
+	ans := &Answer{Vars: nil, Rows: db.NewRelation(1), Complete: true}
+	if truth {
+		if err := ans.Rows.Add(db.Tuple{markerTrue{}}); err != nil {
+			panic(err) // arity 1 by construction
+		}
+	}
+	return ans
+}
+
 // nextRow enumerates candidate tuples ("let us order all tuples of elements
 // of the domain of the size of x̄") and returns the first satisfying one
 // plus the number of probes spent, or nil when the probe budget runs out.
@@ -169,12 +198,17 @@ func NaturalMember(dom domain.Domain, dec domain.Decider, st *db.State,
 // candidates ground φ' itself, so the same ground sentence is asked for a
 // candidate on every row that re-scans past it, which is what makes the
 // decision cache effective on this path.
-func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
+func nextRow(ctx context.Context, dom Enumerable, dec domain.Decider, pure *logic.Formula,
 	found map[string]bool, vars []string, probe int) (db.Tuple, int, error) {
 
 	k := len(vars)
 	gen := newTupleGen(k)
 	for i := 0; i < probe; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, i, err
+			}
+		}
 		mEnumProbes.Inc()
 		idx := gen.next()
 		tuple := make(db.Tuple, k)
@@ -188,8 +222,11 @@ func nextRow(dom Enumerable, dec domain.Decider, pure *logic.Formula,
 		for j, name := range vars {
 			ground = logic.Subst(ground, name, logic.Const(dom.ConstName(tuple[j])))
 		}
-		ok, err := dec.Decide(ground)
+		ok, err := domain.DecideCtx(ctx, dec, ground)
 		if err != nil {
+			if canceledErr(err) {
+				return nil, i + 1, err
+			}
 			return nil, i + 1, fmt.Errorf("query: deciding ground instance: %w", err)
 		}
 		if ok {

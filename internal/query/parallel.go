@@ -1,8 +1,10 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/db"
 	"repro/internal/domain"
@@ -17,11 +19,25 @@ import (
 // evaluation for its slice of the outer variable's range).
 //
 // Workers ≤ 0 selects GOMAXPROCS.
+//
+// Deprecated: use EvalActiveParallelCtx (or the finq.Eval facade), which
+// honors a request context.
 func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, workers int) (*Answer, error) {
+	return EvalActiveParallelCtx(context.Background(), dom, st, f, workers)
+}
+
+// EvalActiveParallelCtx is EvalActiveParallel under a context. Workers
+// poll the context (strided) inside their evaluation loops and between
+// jobs; a cancellation surfaces through the normal error path, so the
+// feeder aborts, every worker exits before the call returns, and the
+// context's error is returned. Unlike the serial evaluator no partial
+// answer is reported: rows are scattered across workers when the request
+// dies.
+func EvalActiveParallelCtx(ctx context.Context, dom domain.Domain, st *db.State, f *logic.Formula, workers int) (*Answer, error) {
 	vars := f.FreeVars()
 	if len(vars) == 0 {
 		// Boolean queries have nothing to fan out.
-		return EvalActive(dom, st, f)
+		return EvalActiveCtx(ctx, dom, st, f)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -56,9 +72,15 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 		go func() {
 			var out []db.Tuple
 			env := domain.Env{}
+			check := &stopCheck{ctx: ctx}
 			for v := range jobs {
+				if err := check.hit(); err != nil {
+					stopOnce.Do(func() { close(stop) })
+					results <- result{err: err}
+					return
+				}
 				env[vars[0]] = v
-				rows, err := assignRest(si, env, vars, rng, f)
+				rows, err := assignRest(si, env, vars, rng, f, check)
 				if err != nil {
 					stopOnce.Do(func() { close(stop) })
 					results <- result{err: err}
@@ -69,12 +91,20 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 			results <- result{rows: out}
 		}()
 	}
+	// ctxAborted records that the feeder quit on the context rather than
+	// delivering every job: without it, a request cancelled before any
+	// worker sees a job would come back as an empty success.
+	var ctxAborted atomic.Bool
 	go func() {
 		defer close(jobs)
+		done := ctxDone(ctx)
 		for _, v := range rng {
 			select {
 			case jobs <- v:
 			case <-stop:
+				return
+			case <-done:
+				ctxAborted.Store(true)
 				return
 			}
 		}
@@ -102,6 +132,9 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 			}
 		}
 	}
+	if firstErr == nil && ctxAborted.Load() {
+		firstErr = ctx.Err()
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -109,14 +142,23 @@ func EvalActiveParallel(dom domain.Domain, st *db.State, f *logic.Formula, worke
 	return ans, nil
 }
 
+// ctxDone returns the context's done channel, or nil (blocking forever in
+// a select) for a nil context.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
 // assignRest enumerates assignments for vars[1:] with vars[0] already bound
 // in env, returning the satisfying rows.
-func assignRest(si stateInterp, env domain.Env, vars []string, rng []domain.Value, f *logic.Formula) ([]db.Tuple, error) {
+func assignRest(si stateInterp, env domain.Env, vars []string, rng []domain.Value, f *logic.Formula, stop *stopCheck) ([]db.Tuple, error) {
 	var out []db.Tuple
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(vars) {
-			v, err := evalIn(si, env, f, rng)
+			v, err := evalIn(si, env, f, rng, stop)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -128,7 +129,18 @@ func buildProfileTree(f *logic.Formula) *ProfileNode {
 // EvalActive, so the counts describe exactly what the plain evaluator
 // would have done; the per-node timers make profiled runs slower, which
 // is why this is a separate opt-in entry point (REPL :explain, Explain).
+//
+// Deprecated: use EvalActiveProfiledCtx (or the finq.Eval facade with
+// Profile set), which honors a request context.
 func EvalActiveProfiled(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, *Profile, error) {
+	return EvalActiveProfiledCtx(context.Background(), dom, st, f)
+}
+
+// EvalActiveProfiledCtx is EvalActiveProfiled under a context, polled
+// between free-variable rows and (strided) inside quantifier loops like
+// EvalActiveCtx. On cancellation the answer and profile cover the work
+// done so far (Complete=false) and the context's error is returned.
+func EvalActiveProfiledCtx(ctx context.Context, dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, *Profile, error) {
 	sp := obs.StartSpan("query.explain")
 	defer sp.End()
 	t0 := time.Now()
@@ -147,11 +159,12 @@ func EvalActiveProfiled(dom domain.Domain, st *db.State, f *logic.Formula) (*Ans
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(maxInt(len(vars), 1)), Complete: true}
 	si := stateInterp{dom: dom, st: st}
 	env := domain.Env{}
+	stop := &stopCheck{ctx: ctx}
 	var assign func(i int) error
 	assign = func(i int) error {
 		if i == len(vars) {
 			prof.Assignments++
-			v, err := evalProfiled(si, env, f, prof.Root, rng)
+			v, err := evalProfiled(si, env, f, prof.Root, rng, stop)
 			if err != nil {
 				return err
 			}
@@ -169,6 +182,11 @@ func EvalActiveProfiled(dom domain.Domain, st *db.State, f *logic.Formula) (*Ans
 			return nil
 		}
 		for _, v := range rng {
+			if i == 0 {
+				if err := stop.hit(); err != nil {
+					return err
+				}
+			}
 			env[vars[i]] = v
 			if err := assign(i + 1); err != nil {
 				return err
@@ -178,6 +196,13 @@ func EvalActiveProfiled(dom domain.Domain, st *db.State, f *logic.Formula) (*Ans
 		return nil
 	}
 	if err := assign(0); err != nil {
+		prof.Rows = ans.Rows.Len()
+		prof.WallNS = time.Since(t0).Nanoseconds()
+		if canceledErr(err) {
+			ans.Complete = false
+			prof.Complete = false
+			return ans, prof, err
+		}
 		return nil, nil, err
 	}
 	prof.Rows = ans.Rows.Len()
@@ -196,10 +221,10 @@ func Explain(dom domain.Domain, st *db.State, f *logic.Formula) (*Profile, error
 // evalProfiled is evalIn with per-node accounting. The recursion walks the
 // formula and the profile tree in lockstep; the branching and
 // short-circuit order must stay identical to evalIn's.
-func evalProfiled(si stateInterp, env domain.Env, f *logic.Formula, node *ProfileNode, rng []domain.Value) (bool, error) {
+func evalProfiled(si stateInterp, env domain.Env, f *logic.Formula, node *ProfileNode, rng []domain.Value, stop *stopCheck) (bool, error) {
 	node.Evals++
 	t0 := time.Now()
-	v, err := evalProfiledKind(si, env, f, node, rng)
+	v, err := evalProfiledKind(si, env, f, node, rng, stop)
 	node.WallNS += time.Since(t0).Nanoseconds()
 	if err != nil {
 		return false, err
@@ -210,7 +235,7 @@ func evalProfiled(si stateInterp, env domain.Env, f *logic.Formula, node *Profil
 	return v, nil
 }
 
-func evalProfiledKind(si stateInterp, env domain.Env, f *logic.Formula, node *ProfileNode, rng []domain.Value) (bool, error) {
+func evalProfiledKind(si stateInterp, env domain.Env, f *logic.Formula, node *ProfileNode, rng []domain.Value, stop *stopCheck) (bool, error) {
 	switch f.Kind {
 	case logic.FExists, logic.FForall:
 		node.Range = len(rng)
@@ -223,8 +248,11 @@ func evalProfiledKind(si stateInterp, env domain.Env, f *logic.Formula, node *Pr
 			}
 		}()
 		for _, v := range rng {
+			if err := stop.strided(); err != nil {
+				return false, err
+			}
 			env[f.Var] = v
-			r, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng)
+			r, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng, stop)
 			if err != nil {
 				return false, err
 			}
@@ -237,11 +265,11 @@ func evalProfiledKind(si stateInterp, env domain.Env, f *logic.Formula, node *Pr
 		}
 		return f.Kind == logic.FForall, nil
 	case logic.FNot:
-		v, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng)
+		v, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng, stop)
 		return !v, err
 	case logic.FAnd:
 		for i, s := range f.Sub {
-			v, err := evalProfiled(si, env, s, node.Children[i], rng)
+			v, err := evalProfiled(si, env, s, node.Children[i], rng, stop)
 			if err != nil || !v {
 				return false, err
 			}
@@ -249,7 +277,7 @@ func evalProfiledKind(si stateInterp, env domain.Env, f *logic.Formula, node *Pr
 		return true, nil
 	case logic.FOr:
 		for i, s := range f.Sub {
-			v, err := evalProfiled(si, env, s, node.Children[i], rng)
+			v, err := evalProfiled(si, env, s, node.Children[i], rng, stop)
 			if err != nil {
 				return false, err
 			}
@@ -259,20 +287,20 @@ func evalProfiledKind(si stateInterp, env domain.Env, f *logic.Formula, node *Pr
 		}
 		return false, nil
 	case logic.FImplies:
-		a, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng)
+		a, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng, stop)
 		if err != nil {
 			return false, err
 		}
 		if !a {
 			return true, nil
 		}
-		return evalProfiled(si, env, f.Sub[1], node.Children[1], rng)
+		return evalProfiled(si, env, f.Sub[1], node.Children[1], rng, stop)
 	case logic.FIff:
-		a, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng)
+		a, err := evalProfiled(si, env, f.Sub[0], node.Children[0], rng, stop)
 		if err != nil {
 			return false, err
 		}
-		b, err := evalProfiled(si, env, f.Sub[1], node.Children[1], rng)
+		b, err := evalProfiled(si, env, f.Sub[1], node.Children[1], rng, stop)
 		return a == b, err
 	default:
 		return domain.EvalQF(si, env, f)

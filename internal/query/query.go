@@ -6,6 +6,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/db"
@@ -13,6 +15,41 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 )
+
+// stopCheck polls a context from the evaluator's loops. The recursion is
+// the evaluator's hot path and must carry no per-iteration atomic traffic,
+// so quantifier iterations poll through a stride: only every 256th check
+// touches the context. A nil receiver or nil context never stops.
+type stopCheck struct {
+	ctx context.Context
+	n   uint32
+}
+
+// hit polls the context at full stride (every call); use where each
+// iteration already pays for a decision procedure or a row.
+func (s *stopCheck) hit() error {
+	if s == nil || s.ctx == nil {
+		return nil
+	}
+	return s.ctx.Err()
+}
+
+// strided polls the context every 256th call; use inside hot loops.
+func (s *stopCheck) strided() error {
+	if s == nil || s.ctx == nil {
+		return nil
+	}
+	if s.n++; s.n&255 != 0 {
+		return nil
+	}
+	return s.ctx.Err()
+}
+
+// canceledErr reports whether err is a context cancellation (deadline or
+// explicit cancel), the case in which evaluators surface partial answers.
+func canceledErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Translate rewrites a query formula into a pure domain formula relative to
 // a state: every database relation atom R(t̄) becomes the disjunction over
@@ -137,7 +174,19 @@ type Answer struct {
 // and free variables range over the state's active domain plus the query's
 // constants. For domain-independent queries this agrees with the natural
 // semantics; for others it is the classical engine approximation.
+//
+// Deprecated: use EvalActiveCtx (or the finq.Eval facade), which honors a
+// request context. EvalActive is EvalActiveCtx with no cancellation.
 func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, error) {
+	return EvalActiveCtx(context.Background(), dom, st, f)
+}
+
+// EvalActiveCtx is active-domain evaluation under a context: the context
+// is polled between free-variable rows and (strided) inside quantifier
+// loops. On cancellation the rows found so far are returned with
+// Complete=false alongside the context's error, so callers can serve a
+// partial answer.
+func EvalActiveCtx(ctx context.Context, dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, error) {
 	sp := obs.StartSpan("query.eval_active")
 	defer sp.End()
 	mEvalCalls.Inc()
@@ -154,6 +203,7 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(maxInt(len(vars), 1)), Complete: true}
 	si := stateInterp{dom: dom, st: st}
 	env := domain.Env{}
+	stop := &stopCheck{ctx: ctx}
 	// Leaf assignments are counted locally and flushed once: the recursion
 	// is the evaluator's hot loop and must carry no atomic traffic.
 	leaves := int64(0)
@@ -161,7 +211,7 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 	assign = func(i int) error {
 		if i == len(vars) {
 			leaves++
-			v, err := evalIn(si, env, f, rng)
+			v, err := evalIn(si, env, f, rng, stop)
 			if err != nil {
 				return err
 			}
@@ -180,6 +230,13 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 			return nil
 		}
 		for _, v := range rng {
+			if i == 0 {
+				// Between outer rows the poll is unstrided: a cancelled
+				// request stops within one row granule.
+				if err := stop.hit(); err != nil {
+					return err
+				}
+			}
 			env[vars[i]] = v
 			if err := assign(i + 1); err != nil {
 				return err
@@ -191,6 +248,11 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 	err = assign(0)
 	mEvalAssigns.Add(leaves)
 	if err != nil {
+		if canceledErr(err) {
+			ans.Complete = false
+			sp.Arg("rows", int64(ans.Rows.Len()))
+			return ans, err
+		}
 		return nil, err
 	}
 	mEvalRows.Add(int64(ans.Rows.Len()))
@@ -234,8 +296,9 @@ func activeRange(dom domain.Domain, st *db.State, f *logic.Formula) ([]domain.Va
 	return rng, nil
 }
 
-// evalIn evaluates a formula with quantifiers ranging over rng.
-func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value) (bool, error) {
+// evalIn evaluates a formula with quantifiers ranging over rng, polling
+// stop (strided) on each quantifier iteration.
+func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value, stop *stopCheck) (bool, error) {
 	switch f.Kind {
 	case logic.FExists, logic.FForall:
 		saved, had := env[f.Var]
@@ -247,8 +310,11 @@ func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value
 			}
 		}()
 		for _, v := range rng {
+			if err := stop.strided(); err != nil {
+				return false, err
+			}
 			env[f.Var] = v
-			r, err := evalIn(si, env, f.Sub[0], rng)
+			r, err := evalIn(si, env, f.Sub[0], rng, stop)
 			if err != nil {
 				return false, err
 			}
@@ -261,11 +327,11 @@ func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value
 		}
 		return f.Kind == logic.FForall, nil
 	case logic.FNot:
-		v, err := evalIn(si, env, f.Sub[0], rng)
+		v, err := evalIn(si, env, f.Sub[0], rng, stop)
 		return !v, err
 	case logic.FAnd:
 		for _, s := range f.Sub {
-			v, err := evalIn(si, env, s, rng)
+			v, err := evalIn(si, env, s, rng, stop)
 			if err != nil || !v {
 				return false, err
 			}
@@ -273,7 +339,7 @@ func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value
 		return true, nil
 	case logic.FOr:
 		for _, s := range f.Sub {
-			v, err := evalIn(si, env, s, rng)
+			v, err := evalIn(si, env, s, rng, stop)
 			if err != nil {
 				return false, err
 			}
@@ -283,20 +349,20 @@ func evalIn(si stateInterp, env domain.Env, f *logic.Formula, rng []domain.Value
 		}
 		return false, nil
 	case logic.FImplies:
-		a, err := evalIn(si, env, f.Sub[0], rng)
+		a, err := evalIn(si, env, f.Sub[0], rng, stop)
 		if err != nil {
 			return false, err
 		}
 		if !a {
 			return true, nil
 		}
-		return evalIn(si, env, f.Sub[1], rng)
+		return evalIn(si, env, f.Sub[1], rng, stop)
 	case logic.FIff:
-		a, err := evalIn(si, env, f.Sub[0], rng)
+		a, err := evalIn(si, env, f.Sub[0], rng, stop)
 		if err != nil {
 			return false, err
 		}
-		b, err := evalIn(si, env, f.Sub[1], rng)
+		b, err := evalIn(si, env, f.Sub[1], rng, stop)
 		return a == b, err
 	default:
 		return domain.EvalQF(si, env, f)

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+
+	finq "repro"
+	"repro/internal/domain"
+)
+
+// EvalRequest is the body of POST /v1/eval. Formula syntax, state format,
+// and budget semantics are exactly the library's: the request is a wire
+// form of finq.Request.
+type EvalRequest struct {
+	// Domain names a registered domain (GET /v1/domains lists them).
+	Domain string `json:"domain"`
+	// Formula is the query in the domain's concrete syntax.
+	Formula string `json:"formula"`
+	// State is the database state in the stateJSON format; omitted means
+	// the empty state.
+	State json.RawMessage `json:"state,omitempty"`
+	// Mode is "active" (default) or "enumerate".
+	Mode string `json:"mode,omitempty"`
+	// Workers > 1 fans active-domain evaluation over a worker pool.
+	Workers int `json:"workers,omitempty"`
+	// Budget bounds enumerate mode; omitted means the default budget.
+	Budget *BudgetJSON `json:"budget,omitempty"`
+	// Profile asks for a per-node EXPLAIN profile in the response.
+	Profile bool `json:"profile,omitempty"`
+}
+
+// BudgetJSON is the wire form of an enumeration budget.
+type BudgetJSON struct {
+	Rows  int `json:"rows"`
+	Probe int `json:"probe"`
+}
+
+// decodeBody unmarshals a request body strictly, so misspelled fields are
+// 400s instead of silently ignored options.
+func decodeBody(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// parseDomainFormula resolves the domain and parses the formula, treating
+// the state's database constants as constant symbols when a state is
+// present.
+func parseDomainFormula(domainName, formula string, st *finq.State) (finq.DomainInfo, *finq.Formula, error) {
+	d, err := finq.Lookup(domainName)
+	if err != nil {
+		return finq.DomainInfo{}, nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	var f *finq.Formula
+	if st != nil && len(st.Scheme().Constants) > 0 {
+		f, err = d.ParseWithConstants(formula, st.Scheme().Constants...)
+	} else {
+		f, err = d.Parse(formula)
+	}
+	if err != nil {
+		return finq.DomainInfo{}, nil, errf(http.StatusBadRequest, "parsing formula: %v", err)
+	}
+	return d, f, nil
+}
+
+func (s *Server) handleEval(ctx context.Context, body []byte) (any, error) {
+	var req EvalRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	var st *finq.State
+	if len(req.State) > 0 {
+		d, err := finq.Lookup(req.Domain)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		st, err = finq.ParseState(d, req.State)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	}
+	d, f, err := parseDomainFormula(req.Domain, req.Formula, st)
+	if err != nil {
+		return nil, err
+	}
+	lreq := finq.Request{
+		Domain:  req.Domain,
+		State:   st,
+		Formula: f,
+		Mode:    finq.EvalMode(req.Mode),
+		Workers: req.Workers,
+		Profile: req.Profile,
+	}
+	if req.Budget != nil {
+		lreq.Budget = &finq.EnumerationBudget{Rows: req.Budget.Rows, Probe: req.Budget.Probe}
+	}
+	res, err := finq.Eval(ctx, lreq)
+	if err != nil {
+		return nil, err
+	}
+	return finq.EncodeResult(d, res), nil
+}
+
+// DecideRequest is the body of POST /v1/decide.
+type DecideRequest struct {
+	Domain   string `json:"domain"`
+	Sentence string `json:"sentence"`
+}
+
+// DecideResponse is its answer.
+type DecideResponse struct {
+	Truth bool `json:"truth"`
+}
+
+func (s *Server) handleDecide(ctx context.Context, body []byte) (any, error) {
+	var req DecideRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	d, f, err := parseDomainFormula(req.Domain, req.Sentence, nil)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := domain.DecideCtx(ctx, d.Decider, f)
+	if err != nil {
+		return nil, err
+	}
+	return DecideResponse{Truth: truth}, nil
+}
+
+// QERequest is the body of POST /v1/qe.
+type QERequest struct {
+	Domain  string `json:"domain"`
+	Formula string `json:"formula"`
+}
+
+// QEResponse carries the quantifier-free equivalent, rendered in the
+// domain's concrete syntax.
+type QEResponse struct {
+	Formula string `json:"formula"`
+}
+
+func (s *Server) handleQE(ctx context.Context, body []byte) (any, error) {
+	var req QERequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	d, f, err := parseDomainFormula(req.Domain, req.Formula, nil)
+	if err != nil {
+		return nil, err
+	}
+	g, err := domain.EliminateCtx(ctx, d.Eliminator, f)
+	if err != nil {
+		return nil, err
+	}
+	return QEResponse{Formula: g.String()}, nil
+}
+
+// SafetyRequest is the body of POST /v1/safety.
+type SafetyRequest struct {
+	Domain  string          `json:"domain"`
+	Formula string          `json:"formula"`
+	State   json.RawMessage `json:"state,omitempty"`
+}
+
+// SafetyResponse reports the relative-safety verdict: "holds" (the answer
+// is finite in this state), "fails", or "unknown" (the budgeted
+// semi-decision over the trace domain gave up).
+type SafetyResponse struct {
+	Verdict finq.Verdict `json:"verdict"`
+}
+
+func (s *Server) handleSafety(ctx context.Context, body []byte) (any, error) {
+	var req SafetyRequest
+	if err := decodeBody(body, &req); err != nil {
+		return nil, err
+	}
+	d, err := finq.Lookup(req.Domain)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	st := finq.NewState(finq.MustScheme(map[string]int{}))
+	if len(req.State) > 0 {
+		st, err = finq.ParseState(d, req.State)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+	}
+	_, f, err := parseDomainFormula(req.Domain, req.Formula, st)
+	if err != nil {
+		return nil, err
+	}
+	// RelativeSafety has no context parameter; run it aside and give up at
+	// the deadline. The analysis goroutine delivers into a buffered channel,
+	// so an abandoned one still exits when it finishes.
+	type outcome struct {
+		verdict finq.Verdict
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := finq.RelativeSafety(d, st, f)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return nil, out.err
+		}
+		return SafetyResponse{Verdict: out.verdict}, nil
+	case <-ctx.Done():
+		return nil, errf(http.StatusServiceUnavailable, "safety analysis exceeded the deadline: %v", ctx.Err())
+	}
+}
+
+// DomainJSON is one entry of GET /v1/domains.
+type DomainJSON struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	mRequests.Inc()
+	out := []DomainJSON{}
+	for _, d := range finq.Domains() {
+		out = append(out, DomainJSON{Name: d.Name, Doc: d.Doc})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

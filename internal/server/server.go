@@ -1,0 +1,256 @@
+// Package server implements finqd, the query service: an HTTP/JSON front
+// end over the finq facade. Every endpoint evaluates through
+// finq.Eval (or the matching facade call) under the request's context, so
+// a client deadline or disconnect stops the computation between rows,
+// probes, and quantifier-elimination stages, and a deadline that expires
+// mid-enumeration still returns the rows found so far as a partial result.
+//
+// Endpoints:
+//
+//	POST /v1/eval     evaluate a formula over a domain and state
+//	POST /v1/decide   decide a pure-domain sentence
+//	POST /v1/qe       quantifier-eliminate a formula
+//	POST /v1/safety   relative-safety analysis of a query
+//	GET  /v1/domains  list the registered domains
+//	GET  /metrics     Prometheus metrics (also /debug/obs, /debug/pprof/)
+//
+// Concurrency is bounded by a worker pool: at most Workers requests
+// evaluate at once, at most QueueDepth more wait for a slot, and anything
+// beyond that is rejected with 429 so overload degrades by shedding rather
+// than by queueing without bound. Handler panics become 500s. Shutdown
+// drains in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes the service. The zero value serves on an ephemeral local
+// port with GOMAXPROCS workers and interactive-scale timeouts.
+type Config struct {
+	// Addr is the listen address; "" means "127.0.0.1:0".
+	Addr string
+	// Workers bounds concurrent evaluations; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the
+	// Workers already evaluating; past it requests get 429. <= 0 means
+	// 2 * Workers.
+	QueueDepth int
+	// EvalTimeout bounds /v1/eval requests; <= 0 means 30s.
+	EvalTimeout time.Duration
+	// DecideTimeout bounds /v1/decide, /v1/qe, and /v1/safety requests;
+	// <= 0 means 10s.
+	DecideTimeout time.Duration
+	// MaxBody bounds request bodies in bytes; <= 0 means 1 MiB.
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.EvalTimeout <= 0 {
+		c.EvalTimeout = 30 * time.Second
+	}
+	if c.DecideTimeout <= 0 {
+		c.DecideTimeout = 10 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	return c
+}
+
+// Service metrics, on /metrics alongside the evaluator and decision-cache
+// families (the deccache.hits / deccache.misses hit rate comes for free
+// because the registry's deciders are process-wide, so the cache is shared
+// across requests).
+var (
+	mRequests = obs.NewCounter("server.requests")
+	mRejected = obs.NewCounter("server.rejected")
+	mErrors   = obs.NewCounter("server.errors")
+	mPanics   = obs.NewCounter("server.panics")
+	gInflight = obs.NewGauge("server.inflight")
+	hLatency  = obs.NewHistogram("server.latency_us")
+)
+
+// Server is the finqd HTTP service. Create with New, run with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg    Config
+	slots  chan struct{}
+	queued atomic.Int64
+	http   *http.Server
+	ln     net.Listener
+}
+
+// New builds a server from the config. Nothing listens until Start.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, slots: make(chan struct{}, cfg.Workers)}
+	s.http = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the full route table, wrapped in panic recovery. It is
+// usable directly with httptest servers.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	debug := obs.Handler()
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+	mux.HandleFunc("/v1/domains", s.handleDomains)
+	mux.Handle("/v1/eval", s.endpoint("eval", s.cfg.EvalTimeout, s.handleEval))
+	mux.Handle("/v1/decide", s.endpoint("decide", s.cfg.DecideTimeout, s.handleDecide))
+	mux.Handle("/v1/qe", s.endpoint("qe", s.cfg.DecideTimeout, s.handleQE))
+	mux.Handle("/v1/safety", s.endpoint("safety", s.cfg.DecideTimeout, s.handleSafety))
+	return s.recovered(mux)
+}
+
+// Start listens on the configured address and serves in the background,
+// returning the bound address (useful with a ":0" config).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.http.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops accepting connections and waits — up to the context's
+// deadline — for in-flight requests to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// apiError carries an HTTP status code out of a handler. Handlers return
+// it for client mistakes; any other error is a 422 (the request was
+// well-formed but the evaluation failed).
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// handlerFunc is a pooled endpoint's core: decode the body, compute under
+// the deadline, return the response value (encoded as JSON) or an error.
+type handlerFunc func(ctx context.Context, body []byte) (any, error)
+
+// endpoint wraps a handler with the service plumbing, in order: method
+// check, admission control (queue-depth limit then worker slot), body
+// limit, per-endpoint deadline, span + metrics, JSON encoding.
+func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		mRequests.Inc()
+		// Admission: the queued count includes the requests holding slots,
+		// so the capacity line is Workers evaluating + QueueDepth waiting.
+		n := s.queued.Add(1)
+		defer s.queued.Add(-1)
+		if n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+			mRejected.Inc()
+			writeError(w, http.StatusTooManyRequests,
+				"server at capacity (%d evaluating, %d queued); retry later", s.cfg.Workers, s.cfg.QueueDepth)
+			return
+		}
+		select {
+		case s.slots <- struct{}{}:
+		case <-r.Context().Done():
+			// The client gave up while queued; nothing is listening for
+			// the response, but complete the exchange anyway.
+			writeError(w, http.StatusServiceUnavailable, "client went away while queued")
+			return
+		}
+		defer func() { <-s.slots }()
+		gInflight.Set(int64(len(s.slots)))
+		defer func() { gInflight.Set(int64(len(s.slots) - 1)) }()
+
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if int64(len(body)) > s.cfg.MaxBody {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.cfg.MaxBody)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		sp := obs.StartSpan("server." + name)
+		t0 := time.Now()
+		out, err := h(ctx, body)
+		sp.End()
+		hLatency.Observe(time.Since(t0).Microseconds())
+		if err != nil {
+			mErrors.Inc()
+			if ae, ok := err.(*apiError); ok {
+				writeError(w, ae.code, "%s", ae.msg)
+				return
+			}
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+}
+
+// recovered turns handler panics into 500 responses instead of killed
+// connections, and counts them.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				mPanics.Inc()
+				writeError(w, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The response value failed to encode; there is nothing better to
+		// send than a plain 500.
+		http.Error(w, fmt.Sprintf(`{"error": %q}`, err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}

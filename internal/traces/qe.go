@@ -1,6 +1,7 @@
 package traces
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logic"
@@ -58,6 +59,27 @@ type Eliminator struct {
 	// simplifier prunes DNF clauses (dead sort branches, duplicate
 	// literals) before they multiply in the next elimination.
 	NoIntermediateSimplify bool
+
+	// ctx, when set via EliminateCtx, is polled between pipeline stages and
+	// before each quantifier elimination, so a request-scoped deadline can
+	// abandon a run whose intermediate formulas are still multiplying.
+	ctx context.Context
+}
+
+// EliminateCtx implements domain.CtxEliminator: elimination under a
+// context, aborted with the context's error at the next stage or
+// quantifier boundary after cancellation.
+func (e Eliminator) EliminateCtx(ctx context.Context, f *logic.Formula) (*logic.Formula, error) {
+	e.ctx = ctx
+	return e.Eliminate(f)
+}
+
+// checkCtx reports the context's error, if a context is set and cancelled.
+func (e Eliminator) checkCtx() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // simplify applies intermediate simplification unless ablated.
@@ -110,11 +132,17 @@ func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.checkCtx(); err != nil {
+		return nil, err
+	}
 	st = sp.Child("elim")
 	g, err = e.elim(g)
 	stageSize(st, g)
 	st.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := e.checkCtx(); err != nil {
 		return nil, err
 	}
 	st = sp.Child("ground")
@@ -176,6 +204,9 @@ func (e Eliminator) elim(f *logic.Formula) (*logic.Formula, error) {
 
 // elimExists eliminates ∃x from a quantifier-free body.
 func (e Eliminator) elimExists(x string, body *logic.Formula) (*logic.Formula, error) {
+	if err := e.checkCtx(); err != nil {
+		return nil, err
+	}
 	mQEQuantifiers.Inc()
 	body = e.simplify(body)
 	if !body.HasFreeVar(x) {

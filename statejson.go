@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/domain"
+	"repro/internal/query"
 )
 
 // stateJSON is the on-disk form of a database state:
@@ -73,6 +74,90 @@ func ParseState(d DomainInfo, data []byte) (*State, error) {
 		}
 	}
 	return st, nil
+}
+
+// AnswerJSON is the wire form of an Answer, shared by the CLI -json
+// output and the finqd /v1/eval response:
+//
+//	{"vars": ["x"], "rows": [["0"], ["1"]], "complete": true}
+//
+// Boolean (no free variable) answers carry a "truth" field instead of
+// rows. Row cells are domain constant names, exactly as in the state
+// format, so decoding needs the same domain that produced the answer.
+type AnswerJSON struct {
+	Vars     []string   `json:"vars"`
+	Truth    *bool      `json:"truth,omitempty"`
+	Rows     [][]string `json:"rows,omitempty"`
+	Complete bool       `json:"complete"`
+}
+
+// EncodeAnswer converts an answer into its wire form over the domain.
+func EncodeAnswer(d DomainInfo, ans *Answer) *AnswerJSON {
+	out := &AnswerJSON{Vars: append([]string{}, ans.Vars...), Complete: ans.Complete}
+	if len(ans.Vars) == 0 {
+		truth := ans.Rows.Len() > 0
+		out.Truth = &truth
+		return out
+	}
+	for _, tuple := range ans.Rows.Tuples() {
+		row := make([]string, len(tuple))
+		for i, v := range tuple {
+			row[i] = d.Domain.ConstName(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Decode rebuilds the answer from its wire form over the domain,
+// inverting EncodeAnswer.
+func (a *AnswerJSON) Decode(d DomainInfo) (*Answer, error) {
+	if len(a.Vars) == 0 {
+		if a.Truth == nil {
+			return nil, fmt.Errorf("finq: boolean answer JSON misses \"truth\"")
+		}
+		ans := query.NewBoolAnswer(*a.Truth)
+		ans.Complete = a.Complete
+		return ans, nil
+	}
+	ans := &Answer{Vars: append([]string{}, a.Vars...), Rows: db.NewRelation(len(a.Vars)), Complete: a.Complete}
+	for _, row := range a.Rows {
+		if len(row) != len(a.Vars) {
+			return nil, fmt.Errorf("finq: answer row %v has %d cells, want %d", row, len(row), len(a.Vars))
+		}
+		tuple := make([]domain.Value, len(row))
+		for i, cell := range row {
+			v, err := d.Domain.ConstValue(cell)
+			if err != nil {
+				return nil, fmt.Errorf("finq: answer row %v: %w", row, err)
+			}
+			tuple[i] = v
+		}
+		if err := ans.Rows.Add(tuple); err != nil {
+			return nil, err
+		}
+	}
+	return ans, nil
+}
+
+// ResultJSON is the wire form of an Eval Result — the body of a /v1/eval
+// response and of the CLI's -json output. Stopped distinguishes partial
+// results: "budget" (row/probe budget exhausted), "deadline" (the request
+// deadline expired mid-computation), "canceled" (the client went away).
+type ResultJSON struct {
+	Answer  *AnswerJSON `json:"answer,omitempty"`
+	Profile *Profile    `json:"profile,omitempty"`
+	Partial bool        `json:"partial,omitempty"`
+	Stopped string      `json:"stopped,omitempty"`
+}
+
+// EncodeResult converts an Eval result into its wire form over the domain.
+func EncodeResult(d DomainInfo, res *Result) *ResultJSON {
+	out := &ResultJSON{Profile: res.Profile, Partial: res.Partial, Stopped: res.Stopped}
+	if res.Answer != nil {
+		out.Answer = EncodeAnswer(d, res.Answer)
+	}
+	return out
 }
 
 // MarshalState encodes a state as JSON.

@@ -1,0 +1,176 @@
+package finq
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestAnswerJSONRoundTrip: encode → marshal → unmarshal → decode yields
+// the same relation, over a relational answer.
+func TestAnswerJSONRoundTrip(t *testing.T) {
+	d := MustLookup("presburger")
+	st := NewState(MustScheme(map[string]int{"R": 1}))
+	for _, n := range []int64{3, 7} {
+		if err := st.Insert("R", Nat(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := d.Parse("exists y. (R(y) & lt(x, y))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), Request{Domain: "presburger", State: st, Formula: f, Mode: ModeEnumerate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := EncodeAnswer(d, res.Answer)
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AnswerJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := back.Decode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Rows.Len() != res.Answer.Rows.Len() || ans.Complete != res.Answer.Complete {
+		t.Fatalf("round trip lost rows: %d vs %d", ans.Rows.Len(), res.Answer.Rows.Len())
+	}
+	for _, row := range res.Answer.Rows.Tuples() {
+		if !ans.Rows.Has(row) {
+			t.Errorf("row %v lost in round trip", row)
+		}
+	}
+}
+
+// TestAnswerJSONBooleanRoundTrip covers the no-free-variable case, which
+// travels as a "truth" field instead of rows.
+func TestAnswerJSONBooleanRoundTrip(t *testing.T) {
+	d := MustLookup("eq")
+	for _, truth := range []bool{true, false} {
+		formula := "forall x. x = x"
+		if !truth {
+			formula = "exists x. ~(x = x)"
+		}
+		f, err := d.Parse(formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Eval(context.Background(), Request{Domain: "eq", Formula: f, Mode: ModeEnumerate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(EncodeAnswer(d, res.Answer))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back AnswerJSON
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		ans, err := back.Decode(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ans.Rows.Len() > 0; got != truth {
+			t.Errorf("boolean %v round-tripped to %v (wire %s)", truth, got, data)
+		}
+	}
+}
+
+// TestVerdictJSONRoundTrip: the three verdicts marshal to their names and
+// back; junk is rejected.
+func TestVerdictJSONRoundTrip(t *testing.T) {
+	for _, v := range []Verdict{Holds, Fails, Unknown} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + v.String() + `"`; string(data) != want {
+			t.Errorf("verdict %v marshals to %s, want %s", v, data, want)
+		}
+		var back Verdict
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Errorf("verdict %v round-tripped to %v", v, back)
+		}
+	}
+	var v Verdict
+	if err := json.Unmarshal([]byte(`"maybe"`), &v); err == nil {
+		t.Error("junk verdict accepted")
+	}
+}
+
+// TestProfileJSONRoundTrip: the EXPLAIN profile marshals and unmarshals
+// without losing the tree.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	d := MustLookup("eq")
+	st := NewState(MustScheme(map[string]int{"F": 2}))
+	if err := st.Insert("F", Word("adam"), Word("abel")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Parse("exists y. F(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(context.Background(), Request{Domain: "eq", State: st, Formula: f, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("no profile")
+	}
+	data, err := json.Marshal(res.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Query != res.Profile.Query || back.Rows != res.Profile.Rows ||
+		back.Root == nil || len(back.Root.Children) != len(res.Profile.Root.Children) {
+		t.Fatalf("profile round trip lost structure: %+v", back)
+	}
+}
+
+// TestResultJSONPartialShape: a budget-stopped enumeration encodes with
+// partial=true and stopped="budget".
+func TestResultJSONPartialShape(t *testing.T) {
+	d := MustLookup("presburger")
+	st := NewState(MustScheme(map[string]int{"R": 1}))
+	if err := st.Insert("R", Nat(5)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Parse("~R(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := EnumerationBudget{Rows: 3, Probe: 1000}
+	res, err := Eval(context.Background(), Request{
+		Domain: "presburger", State: st, Formula: f, Mode: ModeEnumerate, Budget: &budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stopped != "budget" {
+		t.Fatalf("want partial budget result, got partial=%v stopped=%q", res.Partial, res.Stopped)
+	}
+	data, err := json.Marshal(EncodeResult(d, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire ResultJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Partial || wire.Stopped != "budget" || wire.Answer == nil || len(wire.Answer.Rows) != 3 {
+		t.Fatalf("wire result lost partiality: %s", data)
+	}
+}
