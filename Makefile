@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-perf trace-demo serve-smoke
+.PHONY: build test vet staticcheck race bench bench-perf bench-log trace-demo serve-smoke serve-check lint-logs
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ bench:
 bench-perf:
 	BENCH_PERF=1 $(GO) test -run TestWriteBenchPerf -count=1 -v .
 
+# bench-log measures the structured access log's overhead on the E1
+# request through the full finqd handler chain (logging on vs. a disabled
+# handler) and writes BENCH_log.json. Fails if the overhead exceeds 3%.
+bench-log:
+	BENCH_LOG=1 $(GO) test -run TestWriteBenchLog -count=1 -v ./internal/server
+
 # trace-demo records the E1 experiment (enumeration over the Presburger
 # domain) with the flight recorder armed and writes a Chrome trace —
 # load trace-e1.json in https://ui.perfetto.dev or chrome://tracing.
@@ -53,3 +59,19 @@ trace-demo:
 serve-smoke:
 	$(GO) run ./cmd/finqd -trace-out trace-serve.json -smoke
 	@echo "wrote trace-serve.json"
+
+# serve-check probes a running finqd from the outside with curl: health
+# endpoints must answer 200 and /metrics must be a well-formed Prometheus
+# exposition (scripts/expocheck.go).
+serve-check:
+	sh scripts/serve-check.sh
+
+# lint-logs enforces that the server emits all its output through the
+# structured access log: no bare fmt.Print*/log.Print* in internal/server.
+lint-logs:
+	@if grep -nE '(fmt|log)\.Print' internal/server/*.go; then \
+		echo "lint-logs: internal/server must log through slog, not fmt/log.Print*"; \
+		exit 1; \
+	else \
+		echo "lint-logs: internal/server is clean"; \
+	fi

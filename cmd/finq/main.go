@@ -83,6 +83,8 @@ func usage() {
 global flags:
   -debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars, /debug/pprof/
   -trace-out <file>        record execution and write a Chrome trace on exit
+  -log-level <level>       debug|info|warn|error for structured logs (default info)
+  -log-format <fmt>        text|json log output (default text)
   -cache[=on|off]          memoize decision-procedure calls (default on)`)
 }
 

@@ -6,18 +6,28 @@
 //
 //	finqd [-addr host:port] [-workers n] [-queue n]
 //	      [-timeout-eval d] [-timeout-decide d] [-max-body bytes]
+//	      [-slow d] [-drain-grace d]
 //	finqd -smoke
 //
-// The global flags (-debug-addr, -trace-out, -cache) apply as in the other
-// tools; /metrics, /debug/obs, and /debug/pprof/ are also served by finqd
-// itself, so -debug-addr is only needed to put them on a separate port.
+// The global flags (-debug-addr, -trace-out, -cache, -log-level,
+// -log-format) apply as in the other tools; /metrics, /debug/obs, and
+// /debug/pprof/ are also served by finqd itself, so -debug-addr is only
+// needed to put them on a separate port. The access log (one structured
+// line per request, carrying the request's X-Request-Id) goes to stderr
+// through the shared slog setup, so `finq eval` and finqd emit uniform
+// logs.
 //
-// SIGINT or SIGTERM begins a graceful shutdown: the listener closes and
-// in-flight requests run to completion (bounded by their own deadlines).
+// SIGINT or SIGTERM begins a graceful shutdown: /readyz flips to 503, the
+// -drain-grace window lets balancers stop routing, then the listener
+// closes and in-flight requests run to completion (bounded by their own
+// deadlines). Requests slower than -slow get their span subtree captured
+// from the flight recorder, retrievable at /debug/slow?id=<request id>.
 //
 // -smoke starts the server on an ephemeral port, exercises every endpoint
-// once in-process, verifies the service metrics appear on /metrics, and
-// exits nonzero on any failure. It exists for CI and `make serve-smoke`.
+// once in-process — including /healthz, /readyz and its drain flip, the
+// X-Request-Id echo, and the access log — verifies the service metrics
+// appear on /metrics, and exits nonzero on any failure. It exists for CI
+// and `make serve-smoke`.
 package main
 
 import (
@@ -47,6 +57,8 @@ func main() {
 	timeoutEval := fs.Duration("timeout-eval", 30*time.Second, "per-request deadline for /v1/eval")
 	timeoutDecide := fs.Duration("timeout-decide", 10*time.Second, "per-request deadline for /v1/decide, /v1/qe, /v1/safety")
 	maxBody := fs.Int64("max-body", 1<<20, "request body limit in bytes")
+	slow := fs.Duration("slow", time.Second, "capture the span subtree of requests at least this slow")
+	drainGrace := fs.Duration("drain-grace", 500*time.Millisecond, "wait between flipping /readyz and closing the listener on shutdown")
 	smoke := fs.Bool("smoke", false, "start on an ephemeral port, exercise every endpoint once, exit")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -58,9 +70,12 @@ func main() {
 		EvalTimeout:   *timeoutEval,
 		DecideTimeout: *timeoutDecide,
 		MaxBody:       *maxBody,
+		SlowRequest:   *slow,
+		DrainGrace:    *drainGrace,
 	}
 	if *smoke {
 		cfg.Addr = "127.0.0.1:0"
+		cfg.DrainGrace = 0 // the smoke drives the drain flip itself
 		if err := runSmoke(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "finqd: smoke:", err)
 			finish()
@@ -81,11 +96,11 @@ func serve(cfg server.Config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "finqd: serving on http://%s (POST /v1/eval /v1/decide /v1/qe /v1/safety, GET /v1/domains /metrics)\n", addr)
+	fmt.Fprintf(os.Stderr, "finqd: serving on http://%s (POST /v1/eval /v1/decide /v1/qe /v1/safety, GET /v1/domains /healthz /readyz /metrics)\n", addr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "finqd: shutting down, draining in-flight requests")
+	fmt.Fprintln(os.Stderr, "finqd: shutting down: /readyz now 503, draining in-flight requests")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)

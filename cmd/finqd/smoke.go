@@ -5,10 +5,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/obs/logctx"
 	"repro/internal/server"
 )
 
@@ -58,14 +62,59 @@ var smokeChecks = []struct {
 		want: `"verdict":"holds"`,
 	},
 	{
+		name: "healthz", method: "GET", path: "/healthz",
+		want: `"status":"ok"`,
+	},
+	{
+		name: "readyz", method: "GET", path: "/readyz",
+		want: `"status":"ready"`,
+	},
+	{
 		name: "metrics", method: "GET", path: "/metrics",
 		want: "server_requests",
 	},
+	{
+		name: "metrics-red", method: "GET", path: "/metrics",
+		want: "server_eval_latency_us_count",
+	},
+	{
+		name: "metrics-runtime", method: "GET", path: "/metrics",
+		want: "runtime_goroutines",
+	},
+}
+
+// lockedBuffer collects the access log for the smoke's assertions while
+// still echoing it to stderr; slog handlers may be driven concurrently.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	os.Stderr.Write(p)
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // runSmoke starts the service on an ephemeral port, fires the checks, and
-// shuts down gracefully; any wrong status or missing substring is an error.
+// shuts down gracefully; any wrong status or missing substring is an
+// error. Beyond the per-endpoint checks it verifies the request-scoped
+// observability contract: the X-Request-Id echo, the ID's presence in the
+// access log, and the /readyz drain flip.
 func runSmoke(cfg server.Config) error {
+	logBuf := &lockedBuffer{}
+	logger, err := logctx.NewLogger(logBuf, slog.LevelDebug, "json")
+	if err != nil {
+		return err
+	}
+	cfg.Logger = logger
 	srv := server.New(cfg)
 	addr, err := srv.Start()
 	if err != nil {
@@ -103,6 +152,50 @@ func runSmoke(cfg server.Config) error {
 		}
 		fmt.Printf("smoke %-22s ok  %s %s\n", c.name, c.method, c.path)
 	}
+
+	// Request-ID contract: a supplied X-Request-Id is echoed on the
+	// response and lands in the structured access log.
+	const smokeID = "smoke-e2e-0001"
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/decide",
+		strings.NewReader(`{"domain": "eq", "sentence": "forall x. x = x"}`))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Request-Id", smokeID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("request-id check: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != smokeID {
+		return fmt.Errorf("request-id echo: sent %q, response header carries %q", smokeID, got)
+	}
+	if !strings.Contains(logBuf.String(), smokeID) {
+		return fmt.Errorf("access log does not carry the request id %q", smokeID)
+	}
+	fmt.Printf("smoke %-22s ok  X-Request-Id echoed and in access log\n", "request-id")
+
+	// Drain contract: StartDrain flips /readyz to 503 while the listener
+	// still serves (a balancer stops routing, in-flight work completes);
+	// /healthz stays 200 because a draining process is alive.
+	srv.StartDrain()
+	for _, probe := range []struct {
+		path string
+		code int
+	}{{"/readyz", http.StatusServiceUnavailable}, {"/healthz", http.StatusOK}} {
+		resp, err := client.Get("http://" + addr + probe.path)
+		if err != nil {
+			return fmt.Errorf("drain %s: %w", probe.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != probe.code {
+			return fmt.Errorf("mid-drain %s: want %d, got %d", probe.path, probe.code, resp.StatusCode)
+		}
+	}
+	fmt.Printf("smoke %-22s ok  /readyz 503 mid-drain, /healthz 200\n", "drain-flip")
+
 	fmt.Printf("smoke: %d/%d endpoints ok on %s\n", len(smokeChecks), len(smokeChecks), addr)
 	return nil
 }

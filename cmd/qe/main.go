@@ -39,7 +39,7 @@ func main() {
 		return
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] [-debug-addr <host:port>] [-trace-out <file>] [-cache[=on|off]] -domain <name> "<formula>"`)
+		fmt.Fprintln(os.Stderr, `usage: qe [-version] [-stats] [-debug-addr <host:port>] [-trace-out <file>] [-cache[=on|off]] [-log-level <l>] [-log-format text|json] -domain <name> "<formula>"`)
 		os.Exit(2)
 	}
 	if *stats {

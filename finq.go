@@ -43,6 +43,7 @@ import (
 	"repro/internal/domains/wordlex"
 	"repro/internal/domains/zless"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/presburger"
 	"repro/internal/query"
@@ -298,6 +299,14 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 	if mode == "" {
 		mode = ModeActive
 	}
+	// The root evaluation span: with a request ID in ctx (finqd, or any
+	// caller using logctx.WithRequestID) its trace events — and those of
+	// every evaluator and QE span below it — carry the ID, so one request's
+	// full lifecycle can be pulled out of a trace by ID.
+	sp := obs.StartSpanCtx(ctx, "finq.eval")
+	sp.ArgStr("domain", req.Domain)
+	sp.ArgStr("mode", string(mode))
+	defer sp.End()
 	switch mode {
 	case ModeActive:
 		if req.Profile {

@@ -1,5 +1,5 @@
 // Package cliutil holds the global flags shared by every CLI in this
-// repository (finq, tmrun, safety, qe):
+// repository (finq, finqd, tmrun, safety, qe):
 //
 //	-debug-addr <host:port>  serve /debug/obs, /metrics, /debug/vars,
 //	                         /debug/pprof/ for the life of the process
@@ -7,6 +7,14 @@
 //	                         Chrome trace (Perfetto / chrome://tracing) on exit
 //	-cache[=on|off]          toggle the memoized decision cache
 //	                         (internal/deccache); each tool picks its default
+//	-log-level <l>           structured-log threshold: debug|info|warn|error
+//	                         (default info)
+//	-log-format <f>          structured-log encoding: text|json (default text)
+//
+// Setup installs the process-wide slog default logger (request-ID aware,
+// writing to stderr) from -log-level/-log-format, so all five tools emit
+// uniform structured logs — `finq eval` and a finqd access log line look
+// the same and can be shipped to the same place.
 //
 // The flags may appear anywhere on the command line, in "-flag value" or
 // "-flag=value" form (single or double dash) — except -cache, whose value
@@ -23,6 +31,7 @@ import (
 
 	"repro/internal/deccache"
 	"repro/internal/obs"
+	"repro/internal/obs/logctx"
 	"repro/internal/obs/trace"
 )
 
@@ -37,7 +46,9 @@ import (
 // cacheDefault is the tool's decision-cache posture when no -cache flag is
 // given: the enumeration tools (finq, safety) default on, the others off.
 func Setup(tool string, args []string, cacheDefault bool) (rest []string, finish func(), err error) {
-	rest, debugAddr, traceOut, cacheVal := extractGlobals(args)
+	g := extractGlobals(args)
+	rest = g.rest
+	debugAddr, traceOut, cacheVal := g.debugAddr, g.traceOut, g.cacheVal
 	useCache := cacheDefault
 	if cacheVal != "" {
 		on, err := parseCacheValue(cacheVal)
@@ -47,6 +58,9 @@ func Setup(tool string, args []string, cacheDefault bool) (rest []string, finish
 		useCache = on
 	}
 	deccache.SetEnabled(useCache)
+	if err := logctx.Setup(os.Stderr, g.logLevel, g.logFormat); err != nil {
+		return nil, nil, err
+	}
 	if debugAddr != "" {
 		addr, err := obs.ServeDebug(debugAddr)
 		if err != nil {
@@ -90,39 +104,55 @@ func Setup(tool string, args []string, cacheDefault bool) (rest []string, finish
 	return rest, finish, nil
 }
 
-// extractGlobals strips -debug-addr, -trace-out (all four spellings each)
-// and -cache from the argument list. cacheVal is "" when the flag is
-// absent, "on" for a bare -cache, and the literal value for -cache=value;
-// unlike the other globals a bare -cache never consumes the next argument,
-// which is usually the subcommand.
-func extractGlobals(args []string) (rest []string, debugAddr, traceOut, cacheVal string) {
+// globals is the extracted set of shared flags.
+type globals struct {
+	rest      []string
+	debugAddr string
+	traceOut  string
+	cacheVal  string
+	logLevel  string
+	logFormat string
+}
+
+// extractGlobals strips -debug-addr, -trace-out, -log-level, -log-format
+// (all four spellings each) and -cache from the argument list. cacheVal is
+// "" when the flag is absent, "on" for a bare -cache, and the literal
+// value for -cache=value; unlike the other globals a bare -cache never
+// consumes the next argument, which is usually the subcommand.
+func extractGlobals(args []string) globals {
+	var g globals
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		name, val, hasVal := splitFlag(a)
 		switch name {
-		case "debug-addr", "trace-out":
+		case "debug-addr", "trace-out", "log-level", "log-format":
 			if !hasVal {
 				if i+1 < len(args) {
 					val = args[i+1]
 					i++
 				}
 			}
-			if name == "debug-addr" {
-				debugAddr = val
-			} else {
-				traceOut = val
+			switch name {
+			case "debug-addr":
+				g.debugAddr = val
+			case "trace-out":
+				g.traceOut = val
+			case "log-level":
+				g.logLevel = val
+			case "log-format":
+				g.logFormat = val
 			}
 		case "cache":
 			if hasVal {
-				cacheVal = val
+				g.cacheVal = val
 			} else {
-				cacheVal = "on"
+				g.cacheVal = "on"
 			}
 		default:
-			rest = append(rest, a)
+			g.rest = append(g.rest, a)
 		}
 	}
-	return rest, debugAddr, traceOut, cacheVal
+	return g
 }
 
 // parseCacheValue maps the accepted -cache values onto the toggle.

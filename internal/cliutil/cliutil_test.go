@@ -22,12 +22,35 @@ func TestExtractGlobalsCacheFlag(t *testing.T) {
 		{[]string{"-cache=off", "-trace-out", "t.json", "eval"}, []string{"eval"}, "off"},
 	}
 	for _, c := range cases {
-		rest, _, traceOut, cacheVal := extractGlobals(c.args)
-		if !reflect.DeepEqual(rest, c.rest) || cacheVal != c.cacheVal {
+		g := extractGlobals(c.args)
+		if !reflect.DeepEqual(g.rest, c.rest) || g.cacheVal != c.cacheVal {
 			t.Errorf("extractGlobals(%v) = rest %v cache %q, want %v %q",
-				c.args, rest, cacheVal, c.rest, c.cacheVal)
+				c.args, g.rest, g.cacheVal, c.rest, c.cacheVal)
 		}
-		_ = traceOut
+	}
+}
+
+// TestExtractGlobalsLogFlags covers the two logging globals in both
+// "-flag value" and "-flag=value" spellings, interleaved with subcommand
+// arguments.
+func TestExtractGlobalsLogFlags(t *testing.T) {
+	g := extractGlobals([]string{"-log-level", "debug", "eval", "--log-format=json", "q"})
+	if g.logLevel != "debug" || g.logFormat != "json" {
+		t.Errorf("log flags = %q %q, want debug json", g.logLevel, g.logFormat)
+	}
+	if !reflect.DeepEqual(g.rest, []string{"eval", "q"}) {
+		t.Errorf("rest = %v, want [eval q]", g.rest)
+	}
+}
+
+// TestSetupRejectsBadLogFlags: malformed logging values fail Setup before
+// any work runs, like a malformed -cache.
+func TestSetupRejectsBadLogFlags(t *testing.T) {
+	if _, _, err := Setup("test", []string{"-log-level=loud"}, true); err == nil {
+		t.Error("Setup accepted a malformed -log-level value")
+	}
+	if _, _, err := Setup("test", []string{"-log-format=yaml"}, true); err == nil {
+		t.Error("Setup accepted a malformed -log-format value")
 	}
 }
 

@@ -51,11 +51,34 @@ var registry = struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
+	helps    map[string]string
 }{
 	counters: map[string]*Counter{},
 	gauges:   map[string]*Gauge{},
 	hists:    map[string]*Histogram{},
 	spans:    map[string]*spanStat{},
+	helps:    map[string]string{},
+}
+
+// SetHelp registers a one-line description for a metric name, emitted as
+// the # HELP line of the Prometheus exposition. Metrics without registered
+// help get their dotted name as the help text.
+func SetHelp(name, help string) {
+	registry.mu.Lock()
+	registry.helps[name] = help
+	registry.mu.Unlock()
+}
+
+// helpFor returns the registered help text for a metric, defaulting to the
+// metric's own dotted name (so every family always has a HELP line).
+func helpFor(name string) string {
+	registry.mu.Lock()
+	h, ok := registry.helps[name]
+	registry.mu.Unlock()
+	if !ok || h == "" {
+		return name
+	}
+	return h
 }
 
 // Counter is a monotonically increasing count.

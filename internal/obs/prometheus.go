@@ -24,16 +24,16 @@ import (
 func (s Snapshot) WritePrometheus(w io.Writer) {
 	for _, name := range sortedKeys(s.Counters) {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, helpText(name), n, n, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name])
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", n, helpText(name), n, n, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, helpText(name), n)
 		cum := int64(0)
 		for _, b := range sortedBounds(h.Buckets) {
 			cum += h.Buckets[b.label]
@@ -50,14 +50,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		n := promName(base)
 		if !typed[n] {
 			typed[n] = true
-			fmt.Fprintf(w, "# TYPE %s_spans_count counter\n", n)
-			fmt.Fprintf(w, "# TYPE %s_spans_total_us counter\n", n)
-			fmt.Fprintf(w, "# TYPE %s_spans_max_us gauge\n", n)
+			fmt.Fprintf(w, "# HELP %s_spans_count %s\n# TYPE %s_spans_count counter\n", n, helpText(base), n)
+			fmt.Fprintf(w, "# HELP %s_spans_total_us %s\n# TYPE %s_spans_total_us counter\n", n, helpText(base), n)
+			fmt.Fprintf(w, "# HELP %s_spans_max_us %s\n# TYPE %s_spans_max_us gauge\n", n, helpText(base), n)
 		}
 		fmt.Fprintf(w, "%s_spans_count%s %d\n", n, labels, sp.Count)
 		fmt.Fprintf(w, "%s_spans_total_us%s %d\n", n, labels, sp.TotalUS)
 		fmt.Fprintf(w, "%s_spans_max_us%s %d\n", n, labels, sp.MaxUS)
 	}
+}
+
+// helpText returns the metric's help line, escaped per the exposition
+// format (backslash and newline are the only characters HELP escapes).
+func helpText(name string) string {
+	h := helpFor(name)
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
 }
 
 // promName folds a dotted metric name into a valid Prometheus identifier.

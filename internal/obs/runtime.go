@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime gauges, filled by the sampler: the service-level "is the process
+// healthy" signals that sit next to the request metrics on /metrics.
+var (
+	gGoroutines  = NewGauge("runtime.goroutines")
+	gHeapAlloc   = NewGauge("runtime.heap_alloc_bytes")
+	gHeapObjects = NewGauge("runtime.heap_objects")
+	gGCRuns      = NewGauge("runtime.gc_runs")
+	gGCPauseTot  = NewGauge("runtime.gc_pause_total_us")
+	gGCPauseLast = NewGauge("runtime.gc_pause_last_us")
+)
+
+func init() {
+	SetHelp("runtime.goroutines", "Current number of goroutines.")
+	SetHelp("runtime.heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	SetHelp("runtime.heap_objects", "Number of allocated heap objects.")
+	SetHelp("runtime.gc_runs", "Completed garbage-collection cycles.")
+	SetHelp("runtime.gc_pause_total_us", "Cumulative stop-the-world GC pause, microseconds.")
+	SetHelp("runtime.gc_pause_last_us", "Most recent stop-the-world GC pause, microseconds.")
+}
+
+// SampleRuntime reads the runtime once into the gauges. The sampler calls
+// it periodically; tests and one-shot tools can call it directly before
+// taking a snapshot.
+func SampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gGoroutines.Set(int64(runtime.NumGoroutine()))
+	gHeapAlloc.Set(int64(ms.HeapAlloc))
+	gHeapObjects.Set(int64(ms.HeapObjects))
+	gGCRuns.Set(int64(ms.NumGC))
+	gGCPauseTot.Set(int64(ms.PauseTotalNs / 1000))
+	if ms.NumGC > 0 {
+		gGCPauseLast.Set(int64(ms.PauseNs[(ms.NumGC+255)%256] / 1000))
+	}
+}
+
+// samplerMu serializes sampler starts so two servers in one process (tests)
+// don't race on the bookkeeping; each start still gets its own stop.
+var samplerMu sync.Mutex
+
+// StartRuntimeSampler begins sampling the runtime gauges every interval
+// (1s when interval <= 0) and returns a stop function (idempotent). An
+// immediate first sample runs before returning, so /metrics is populated
+// from the first scrape.
+func StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	samplerMu.Lock()
+	defer samplerMu.Unlock()
+	SampleRuntime()
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

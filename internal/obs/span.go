@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/logctx"
 	"repro/internal/obs/trace"
 )
 
@@ -58,6 +60,31 @@ func spanStatFor(key string) *spanStat {
 // StartSpan opens a span. Labels are "key=value" strings folded into the
 // duration-aggregation key. Returns nil when observation is off.
 func StartSpan(path string, labels ...string) *Span {
+	return startSpan(path, nil, labels)
+}
+
+// StartSpanCtx is StartSpan for request-scoped code: when the context
+// carries a request ID (logctx.WithRequestID) and the flight recorder is
+// armed, the span's begin and end trace events both carry the ID as a
+// "req" argument — so one request's events can be grepped out of the JSONL
+// or Chrome trace by ID. Without an ID (or with tracing disarmed) it
+// behaves exactly like StartSpan.
+func StartSpanCtx(ctx context.Context, path string, labels ...string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	var beginArgs []trace.Arg
+	if trace.Armed() {
+		if id := logctx.RequestID(ctx); id != "" {
+			beginArgs = []trace.Arg{trace.Str("req", id)}
+		}
+	}
+	return startSpan(path, beginArgs, labels)
+}
+
+// startSpan is the shared implementation: beginArgs (the request ID, when
+// present) go on the trace begin event and are copied onto the end event.
+func startSpan(path string, beginArgs []trace.Arg, labels []string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
@@ -66,7 +93,8 @@ func StartSpan(path string, labels ...string) *Span {
 		sp.labels += "{" + l + "}"
 	}
 	if trace.Armed() {
-		sp.tid = trace.Begin(path, "span")
+		sp.tid = trace.Begin(path, "span", beginArgs...)
+		sp.args = append(sp.args, beginArgs...)
 	}
 	spanStatFor(path).open.Add(1)
 	return sp

@@ -67,7 +67,7 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decider, st *db.State,
 	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
 
-	sp := obs.StartSpan("query.enumerate")
+	sp := obs.StartSpanCtx(ctx, "query.enumerate")
 	defer sp.End()
 	mEnumCalls.Inc()
 	pure, err := Translate(dom, st, f)

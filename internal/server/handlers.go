@@ -103,6 +103,12 @@ func (s *Server) handleEval(ctx context.Context, body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Feed the access log: row cardinality and (for partial results) what
+	// stopped the evaluation.
+	if res.Answer != nil {
+		noteRows(ctx, int64(res.Answer.Rows.Len()))
+	}
+	noteStopped(ctx, res.Stopped)
 	return finq.EncodeResult(d, res), nil
 }
 
@@ -229,7 +235,6 @@ func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	mRequests.Inc()
 	out := []DomainJSON{}
 	for _, d := range finq.Domains() {
 		out = append(out, DomainJSON{Name: d.Name, Doc: d.Doc})

@@ -1,0 +1,45 @@
+package server
+
+import "net/http"
+
+// healthJSON is the body of /healthz and /readyz.
+type healthJSON struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It stays
+// 200 through a drain — a draining process is alive, just not accepting
+// new work — so orchestrators don't kill a pod that is finishing requests.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthJSON{Status: "ok"})
+}
+
+// handleReadyz is readiness: 200 while the server accepts new work, 503
+// once a drain begins. The flip happens before the listener closes
+// (StartDrain precedes http.Server.Shutdown), so a balancer polling
+// /readyz stops routing while in-flight evaluations still complete.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthJSON{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthJSON{Status: "ready"})
+}
+
+// StartDrain flips /readyz to 503 without touching the listener: new
+// requests are still served, but a balancer honoring readiness stops
+// sending them. Shutdown calls this first; callers that want a grace
+// window between the flip and the listener closing (finqd -drain-grace)
+// can call it early themselves. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/logctx"
+)
+
+// reqState is the per-request scratchpad the middleware shares with the
+// handlers: the request's identity plus the facts the access log reports.
+// It lives in the request context; all writers run on the request's own
+// goroutine (the recovered middleware included), so plain fields suffice.
+type reqState struct {
+	id       string
+	endpoint string
+	rows     int64
+	stopped  string
+	shed     bool
+	panicked bool
+}
+
+type reqStateKey struct{}
+
+// stateFrom returns the request's reqState, or nil outside a request.
+func stateFrom(ctx context.Context) *reqState {
+	st, _ := ctx.Value(reqStateKey{}).(*reqState)
+	return st
+}
+
+// noteRows records the answer cardinality for the access log.
+func noteRows(ctx context.Context, n int64) {
+	if st := stateFrom(ctx); st != nil {
+		st.rows = n
+	}
+}
+
+// noteStopped records the partial-result reason ("budget", "deadline",
+// "canceled") for the access log.
+func noteStopped(ctx context.Context, reason string) {
+	if st := stateFrom(ctx); st != nil && reason != "" {
+		st.stopped = reason
+	}
+}
+
+// respWriter captures the response status for the access log and carries
+// the request ID to writeError (so JSON error bodies can quote it without
+// every call site threading the context).
+type respWriter struct {
+	http.ResponseWriter
+	status int
+	reqID  string
+}
+
+func (w *respWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *respWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// redSet is one endpoint's RED family: request and error counters plus a
+// latency histogram (exposed on /metrics with cumulative buckets and
+// _sum/_count via the obs Prometheus writer).
+type redSet struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// redEndpoints is the closed set of endpoint labels; unknown paths fold
+// into "other" so a path scan cannot mint unbounded metric families.
+var redEndpoints = []string{
+	"eval", "decide", "qe", "safety", "domains",
+	"healthz", "readyz", "metrics", "debug", "other",
+}
+
+var red = func() map[string]*redSet {
+	m := make(map[string]*redSet, len(redEndpoints))
+	for _, e := range redEndpoints {
+		m[e] = &redSet{
+			requests: obs.NewCounter("server." + e + ".requests"),
+			errors:   obs.NewCounter("server." + e + ".errors"),
+			latency:  obs.NewHistogram("server." + e + ".latency_us"),
+		}
+		obs.SetHelp("server."+e+".requests", "Requests served on the "+e+" endpoint.")
+		obs.SetHelp("server."+e+".errors", "Requests answered with status >= 400 on the "+e+" endpoint.")
+		obs.SetHelp("server."+e+".latency_us", "Request latency on the "+e+" endpoint, microseconds.")
+	}
+	return m
+}()
+
+// endpointName maps a request path onto its RED label.
+func endpointName(path string) string {
+	switch path {
+	case "/v1/eval":
+		return "eval"
+	case "/v1/decide":
+		return "decide"
+	case "/v1/qe":
+		return "qe"
+	case "/v1/safety":
+		return "safety"
+	case "/v1/domains":
+		return "domains"
+	case "/healthz":
+		return "healthz"
+	case "/readyz":
+		return "readyz"
+	case "/metrics":
+		return "metrics"
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return "debug"
+	}
+	return "other"
+}
+
+// logger returns the server's access-log destination (the process default
+// when the config does not inject one).
+func (s *Server) logger() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
+	}
+	return slog.Default()
+}
+
+// instrument is the outermost middleware: it gives the request its
+// identity and emits the request-scoped observability.
+//
+//   - The request ID is honored from X-Request-Id when well-formed, minted
+//     otherwise, echoed on the response (all statuses, 429 sheds and panic
+//     500s included), stored in the context (so slog records, obs spans,
+//     and trace events carry it), and quoted in JSON error bodies.
+//   - Per-endpoint RED metrics: request count, error count (status >= 400),
+//     latency histogram.
+//   - One structured access-log line per request: id, method, endpoint,
+//     status, duration, rows, partial-stop reason, shed/panic flags.
+//   - Requests slower than Config.SlowRequest get their span subtree
+//     snapshotted from the flight recorder (slowlog.go).
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !logctx.ValidID(id) {
+			id = logctx.NewRequestID()
+		}
+		st := &reqState{id: id, endpoint: endpointName(r.URL.Path)}
+		ctx := logctx.WithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, reqStateKey{}, st)
+		r = r.WithContext(ctx)
+		rw := &respWriter{ResponseWriter: w, reqID: id}
+		rw.Header().Set("X-Request-Id", id)
+
+		t0 := time.Now()
+		next.ServeHTTP(rw, r)
+		dur := time.Since(t0)
+
+		status := rw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		mRequests.Inc()
+		family := red[st.endpoint]
+		family.requests.Inc()
+		if status >= 400 {
+			family.errors.Inc()
+		}
+		family.latency.Observe(dur.Microseconds())
+
+		attrs := []slog.Attr{
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("endpoint", st.endpoint),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("dur_us", dur.Microseconds()),
+		}
+		if st.rows > 0 {
+			attrs = append(attrs, slog.Int64("rows", st.rows))
+		}
+		if st.stopped != "" {
+			attrs = append(attrs, slog.String("stopped", st.stopped))
+		}
+		if st.shed {
+			attrs = append(attrs, slog.Bool("shed", true))
+		}
+		if st.panicked {
+			attrs = append(attrs, slog.Bool("panic", true))
+		}
+		level := slog.LevelInfo
+		switch {
+		case st.endpoint == "readyz" && status == http.StatusServiceUnavailable:
+			// The expected answer mid-drain, polled by balancers; not an error.
+			level = slog.LevelDebug
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		case !strings.HasPrefix(r.URL.Path, "/v1/"):
+			// Health probes and metric scrapes are high-frequency noise;
+			// keep them out of the info-level stream.
+			level = slog.LevelDebug
+		}
+		s.logger().LogAttrs(ctx, level, "request", attrs...)
+
+		if dur >= s.cfg.SlowRequest && strings.HasPrefix(r.URL.Path, "/v1/") {
+			s.captureSlow(ctx, st, status, dur)
+		}
+	})
+}

@@ -12,13 +12,22 @@
 //	POST /v1/qe       quantifier-eliminate a formula
 //	POST /v1/safety   relative-safety analysis of a query
 //	GET  /v1/domains  list the registered domains
+//	GET  /healthz     liveness (200 while the process serves HTTP)
+//	GET  /readyz      readiness (503 once a drain begins)
+//	GET  /debug/slow  slow-request captures, ?id= for one by request ID
 //	GET  /metrics     Prometheus metrics (also /debug/obs, /debug/pprof/)
+//
+// Every request is request-scoped observable: an ID (honored from
+// X-Request-Id or minted) is echoed on the response, threaded through the
+// evaluation context — so structured logs, obs spans, and flight-recorder
+// events all carry it — reported in JSON error bodies, and logged in one
+// access line per request alongside per-endpoint RED metrics.
 //
 // Concurrency is bounded by a worker pool: at most Workers requests
 // evaluate at once, at most QueueDepth more wait for a slot, and anything
 // beyond that is rejected with 429 so overload degrades by shedding rather
 // than by queueing without bound. Handler panics become 500s. Shutdown
-// drains in-flight requests.
+// flips /readyz, then drains in-flight requests.
 package server
 
 import (
@@ -26,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -53,6 +63,17 @@ type Config struct {
 	DecideTimeout time.Duration
 	// MaxBody bounds request bodies in bytes; <= 0 means 1 MiB.
 	MaxBody int64
+	// SlowRequest is the duration at or above which a request gets a
+	// slow-query capture (span subtree + warning log); <= 0 means 1s.
+	SlowRequest time.Duration
+	// DrainGrace is how long Shutdown waits between flipping /readyz to
+	// 503 and closing the listener, giving balancers time to stop routing;
+	// 0 means no wait.
+	DrainGrace time.Duration
+	// Logger receives the access log and slow-request warnings; nil means
+	// slog.Default() (which cliutil.Setup configures from -log-level and
+	// -log-format).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBody <= 0 {
 		c.MaxBody = 1 << 20
 	}
+	if c.SlowRequest <= 0 {
+		c.SlowRequest = time.Second
+	}
 	return c
 }
 
@@ -90,14 +114,26 @@ var (
 	hLatency  = obs.NewHistogram("server.latency_us")
 )
 
+func init() {
+	obs.SetHelp("server.requests", "Total requests received, all endpoints.")
+	obs.SetHelp("server.rejected", "Requests shed with 429 at the admission gate.")
+	obs.SetHelp("server.errors", "Handler errors across the pooled endpoints.")
+	obs.SetHelp("server.panics", "Handler panics converted to 500 responses.")
+	obs.SetHelp("server.inflight", "Worker slots currently evaluating.")
+	obs.SetHelp("server.latency_us", "Pooled-endpoint handler latency, microseconds.")
+}
+
 // Server is the finqd HTTP service. Create with New, run with Start, stop
 // with Shutdown.
 type Server struct {
-	cfg    Config
-	slots  chan struct{}
-	queued atomic.Int64
-	http   *http.Server
-	ln     net.Listener
+	cfg      Config
+	slots    chan struct{}
+	queued   atomic.Int64
+	http     *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+	sampStop func()
+	slowLog
 }
 
 // New builds a server from the config. Nothing listens until Start.
@@ -108,36 +144,55 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the full route table, wrapped in panic recovery. It is
-// usable directly with httptest servers.
+// Handler returns the full route table, wrapped (outside in) in the
+// instrument middleware — request ID, access log, RED metrics, slow-query
+// capture — and panic recovery. It is usable directly with httptest
+// servers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	debug := obs.Handler()
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
+	mux.HandleFunc("/debug/slow", s.handleSlow)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/domains", s.handleDomains)
 	mux.Handle("/v1/eval", s.endpoint("eval", s.cfg.EvalTimeout, s.handleEval))
 	mux.Handle("/v1/decide", s.endpoint("decide", s.cfg.DecideTimeout, s.handleDecide))
 	mux.Handle("/v1/qe", s.endpoint("qe", s.cfg.DecideTimeout, s.handleQE))
 	mux.Handle("/v1/safety", s.endpoint("safety", s.cfg.DecideTimeout, s.handleSafety))
-	return s.recovered(mux)
+	return s.instrument(s.recovered(mux))
 }
 
 // Start listens on the configured address and serves in the background,
-// returning the bound address (useful with a ":0" config).
+// returning the bound address (useful with a ":0" config). It also starts
+// the runtime sampler feeding the runtime.* gauges on /metrics.
 func (s *Server) Start() (string, error) {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return "", err
 	}
 	s.ln = ln
+	s.sampStop = obs.StartRuntimeSampler(0)
 	go s.http.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Shutdown stops accepting connections and waits — up to the context's
-// deadline — for in-flight requests to finish.
+// Shutdown drains gracefully: it flips /readyz to 503, waits DrainGrace
+// (so a balancer polling readiness stops routing before the listener
+// closes), then stops accepting connections and waits — up to the
+// context's deadline — for in-flight requests to finish.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.StartDrain()
+	if s.cfg.DrainGrace > 0 {
+		select {
+		case <-time.After(s.cfg.DrainGrace):
+		case <-ctx.Done():
+		}
+	}
+	if s.sampStop != nil {
+		defer s.sampStop()
+	}
 	return s.http.Shutdown(ctx)
 }
 
@@ -168,13 +223,15 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
-		mRequests.Inc()
 		// Admission: the queued count includes the requests holding slots,
 		// so the capacity line is Workers evaluating + QueueDepth waiting.
 		n := s.queued.Add(1)
 		defer s.queued.Add(-1)
 		if n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
 			mRejected.Inc()
+			if st := stateFrom(r.Context()); st != nil {
+				st.shed = true
+			}
 			writeError(w, http.StatusTooManyRequests,
 				"server at capacity (%d evaluating, %d queued); retry later", s.cfg.Workers, s.cfg.QueueDepth)
 			return
@@ -202,7 +259,10 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		sp := obs.StartSpan("server." + name)
+		// The context carries the request ID (instrument middleware), so
+		// this span's begin/end trace events — and every evaluator span
+		// below it — are greppable by ID in the exported trace.
+		sp := obs.StartSpanCtx(ctx, "server."+name)
 		t0 := time.Now()
 		out, err := h(ctx, body)
 		sp.End()
@@ -221,12 +281,16 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 }
 
 // recovered turns handler panics into 500 responses instead of killed
-// connections, and counts them.
+// connections, counts them, and flags the request state so the access log
+// carries panic=true.
 func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
 				mPanics.Inc()
+				if st := stateFrom(r.Context()); st != nil {
+					st.panicked = true
+				}
 				writeError(w, http.StatusInternalServerError, "internal error: %v", p)
 			}
 		}()
@@ -234,12 +298,23 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 	})
 }
 
+// errorJSON is every error response's body. RequestID lets a client quote
+// the failing request in a bug report and the operator grep the logs and
+// traces for it.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+	body := errorJSON{Error: fmt.Sprintf(format, args...)}
+	// The instrument middleware's writer carries the request ID down to
+	// every error site — including 429 sheds and panic 500s — without each
+	// call threading a context.
+	if rw, ok := w.(*respWriter); ok {
+		body.RequestID = rw.reqID
+	}
+	writeJSON(w, code, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs/trace"
+)
+
+// slowCap bounds the in-memory slow-request log; the oldest capture is
+// evicted when a new one arrives at capacity.
+const slowCap = 32
+
+// SlowCapture is one slow request's record: the access-log facts plus the
+// request's span subtree snapshotted from the flight recorder (empty when
+// the recorder was not armed at capture time). GET /debug/slow serves the
+// captures; GET /debug/slow?id=<request id> retrieves one.
+type SlowCapture struct {
+	RequestID  string      `json:"request_id"`
+	Endpoint   string      `json:"endpoint"`
+	Status     int         `json:"status"`
+	DurationUS int64       `json:"duration_us"`
+	Rows       int64       `json:"rows,omitempty"`
+	Stopped    string      `json:"stopped,omitempty"`
+	Events     []SlowEvent `json:"events,omitempty"`
+}
+
+// SlowEvent is one flight-recorder event of the captured subtree.
+type SlowEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"phase"`
+	TSUS  int64          `json:"ts_us"`
+	DurUS int64          `json:"dur_us,omitempty"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// captureSlow snapshots a slow request: its span subtree is pulled from
+// the flight recorder by request ID, the capture is retained for
+// /debug/slow, and a warning is logged so the slow request is visible in
+// the log stream under the same ID as its access line.
+func (s *Server) captureSlow(ctx context.Context, st *reqState, status int, dur time.Duration) {
+	c := SlowCapture{
+		RequestID:  st.id,
+		Endpoint:   st.endpoint,
+		Status:     status,
+		DurationUS: dur.Microseconds(),
+		Rows:       st.rows,
+		Stopped:    st.stopped,
+		Events:     subtreeEvents(st.id),
+	}
+	s.slowMu.Lock()
+	if len(s.slow) >= slowCap {
+		s.slow = append(s.slow[:0], s.slow[1:]...)
+	}
+	s.slow = append(s.slow, c)
+	s.slowMu.Unlock()
+	s.logger().LogAttrs(ctx, slog.LevelWarn, "slow request",
+		slog.String("id", st.id),
+		slog.String("endpoint", st.endpoint),
+		slog.Int64("dur_us", c.DurationUS),
+		slog.Int("trace_events", len(c.Events)),
+	)
+}
+
+// subtreeEvents extracts one request's span subtree from the flight
+// recorder. Events whose "req" argument matches the ID anchor the
+// selection; events on the same goroutines within the anchored time
+// windows are the children (per-row spans, QE stages) that don't carry
+// the ID themselves. Returns nil when the recorder holds nothing for the
+// ID (disarmed, or the ring wrapped past the request).
+func subtreeEvents(id string) []SlowEvent {
+	if !trace.Armed() {
+		return nil
+	}
+	events := trace.Events()
+	// Pass 1: anchored events establish the per-goroutine time windows.
+	type window struct{ lo, hi int64 }
+	windows := map[int64]*window{}
+	for _, e := range events {
+		if !hasReqArg(e, id) {
+			continue
+		}
+		hi := e.TS
+		if e.Dur > 0 && e.Phase == trace.PhaseComplete {
+			hi = e.TS + e.Dur
+		}
+		lo := e.TS
+		if e.Phase == trace.PhaseEnd && e.Dur > 0 {
+			lo = e.TS - e.Dur
+		}
+		w, ok := windows[e.TID]
+		if !ok {
+			windows[e.TID] = &window{lo: lo, hi: hi}
+			continue
+		}
+		if lo < w.lo {
+			w.lo = lo
+		}
+		if hi > w.hi {
+			w.hi = hi
+		}
+	}
+	if len(windows) == 0 {
+		return nil
+	}
+	// Pass 2: collect every event inside an anchored window.
+	var out []SlowEvent
+	for _, e := range events {
+		w, ok := windows[e.TID]
+		if !ok || e.TS < w.lo || e.TS > w.hi {
+			continue
+		}
+		se := SlowEvent{
+			Name:  e.Name,
+			Phase: string(rune(e.Phase)),
+			TSUS:  e.TS,
+			DurUS: e.Dur,
+			TID:   e.TID,
+		}
+		if len(e.Args) > 0 {
+			se.Args = make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				se.Args[a.Key] = a.Value()
+			}
+		}
+		out = append(out, se)
+	}
+	return out
+}
+
+// hasReqArg reports whether the event carries a "req" argument equal to id.
+func hasReqArg(e trace.Event, id string) bool {
+	for _, a := range e.Args {
+		if a.Key == "req" && a.IsStr && a.Str == id {
+			return true
+		}
+	}
+	return false
+}
+
+// slowLog is the server's bounded capture store.
+type slowLog struct {
+	slowMu sync.Mutex
+	slow   []SlowCapture
+}
+
+// SlowCaptures returns the retained slow-request captures, newest last.
+func (s *Server) SlowCaptures() []SlowCapture {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	return append([]SlowCapture(nil), s.slow...)
+}
+
+// handleSlow serves GET /debug/slow: all captures, or one by request ID
+// with ?id= (404 when the ID has no capture).
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	caps := s.SlowCaptures()
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusOK, caps)
+		return
+	}
+	for i := len(caps) - 1; i >= 0; i-- {
+		if caps[i].RequestID == id {
+			writeJSON(w, http.StatusOK, caps[i])
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no slow-request capture for id %q", id)
+}

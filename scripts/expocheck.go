@@ -1,0 +1,132 @@
+//go:build ignore
+
+// Expocheck validates a Prometheus text exposition read from stdin, the
+// way a scraper would before ingesting it: every sample line must parse
+// as `name[{labels}] value`, every family needs # HELP and # TYPE
+// metadata, histogram buckets must be cumulative and monotone, and each
+// histogram's +Inf bucket must equal its _count series.
+//
+// It exits nonzero with a one-line diagnosis on the first violation.
+// CI pipes `curl /metrics` through it (scripts/serve-check.sh); run it
+// by hand with `go run scripts/expocheck.go < metrics.txt`.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type hist struct {
+	last, inf, count int64
+	hasInf, hasCount bool
+}
+
+func main() {
+	helps := map[string]bool{}
+	types := map[string]string{}
+	hists := map[string]*hist{}
+	samples := 0
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) < 2 || fields[1] == "" {
+				die("HELP line without text: %q", line)
+			}
+			helps[fields[0]] = true
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				die("malformed TYPE line: %q", line)
+			}
+			types[fields[0]] = fields[1]
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		}
+
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			die("malformed sample line: %q", line)
+		}
+		nameAndLabels, valStr := line[:i], line[i+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			die("unparseable value in %q: %v", line, err)
+		}
+		name, labels := nameAndLabels, ""
+		if j := strings.IndexByte(nameAndLabels, '{'); j >= 0 {
+			name, labels = nameAndLabels[:j], nameAndLabels[j:]
+		}
+		samples++
+
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && types[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := types[family]; !ok {
+			die("sample %q has no TYPE for family %q", line, family)
+		}
+		if !helps[family] && !helps[name] {
+			die("sample %q has no HELP for family %q", line, family)
+		}
+		if types[family] != "histogram" {
+			continue
+		}
+		h := hists[family]
+		if h == nil {
+			h = &hist{}
+			hists[family] = h
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			v := int64(val)
+			if strings.Contains(labels, `le="+Inf"`) {
+				h.inf, h.hasInf = v, true
+			} else {
+				if v < h.last {
+					die("histogram %s buckets not cumulative: %d after %d", family, v, h.last)
+				}
+				h.last = v
+			}
+		case strings.HasSuffix(name, "_count"):
+			h.count, h.hasCount = int64(val), true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		die("reading stdin: %v", err)
+	}
+	if samples == 0 || len(types) == 0 {
+		die("exposition is empty (no samples or TYPE lines)")
+	}
+	for family, h := range hists {
+		if !h.hasInf || !h.hasCount {
+			die("histogram %s misses its +Inf bucket or _count", family)
+		}
+		if h.inf != h.count {
+			die("histogram %s: +Inf bucket %d != _count %d", family, h.inf, h.count)
+		}
+		if h.last > h.inf {
+			die("histogram %s: finite bucket %d exceeds +Inf %d", family, h.last, h.inf)
+		}
+	}
+	fmt.Printf("expocheck: %d samples, %d families, %d histograms ok\n",
+		samples, len(types), len(hists))
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "expocheck: "+format+"\n", args...)
+	os.Exit(1)
+}

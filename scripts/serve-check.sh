@@ -1,0 +1,71 @@
+#!/bin/sh
+# serve-check boots finqd on an ephemeral port and probes it from the
+# outside, the way an orchestrator would: /healthz and /readyz must answer
+# 200, and /metrics must emit a well-formed Prometheus exposition
+# (validated by scripts/expocheck.go). The in-process coverage lives in
+# `finqd -smoke`; this script covers the over-the-wire path with curl.
+set -eu
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill -TERM "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$tmp/finqd" ./cmd/finqd
+"$tmp/finqd" -addr 127.0.0.1:0 2>"$tmp/finqd.log" &
+pid=$!
+
+# finqd announces its bound address on stderr once the listener is up.
+addr=""
+tries=0
+while [ -z "$addr" ]; do
+    addr="$(sed -n 's#.*serving on http://\([^ ]*\).*#\1#p' "$tmp/finqd.log" | head -n 1)"
+    [ -n "$addr" ] && break
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve-check: finqd never announced its address" >&2
+        cat "$tmp/finqd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "serve-check: finqd up on $addr"
+
+for path in /healthz /readyz; do
+    code="$(curl -s -o "$tmp/body" -w '%{http_code}' "http://$addr$path")"
+    if [ "$code" != 200 ]; then
+        echo "serve-check: GET $path answered $code, want 200: $(cat "$tmp/body")" >&2
+        exit 1
+    fi
+    echo "serve-check: GET $path 200 $(cat "$tmp/body")"
+done
+
+code="$(curl -s -o "$tmp/metrics.txt" -w '%{http_code}' "http://$addr/metrics")"
+if [ "$code" != 200 ]; then
+    echo "serve-check: GET /metrics answered $code, want 200" >&2
+    exit 1
+fi
+"$GO" run scripts/expocheck.go <"$tmp/metrics.txt"
+
+# Graceful shutdown: SIGTERM flips /readyz to 503 before the listener
+# closes (bounded by finqd's -drain-grace window).
+kill -TERM "$pid"
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/readyz" || echo closed)"
+case "$code" in
+503 | closed) echo "serve-check: /readyz after SIGTERM: $code" ;;
+*)
+    echo "serve-check: /readyz after SIGTERM answered $code, want 503 (or a closed listener)" >&2
+    exit 1
+    ;;
+esac
+wait "$pid" || true
+pid=""
+
+echo "serve-check: ok"
