@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-perf bench-log trace-demo serve-smoke serve-check lint-logs
+.PHONY: build test vet staticcheck race bench bench-perf bench-log bench-qstats trace-demo serve-smoke serve-check lint-logs
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ bench-perf:
 bench-log:
 	BENCH_LOG=1 $(GO) test -run TestWriteBenchLog -count=1 -v ./internal/server
 
+# bench-qstats measures the per-query stats registry's overhead on the E1
+# evaluation through finq.Eval (recording on vs. the toggle off) and
+# writes BENCH_qstats.json. Fails if the overhead exceeds 3%.
+bench-qstats:
+	BENCH_QSTATS=1 $(GO) test -run TestWriteBenchQstats -count=1 -v .
+
 # trace-demo records the E1 experiment (enumeration over the Presburger
 # domain) with the flight recorder armed and writes a Chrome trace —
 # load trace-e1.json in https://ui.perfetto.dev or chrome://tracing.
@@ -67,9 +73,10 @@ serve-check:
 	sh scripts/serve-check.sh
 
 # lint-logs enforces that the server emits all its output through the
-# structured access log: no bare fmt.Print*/log.Print* in internal/server.
+# structured access log: no bare fmt.Print*/log.Print* in internal/server
+# production code (test files may print benchmark summaries).
 lint-logs:
-	@if grep -nE '(fmt|log)\.Print' internal/server/*.go; then \
+	@if ls internal/server/*.go | grep -v _test.go | xargs grep -nE '(fmt|log)\.Print'; then \
 		echo "lint-logs: internal/server must log through slog, not fmt/log.Print*"; \
 		exit 1; \
 	else \

@@ -23,6 +23,7 @@ import (
 
 	finq "repro"
 	"repro/internal/cliutil"
+	"repro/internal/obs/qstats"
 )
 
 func main() {
@@ -40,7 +41,7 @@ func main() {
 	case "version", "-version", "--version":
 		fmt.Println(finq.Version())
 	case "stats":
-		os.Stdout.Write(append(finq.StatsJSON(), '\n'))
+		err = runStats(args[1:])
 	case "domains":
 		for _, d := range finq.Domains() {
 			fmt.Printf("%-12s %s\n", d.Name, d.Doc)
@@ -77,7 +78,7 @@ func usage() {
   finq saferange -state file.json "<formula>"
   finq algebra   -domain <name> -state file.json "<safe-range formula>"
   finq repl      -domain <name> [-state file.json]
-  finq stats
+  finq stats     [-queries] [-by latency|count|selectivity] [-k n] [-json] [-import file] [-export file]
   finq version
 
 global flags:
@@ -86,6 +87,65 @@ global flags:
   -log-level <level>       debug|info|warn|error for structured logs (default info)
   -log-format <fmt>        text|json log output (default text)
   -cache[=on|off]          memoize decision-procedure calls (default on)`)
+}
+
+// runStats prints process metrics (the default, as before) or, with
+// -queries, the per-query stats registry. -import merges a saved snapshot
+// into the registry first and -export writes the merged snapshot back
+// out, so saved stats files can be inspected and re-saved offline:
+//
+//	finq stats -import run1.json -queries -by selectivity    # inspect
+//	finq stats -import run1.json -export merged.json         # re-save
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	queries := fs.Bool("queries", false, "print per-query stats instead of process metrics")
+	by := fs.String("by", "latency", "order for -queries: latency, count, or selectivity")
+	k := fs.Int("k", 20, "top-K entries for -queries (<= 0 for all)")
+	importPath := fs.String("import", "", "merge a saved per-query stats snapshot before printing")
+	exportPath := fs.String("export", "", `write the per-query stats snapshot JSON to a file ("-" for stdout)`)
+	jsonOut := fs.Bool("json", false, "print -queries output as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := qstats.Default()
+	if *importPath != "" {
+		data, err := os.ReadFile(*importPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.ImportJSON(data); err != nil {
+			return err
+		}
+	}
+	if *exportPath != "" {
+		out := append(reg.JSON(), '\n')
+		if *exportPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*exportPath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if *queries {
+		entries, err := reg.TopK(*by, *k)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			data, err := json.MarshalIndent(entries, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			return nil
+		}
+		qstats.WriteTable(os.Stdout, entries)
+		return nil
+	}
+	if *exportPath != "" {
+		return nil
+	}
+	os.Stdout.Write(append(finq.StatsJSON(), '\n'))
+	return nil
 }
 
 func loadDomainAndFormula(fs *flag.FlagSet, args []string) (finq.DomainInfo, *finq.Formula, *flag.FlagSet, error) {

@@ -10,6 +10,7 @@ import (
 
 	finq "repro"
 	"repro/internal/algebra"
+	"repro/internal/obs/qstats"
 	"repro/internal/obs/trace"
 )
 
@@ -68,7 +69,7 @@ func runREPL(args []string) error {
 		return err
 	}
 	fmt.Printf("finq repl — domain %s (%s)\n", d.Name, d.Doc)
-	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | :explain <f> | :trace on|off|dump | :stats [json] | help | quit")
+	fmt.Println("commands: eval <f> | enum <f> | safety <f> | qe <f> | decide <f> | saferange <f> | state | :explain <f> | :trace on|off|dump | :stats [json] | :qstats [json] | help | quit")
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -116,6 +117,7 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 		fmt.Println(":explain <f>  EXPLAIN profile: per-node eval counts, row counts, wall time")
 		fmt.Println(":trace on|off|dump [file]  arm/disarm the flight recorder; dump writes a Chrome trace (default trace.json)")
 		fmt.Println(":stats [json] session metrics (evaluation, QE, automata, TM, safety)")
+		fmt.Println(":qstats [json] per-query stats of this session (latency, selectivity, cache hits)")
 		return nil
 	case "state":
 		fmt.Print(st)
@@ -127,6 +129,19 @@ func replCommand(d finq.DomainInfo, st *finq.State, cmd, rest string) error {
 			return nil
 		}
 		snap.WriteSummary(os.Stdout)
+		return nil
+	case ":qstats", "qstats":
+		// Every eval/enum/:explain in the session has been folded into the
+		// process-wide registry; show the session's queries by total latency.
+		if rest == "json" {
+			fmt.Printf("%s\n", qstats.Default().JSON())
+			return nil
+		}
+		entries, err := qstats.Default().TopK(qstats.ByLatency, 0)
+		if err != nil {
+			return err
+		}
+		qstats.WriteTable(os.Stdout, entries)
 		return nil
 	case ":trace", "trace":
 		return replTrace(rest)

@@ -20,14 +20,20 @@
 // SIGINT or SIGTERM begins a graceful shutdown: /readyz flips to 503, the
 // -drain-grace window lets balancers stop routing, then the listener
 // closes and in-flight requests run to completion (bounded by their own
-// deadlines). Requests slower than -slow get their span subtree captured
-// from the flight recorder, retrievable at /debug/slow?id=<request id>.
+// deadlines). Requests slower than -slow — plus errored requests and the
+// first request of each distinct query — get their span subtree captured
+// from the flight recorder into the tail sampler: /debug/slow lists the
+// captures, /debug/slow?id=<request id> retrieves one. Per-query
+// aggregates (latency, selectivity, cache hits, keyed by the formula's
+// canonical key) are served on /v1/stats/queries (JSON) and
+// /debug/queries (text table).
 //
 // -smoke starts the server on an ephemeral port, exercises every endpoint
 // once in-process — including /healthz, /readyz and its drain flip, the
-// X-Request-Id echo, and the access log — verifies the service metrics
-// appear on /metrics, and exits nonzero on any failure. It exists for CI
-// and `make serve-smoke`.
+// X-Request-Id echo, the access log, and the smoke query's presence on
+// /v1/stats/queries — verifies the service metrics appear on /metrics,
+// and exits nonzero on any failure. It exists for CI and
+// `make serve-smoke`.
 package main
 
 import (

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	finq "repro"
 	"repro/internal/obs/logctx"
 	"repro/internal/server"
 )
@@ -175,6 +177,47 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("access log does not carry the request id %q", smokeID)
 	}
 	fmt.Printf("smoke %-22s ok  X-Request-Id echoed and in access log\n", "request-id")
+
+	// Per-query stats contract: the smoke eval above was folded into the
+	// qstats registry, so /v1/stats/queries must list its canonical key
+	// with a nonzero eval count.
+	evalFormula, err := finq.MustLookup("eq").Parse("exists y. F(x, y)")
+	if err != nil {
+		return fmt.Errorf("qstats check: parsing the smoke formula: %w", err)
+	}
+	wantKey := evalFormula.CanonicalKey()
+	resp, err = client.Get("http://" + addr + "/v1/stats/queries?by=count&k=0")
+	if err != nil {
+		return fmt.Errorf("qstats check: %w", err)
+	}
+	statsData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("qstats check: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("qstats check: status %d: %s", resp.StatusCode, statsData)
+	}
+	var stats struct {
+		Queries []struct {
+			Key   string `json:"key"`
+			Evals int64  `json:"evals"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(statsData, &stats); err != nil {
+		return fmt.Errorf("qstats check: decoding response: %w", err)
+	}
+	found := false
+	for _, q := range stats.Queries {
+		if q.Key == wantKey && q.Evals >= 1 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("qstats check: /v1/stats/queries misses the smoke query key %q with evals >= 1: %s", wantKey, statsData)
+	}
+	fmt.Printf("smoke %-22s ok  smoke query present with evals >= 1\n", "stats-queries")
 
 	// Drain contract: StartDrain flips /readyz to 503 while the listener
 	// still serves (a balancer stops routing, in-flight work completes);

@@ -33,9 +33,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/deccache"
 	"repro/internal/domain"
 	"repro/internal/domains/eqdom"
 	"repro/internal/domains/nless"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/domains/zless"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/obs/qstats"
 	"repro/internal/parser"
 	"repro/internal/presburger"
 	"repro/internal/query"
@@ -307,6 +310,26 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 	sp.ArgStr("domain", req.Domain)
 	sp.ArgStr("mode", string(mode))
 	defer sp.End()
+
+	// Per-query stats: a deccache tally on the context attributes this
+	// evaluation's cache traffic to it, and the finished run is folded into
+	// the qstats registry keyed by the formula's canonical key.
+	var tally *deccache.Tally
+	recording := qstats.Enabled()
+	if recording {
+		ctx, tally = deccache.WithTally(ctx)
+	}
+	t0 := time.Now()
+	res, err := evalMode(ctx, d, st, mode, req)
+	if recording {
+		recordSample(d, mode, req.Formula, res, err, time.Since(t0), tally)
+	}
+	return res, err
+}
+
+// evalMode dispatches the evaluation proper; Eval wraps it with the span
+// and the qstats recording.
+func evalMode(ctx context.Context, d DomainInfo, st *State, mode EvalMode, req Request) (*Result, error) {
 	switch mode {
 	case ModeActive:
 		if req.Profile {
@@ -332,6 +355,50 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 		return packResult(ans, nil, err)
 	}
 	return nil, fmt.Errorf("finq: Eval: unknown mode %q (want %q or %q)", mode, ModeActive, ModeEnumerate)
+}
+
+// maxQueryDisplay bounds the human-readable query string stored per
+// registry entry, so pathological formula sizes don't dominate the weight.
+const maxQueryDisplay = 120
+
+// recordSample folds one finished evaluation into the qstats registry.
+func recordSample(d DomainInfo, mode EvalMode, f *Formula, res *Result, err error, dur time.Duration, tally *deccache.Tally) {
+	display := f.String()
+	if len(display) > maxQueryDisplay {
+		r := []rune(display)
+		if len(r) > maxQueryDisplay {
+			r = r[:maxQueryDisplay]
+		}
+		display = string(r) + "…"
+	}
+	s := qstats.Sample{
+		Key:       f.CanonicalKey(),
+		Domain:    d.Name,
+		Mode:      string(mode),
+		Query:     display,
+		LatencyUS: dur.Microseconds(),
+	}
+	if tally != nil {
+		s.CacheHits = tally.Hits.Load()
+		s.CacheMisses = tally.Misses.Load()
+	}
+	switch {
+	case err != nil:
+		s.Stopped = "error"
+	case res != nil:
+		s.Stopped = res.Stopped
+	}
+	if res != nil && res.Answer != nil && res.Answer.Rows != nil {
+		s.Rows = int64(res.Answer.Rows.Len())
+	}
+	if res != nil && res.Profile != nil {
+		for _, ns := range res.Profile.Flatten() {
+			s.Nodes = append(s.Nodes, qstats.NodeSample{
+				Path: ns.Path, Op: ns.Op, Evals: ns.Evals, True: ns.True, Range: int64(ns.Range),
+			})
+		}
+	}
+	qstats.Record(s)
 }
 
 // packResult folds an evaluator's (answer, error) pair into the Result

@@ -32,6 +32,41 @@ var (
 	mEvictions = obs.NewCounter("deccache.evictions")
 )
 
+// cacheDomains is the closed label set for per-domain counters: the
+// registered domain names that construct caches, plus "other" for direct
+// Wrap callers. Closed so metric names stay bounded regardless of input.
+var cacheDomains = []string{"eq", "nless", "presburger", "zless", "nsucc", "wordlex", "traces", "other"}
+
+// domainCounters holds the per-domain hit/miss/eviction counters, created
+// eagerly over the closed set so the families appear on /metrics even
+// before traffic.
+type domainCounterSet struct {
+	hits, misses, evictions *obs.Counter
+}
+
+var domainCounters = func() map[string]domainCounterSet {
+	m := make(map[string]domainCounterSet, len(cacheDomains))
+	for _, d := range cacheDomains {
+		m[d] = domainCounterSet{
+			hits:      obs.NewCounter("deccache." + d + ".hits"),
+			misses:    obs.NewCounter("deccache." + d + ".misses"),
+			evictions: obs.NewCounter("deccache." + d + ".evictions"),
+		}
+		obs.SetHelp("deccache."+d+".hits", "Decision-cache hits for the "+d+" domain's deciders.")
+		obs.SetHelp("deccache."+d+".misses", "Decision-cache misses for the "+d+" domain's deciders.")
+		obs.SetHelp("deccache."+d+".evictions", "Decision-cache evictions for the "+d+" domain's deciders.")
+	}
+	return m
+}()
+
+// countersFor maps a domain name onto the closed counter set.
+func countersFor(name string) domainCounterSet {
+	if c, ok := domainCounters[name]; ok {
+		return c
+	}
+	return domainCounters["other"]
+}
+
 // enabled is the process-wide toggle. Caching is on by default: a memoized
 // decider is observationally identical to the raw one (deciders are pure),
 // so the default favors the fast path.
@@ -63,6 +98,7 @@ const DefaultCapacity = 4096
 type Cache struct {
 	inner    domain.Decider
 	capacity int
+	counters domainCounterSet // per-domain labelled counters (closed set)
 
 	mu    sync.Mutex
 	order *list.List // front = most recently used
@@ -78,14 +114,23 @@ type entry struct {
 }
 
 // Wrap returns a caching decider in front of inner. A capacity ≤ 0 selects
-// DefaultCapacity.
+// DefaultCapacity. Traffic counts under the "other" domain label; domain
+// constructors should prefer WrapDomain.
 func Wrap(inner domain.Decider, capacity int) *Cache {
+	return WrapDomain("other", inner, capacity)
+}
+
+// WrapDomain is Wrap with the owning domain named, so the cache's traffic
+// is attributed to that domain's labelled counters (deccache.<domain>.hits
+// etc). Unknown names fold into "other" — the label set is closed.
+func WrapDomain(domainName string, inner domain.Decider, capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
 	return &Cache{
 		inner:    inner,
 		capacity: capacity,
+		counters: countersFor(domainName),
 		order:    list.New(),
 		byKey:    map[string]*list.Element{},
 	}
@@ -122,6 +167,10 @@ func (c *Cache) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, e
 			c.hits++
 			c.mu.Unlock()
 			mHits.Inc()
+			c.counters.hits.Inc()
+			if t := TallyFrom(ctx); t != nil {
+				t.Hits.Add(1)
+			}
 			sp.Arg("hit", 1)
 			return v, nil
 		}
@@ -134,6 +183,10 @@ func (c *Cache) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, e
 	c.misses++
 	c.mu.Unlock()
 	mMisses.Inc()
+	c.counters.misses.Inc()
+	if t := TallyFrom(ctx); t != nil {
+		t.Misses.Add(1)
+	}
 	sp.Arg("hit", 0)
 
 	v, err := domain.DecideCtx(ctx, c.inner, sentence)
@@ -151,6 +204,7 @@ func (c *Cache) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, e
 			delete(c.byKey, oldest.Value.(*entry).key)
 			c.evictions++
 			mEvictions.Inc()
+			c.counters.evictions.Inc()
 		}
 	}
 	c.mu.Unlock()

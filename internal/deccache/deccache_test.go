@@ -1,6 +1,7 @@
 package deccache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -195,5 +196,55 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	if evictions == 0 {
 		t.Errorf("working set exceeds capacity but nothing was evicted")
+	}
+}
+
+// TestDomainCountersAndTally: WrapDomain attributes hits and misses to the
+// domain's counters, and a context Tally sees the same split per
+// evaluation.
+func TestDomainCountersAndTally(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	inner := &countingDecider{}
+	c := WrapDomain("presburger", inner, 8)
+	hits0 := domainCounters["presburger"].hits.Value()
+	misses0 := domainCounters["presburger"].misses.Value()
+
+	ctx, tally := WithTally(context.Background())
+	f := atomSentence("T")
+	if _, err := c.DecideCtx(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecideCtx(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := tally.Hits.Load(), tally.Misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("tally: hits=%d misses=%d, want 1/1", h, m)
+	}
+	if got := domainCounters["presburger"].hits.Value() - hits0; got != 1 {
+		t.Fatalf("domain hit counter moved by %d, want 1", got)
+	}
+	if got := domainCounters["presburger"].misses.Value() - misses0; got != 1 {
+		t.Fatalf("domain miss counter moved by %d, want 1", got)
+	}
+}
+
+// TestWrapUnknownDomainFallsBack: unknown names attribute to "other"
+// rather than minting unbounded metric names.
+func TestWrapUnknownDomainFallsBack(t *testing.T) {
+	c := WrapDomain("not-a-domain", &countingDecider{}, 8)
+	if c.counters.hits != domainCounters["other"].hits {
+		t.Fatal("unknown domain must fall back to the other counters")
+	}
+}
+
+// TestTallyFromNilSafe: absent or nil contexts yield a nil tally, and the
+// cache paths tolerate that.
+func TestTallyFromNilSafe(t *testing.T) {
+	if TallyFrom(nil) != nil {
+		t.Fatal("nil context")
+	}
+	if TallyFrom(context.Background()) != nil {
+		t.Fatal("context without tally")
 	}
 }

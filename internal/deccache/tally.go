@@ -1,0 +1,36 @@
+package deccache
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Tally counts cache hits and misses attributable to one evaluation: the
+// per-query stats registry attaches one to the evaluation context so an
+// individual query's cache behavior is visible, not just the process-wide
+// aggregate. Fields are atomics because one evaluation may decide from
+// several worker goroutines.
+type Tally struct {
+	Hits   atomic.Int64
+	Misses atomic.Int64
+}
+
+type tallyKey struct{}
+
+// WithTally returns a context carrying a fresh Tally, and the Tally
+// itself. Every cache hit or miss decided under the returned context is
+// counted on it, in addition to the global and per-domain counters.
+func WithTally(ctx context.Context) (context.Context, *Tally) {
+	t := &Tally{}
+	return context.WithValue(ctx, tallyKey{}, t), t
+}
+
+// TallyFrom returns the context's Tally, or nil. A nil context is safe
+// (the plain Decide path passes one).
+func TallyFrom(ctx context.Context) *Tally {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tallyKey{}).(*Tally)
+	return t
+}

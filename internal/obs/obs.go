@@ -17,10 +17,13 @@
 package obs
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs/logctx"
 )
 
 // enabled is the package-level toggle. Observation is on by default; the
@@ -158,14 +161,43 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // bits.Len64(v) == i, i.e. 2^(i-1) ≤ v < 2^i, with bucket 0 for v ≤ 0.
 const histBuckets = 65
 
+// NumBuckets is the histogram bucket count, exported so other aggregators
+// (the qstats registry) can share the bucket scheme.
+const NumBuckets = histBuckets
+
+// BucketIndex returns the bucket an observation falls into: 0 for v ≤ 0,
+// else bits.Len64(v) (so bucket i holds 2^(i-1) ≤ v < 2^i).
+func BucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLabel is the inclusive upper bound of bucket i as a decimal
+// string ("0" for the non-positive bucket) — the le label of the
+// Prometheus exposition and the bucket key of JSON snapshots.
+func BucketLabel(i int) string { return bucketLabel(i) }
+
+// Exemplar links a histogram bucket to a recent trace: the request ID of
+// the most recent exemplar-bearing observation that landed in the bucket,
+// and its observed value. Emitted in OpenMetrics exemplar syntax from the
+// Prometheus endpoint, so a scraper can jump from a latency bucket
+// straight to /debug/slow?id=<request_id>.
+type Exemplar struct {
+	RequestID string `json:"request_id"`
+	Value     int64  `json:"value"`
+}
+
 // Histogram aggregates a size or latency distribution into power-of-two
 // buckets. It records count, sum, and max exactly; the buckets give the
 // shape. All fields are atomics, so concurrent observations never lock.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
-	max     atomic.Int64
-	buckets [histBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	max       atomic.Int64
+	buckets   [histBuckets]atomic.Int64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
 }
 
 // NewHistogram returns the histogram registered under name, creating it if
@@ -207,6 +239,35 @@ func (h *Histogram) observe(v int64) {
 	h.buckets[i].Add(1)
 }
 
+// ObserveExemplar records one value and stamps its bucket's exemplar with
+// the given request ID (last writer wins — the exemplar is "a recent
+// request that landed here", not a reservoir). An empty requestID records
+// plainly.
+func (h *Histogram) ObserveExemplar(v int64, requestID string) {
+	if !enabled.Load() {
+		return
+	}
+	h.observe(v)
+	if requestID == "" {
+		return
+	}
+	h.exemplars[BucketIndex(v)].Store(&Exemplar{RequestID: requestID, Value: v})
+}
+
+// ObserveCtx records one value, using the context's request ID (logctx)
+// as the bucket exemplar when present.
+func (h *Histogram) ObserveCtx(ctx context.Context, v int64) {
+	h.ObserveExemplar(v, logctx.RequestID(ctx))
+}
+
+// ExemplarFor returns the bucket exemplar for bucket i, or nil.
+func (h *Histogram) ExemplarFor(i int) *Exemplar {
+	if i < 0 || i >= histBuckets {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -225,6 +286,9 @@ type HistView struct {
 	Max     int64            `json:"max"`
 	Mean    float64          `json:"mean"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// Exemplars maps a bucket label to the most recent request that landed
+	// in the bucket, when any observation carried a request ID.
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
 }
 
 // view renders the histogram.
@@ -242,6 +306,12 @@ func (h *Histogram) view() HistView {
 			v.Buckets = map[string]int64{}
 		}
 		v.Buckets[bucketLabel(i)] = n
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if v.Exemplars == nil {
+				v.Exemplars = map[string]Exemplar{}
+			}
+			v.Exemplars[bucketLabel(i)] = *ex
+		}
 	}
 	return v
 }
@@ -290,6 +360,7 @@ func Reset() {
 		h.max.Store(0)
 		for i := range h.buckets {
 			h.buckets[i].Store(0)
+			h.exemplars[i].Store(nil)
 		}
 	}
 	for _, s := range registry.spans {

@@ -216,3 +216,38 @@ func TestServeDebug(t *testing.T) {
 		t.Errorf("/debug/vars misses the obs variable")
 	}
 }
+
+// TestHistogramExemplars: ObserveExemplar keeps the most recent request id
+// per bucket, view() exports it, and Reset clears it.
+func TestHistogramExemplars(t *testing.T) {
+	Enable()
+	h := NewHistogram("test.exemplar.hist")
+	h.ObserveExemplar(5, "first")
+	h.ObserveExemplar(6, "second") // same bucket: last writer wins
+	h.ObserveExemplar(100, "")     // empty id: plain observation
+	i := BucketIndex(5)
+	ex := h.ExemplarFor(i)
+	if ex == nil || ex.RequestID != "second" || ex.Value != 6 {
+		t.Fatalf("bucket %d exemplar: %+v", i, ex)
+	}
+	if ex := h.ExemplarFor(BucketIndex(100)); ex != nil {
+		t.Fatalf("empty request id must not record an exemplar, got %+v", ex)
+	}
+	if h.ExemplarFor(-1) != nil || h.ExemplarFor(NumBuckets) != nil {
+		t.Fatal("out-of-range ExemplarFor must be nil")
+	}
+
+	hv, ok := Take().Histograms["test.exemplar.hist"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	got, ok := hv.Exemplars[BucketLabel(i)]
+	if !ok || got.RequestID != "second" {
+		t.Fatalf("snapshot exemplars: %+v", hv.Exemplars)
+	}
+
+	Reset()
+	if h.ExemplarFor(i) != nil {
+		t.Fatal("Reset must clear exemplars")
+	}
+}

@@ -13,7 +13,10 @@ import (
 //
 //   - counters and gauges verbatim;
 //   - histograms as <name>_bucket{le="..."} cumulative series plus _sum and
-//     _count (the power-of-two upper bounds become le labels);
+//     _count (the power-of-two upper bounds become le labels); buckets with
+//     a recorded exemplar carry it in OpenMetrics exemplar syntax
+//     (`... # {request_id="..."} value`), which 0.0.4 scrapers treat as
+//     ignorable and OpenMetrics scrapers link to traces;
 //   - span aggregates as <name>_spans_count / _spans_total_us /
 //     _spans_max_us counters, with span labels ({k=v}) mapped to Prometheus
 //     labels.
@@ -37,6 +40,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 		cum := int64(0)
 		for _, b := range sortedBounds(h.Buckets) {
 			cum += h.Buckets[b.label]
+			if ex, ok := h.Exemplars[b.label]; ok && ex.RequestID != "" {
+				// OpenMetrics exemplar syntax: the trailing `# {labels} value`
+				// links the bucket to a recent request's trace.
+				fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d # {request_id=%q} %d\n",
+					n, b.label, cum, ex.RequestID, ex.Value)
+				continue
+			}
 			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, b.label, cum)
 		}
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)

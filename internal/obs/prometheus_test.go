@@ -88,3 +88,41 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("exposition missing promtest_hits 1:\n%s", rr.Body.String())
 	}
 }
+
+// TestWritePrometheusExemplars checks the OpenMetrics exemplar suffix:
+// emitted on the finite bucket that carries one, absent from empty
+// buckets, +Inf, sum, and count lines.
+func TestWritePrometheusExemplars(t *testing.T) {
+	s := Snapshot{
+		Histograms: map[string]HistView{
+			"server.eval.latency_us": {
+				Count:   2,
+				Sum:     10,
+				Max:     8,
+				Buckets: map[string]int64{"2": 1, "8": 1},
+				Exemplars: map[string]Exemplar{
+					"8": {RequestID: "req-42", Value: 7},
+				},
+			},
+		},
+	}
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "server_eval_latency_us_bucket{le=\"8\"} 2 # {request_id=\"req-42\"} 7\n") {
+		t.Errorf("exemplar line missing:\n%s", out)
+	}
+	for _, plain := range []string{
+		"server_eval_latency_us_bucket{le=\"2\"} 1\n",
+		"server_eval_latency_us_bucket{le=\"+Inf\"} 2\n",
+		"server_eval_latency_us_sum 10\n",
+		"server_eval_latency_us_count 2\n",
+	} {
+		if !strings.Contains(out, plain) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", plain, out)
+		}
+	}
+	if strings.Contains(out, "+Inf\"} 2 #") {
+		t.Errorf("+Inf bucket must not carry an exemplar:\n%s", out)
+	}
+}

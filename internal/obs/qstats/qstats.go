@@ -1,0 +1,371 @@
+// Package qstats is the per-query statistics registry: a sharded, bounded,
+// race-safe map from a query's canonical key (logic.(*Formula).CanonicalKey,
+// the same key the decision cache uses) to that query's runtime aggregates —
+// evaluation count, latency histogram, rows produced, stop-reason counts,
+// decision-cache hit attribution, and merged per-node EXPLAIN aggregates
+// folded in whenever a profiled evaluation runs.
+//
+// The paper's workloads are per-formula: each query has its own cost shape
+// (quantifier ranges, short-circuit selectivity, cache behavior), which
+// endpoint-level RED metrics average away. This registry keeps the
+// per-formula shape: a hot pathological formula shows up as one entry with
+// a heavy latency histogram and low selectivity, and the per-node range
+// aggregates are exactly the statistics a plan-level optimizer
+// (quantifier-range narrowing) needs as input. Snapshots are
+// deterministic JSON, exportable and re-importable (finq stats
+// -export/-import), so stats survive a process and can seed a planner.
+//
+// Memory is bounded by weight: every entry is charged for its key, display
+// string, and node aggregates, and when a shard exceeds its share of the
+// budget the least-recently-updated entries are evicted. Recording is one
+// short critical section on the entry's shard, so concurrent evaluations
+// contend only when their keys collide on a shard.
+package qstats
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Registry-level metrics, on /metrics alongside every other obs family.
+var (
+	mRecords   = obs.NewCounter("qstats.records")
+	mEvictions = obs.NewCounter("qstats.evictions")
+	gEntries   = obs.NewGauge("qstats.entries")
+	gWeight    = obs.NewGauge("qstats.weight")
+)
+
+func init() {
+	obs.SetHelp("qstats.records", "Evaluations recorded into the per-query stats registry.")
+	obs.SetHelp("qstats.evictions", "Per-query stats entries evicted by the weight bound.")
+	obs.SetHelp("qstats.entries", "Distinct query keys currently held by the stats registry.")
+	obs.SetHelp("qstats.weight", "Approximate bytes of per-query aggregates currently held.")
+}
+
+// enabled is the package toggle: when off, the package-level Record is a
+// single atomic load and finq.Eval skips building samples entirely.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enable turns per-query stats collection on (the default).
+func Enable() { enabled.Store(true) }
+
+// Disable turns collection off; Record becomes a near-free no-op.
+func Disable() { enabled.Store(false) }
+
+// SetEnabled sets the toggle and returns the previous value, for scoped use
+// in tests and benchmarks.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// numShards spreads keys over independently locked shards. A power of two,
+// small enough that a full-snapshot walk stays cheap.
+const numShards = 16
+
+// DefaultMaxWeight bounds the default registry's total aggregate weight
+// (approximate bytes): roughly a few thousand distinct queries with
+// profiles before eviction starts.
+const DefaultMaxWeight = 1 << 21
+
+// stop reasons, indexed into each entry's fixed-size counter array. The
+// set is closed so a malicious client cannot mint unbounded map keys.
+var stopReasons = []string{"complete", "budget", "deadline", "canceled", "error"}
+
+func stopIndex(reason string) int {
+	switch reason {
+	case "", "complete":
+		return 0
+	case "budget":
+		return 1
+	case "deadline":
+		return 2
+	case "canceled":
+		return 3
+	}
+	return 4 // anything else is an error outcome
+}
+
+// NodeSample is one EXPLAIN profile node's contribution to a query's
+// per-node aggregates, joined across runs on Path.
+type NodeSample struct {
+	// Path is the node's dotted child-index path from the root ("0" the
+	// root, "0.1" its second child) — stable across runs of the same
+	// formula because the profile tree mirrors the formula tree.
+	Path string
+	// Op is the node's operator label ("∃y", "∧", an atom's rendering).
+	Op string
+	// Evals and True are the node's evaluation and true-outcome counts for
+	// one run.
+	Evals, True int64
+	// Range is the active-domain range the node iterated over (0 on
+	// non-quantifier nodes).
+	Range int64
+}
+
+// Sample is one finished evaluation's contribution to the registry.
+type Sample struct {
+	// Key is the formula's canonical key; samples with an empty key are
+	// dropped.
+	Key string
+	// Domain, Mode, and Query describe the evaluation for humans; they are
+	// recorded on first sight of the key.
+	Domain, Mode, Query string
+	// LatencyUS is the evaluation's wall time in microseconds.
+	LatencyUS int64
+	// Rows is the answer cardinality.
+	Rows int64
+	// Stopped is "" or "complete" for a complete answer, else "budget",
+	// "deadline", "canceled", or "error".
+	Stopped string
+	// CacheHits and CacheMisses attribute decision-cache traffic to this
+	// evaluation (deccache.Tally).
+	CacheHits, CacheMisses int64
+	// Nodes carries the flattened EXPLAIN profile of a profiled run; nil
+	// for unprofiled evaluations.
+	Nodes []NodeSample
+}
+
+// nodeAgg merges NodeSamples across runs.
+type nodeAgg struct {
+	op           string
+	evals, trueN int64
+	rangeMin     int64
+	rangeMax     int64
+	rangeSum     int64
+	rangeCount   int64
+}
+
+// entry is one query's aggregates. All fields are guarded by the owning
+// shard's mutex.
+type entry struct {
+	key, domain, mode, query string
+	firstSeen, lastSeen      int64 // registry clock ticks, not wall time
+
+	evals, rows  int64
+	stopped      [5]int64
+	hits, misses int64
+
+	latCount, latSum, latMax int64
+	latBuckets               [obs.NumBuckets]int64
+
+	nodes  map[string]*nodeAgg
+	weight int64
+}
+
+// computeWeight approximates the entry's memory footprint, charged against
+// the registry budget.
+func (e *entry) computeWeight() int64 {
+	w := int64(256 + len(e.key) + len(e.domain) + len(e.mode) + len(e.query))
+	for path, n := range e.nodes {
+		w += int64(96 + len(path) + len(n.op))
+	}
+	return w
+}
+
+// fold merges one sample into the entry.
+func (e *entry) fold(s Sample, now int64) {
+	e.lastSeen = now
+	e.evals++
+	e.rows += s.Rows
+	e.stopped[stopIndex(s.Stopped)]++
+	e.hits += s.CacheHits
+	e.misses += s.CacheMisses
+
+	e.latCount++
+	e.latSum += s.LatencyUS
+	if s.LatencyUS > e.latMax {
+		e.latMax = s.LatencyUS
+	}
+	e.latBuckets[obs.BucketIndex(s.LatencyUS)]++
+
+	for _, ns := range s.Nodes {
+		n := e.nodes[ns.Path]
+		if n == nil {
+			if e.nodes == nil {
+				e.nodes = map[string]*nodeAgg{}
+			}
+			n = &nodeAgg{op: ns.Op}
+			e.nodes[ns.Path] = n
+		}
+		n.evals += ns.Evals
+		n.trueN += ns.True
+		if ns.Range > 0 {
+			if n.rangeCount == 0 || ns.Range < n.rangeMin {
+				n.rangeMin = ns.Range
+			}
+			if ns.Range > n.rangeMax {
+				n.rangeMax = ns.Range
+			}
+			n.rangeSum += ns.Range
+			n.rangeCount++
+		}
+	}
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	weight  int64
+}
+
+// Registry is a bounded, sharded per-query stats store. The zero value is
+// not usable; create with New or use Default.
+type Registry struct {
+	maxWeight int64
+	clock     atomic.Int64
+	entriesN  atomic.Int64
+	weightN   atomic.Int64
+	evictions atomic.Int64
+	shards    [numShards]shard
+}
+
+// New builds a registry bounded by maxWeight approximate bytes of
+// aggregates (≤ 0 selects DefaultMaxWeight).
+func New(maxWeight int64) *Registry {
+	if maxWeight <= 0 {
+		maxWeight = DefaultMaxWeight
+	}
+	r := &Registry{maxWeight: maxWeight}
+	for i := range r.shards {
+		r.shards[i].entries = map[string]*entry{}
+	}
+	return r
+}
+
+// defaultRegistry is the process-wide registry every evaluation records
+// into (finq.Eval) and every surface reads from (/v1/stats/queries,
+// /debug/queries, finq stats -queries, REPL :qstats).
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = New(0) })
+	return defaultReg
+}
+
+// Record folds a sample into the default registry when collection is on.
+func Record(s Sample) {
+	if !enabled.Load() {
+		return
+	}
+	Default().Record(s)
+}
+
+func (r *Registry) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &r.shards[h.Sum32()%numShards]
+}
+
+// Record folds one evaluation's sample into the registry, creating the
+// entry on first sight of the key and evicting the least-recently-updated
+// entries of the shard if the fold pushed it over its weight share.
+func (r *Registry) Record(s Sample) {
+	if s.Key == "" {
+		return
+	}
+	now := r.clock.Add(1)
+	sh := r.shardFor(s.Key)
+	budget := r.maxWeight / numShards
+
+	sh.mu.Lock()
+	e := sh.entries[s.Key]
+	if e == nil {
+		e = &entry{
+			key: s.Key, domain: s.Domain, mode: s.Mode, query: s.Query,
+			firstSeen: now,
+		}
+		sh.entries[s.Key] = e
+		r.entriesN.Add(1)
+	}
+	oldW := e.weight
+	e.fold(s, now)
+	e.weight = e.computeWeight()
+	sh.weight += e.weight - oldW
+	evicted := sh.evictOver(budget, s.Key)
+	sh.mu.Unlock()
+
+	if evicted > 0 {
+		r.entriesN.Add(-evicted)
+		r.evictions.Add(evicted)
+		mEvictions.Add(evicted)
+	}
+	r.weightN.Store(r.totalWeight())
+	mRecords.Inc()
+	gEntries.Set(r.entriesN.Load())
+	gWeight.Set(r.weightN.Load())
+}
+
+// evictOver drops least-recently-updated entries until the shard fits its
+// budget, never evicting the just-updated key. Caller holds sh.mu.
+func (sh *shard) evictOver(budget int64, keep string) int64 {
+	var evicted int64
+	for sh.weight > budget && len(sh.entries) > 1 {
+		victimKey := ""
+		var victim *entry
+		for k, e := range sh.entries {
+			if k == keep {
+				continue
+			}
+			if victim == nil || e.lastSeen < victim.lastSeen ||
+				(e.lastSeen == victim.lastSeen && k < victimKey) {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		delete(sh.entries, victimKey)
+		sh.weight -= victim.weight
+		evicted++
+	}
+	return evicted
+}
+
+func (r *Registry) totalWeight() int64 {
+	var w int64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		w += sh.weight
+		sh.mu.Unlock()
+	}
+	return w
+}
+
+// Len returns the number of distinct query keys currently held.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Evictions returns how many entries the weight bound has evicted.
+func (r *Registry) Evictions() int64 { return r.evictions.Load() }
+
+// Reset drops every entry; for tests and the benchmark harness.
+func (r *Registry) Reset() {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.entries = map[string]*entry{}
+		sh.weight = 0
+		sh.mu.Unlock()
+	}
+	r.entriesN.Store(0)
+	r.weightN.Store(0)
+}

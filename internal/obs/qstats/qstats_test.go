@@ -1,0 +1,290 @@
+package qstats
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleFor(key string, latUS int64) Sample {
+	return Sample{
+		Key: key, Domain: "eq", Mode: "active", Query: "Q(" + key + ")",
+		LatencyUS: latUS, Rows: 2, CacheHits: 3, CacheMisses: 1,
+		Nodes: []NodeSample{
+			{Path: "0", Op: "∃y", Evals: 8, True: 2, Range: 8},
+			{Path: "0.0", Op: "F(x, y)", Evals: 8, True: 2},
+		},
+	}
+}
+
+func TestRecordAggregates(t *testing.T) {
+	r := New(0)
+	r.Record(sampleFor("k1", 100))
+	r.Record(sampleFor("k1", 300))
+	r.Record(Sample{Key: "k1", Stopped: "budget", LatencyUS: 50})
+
+	snap := r.Take()
+	if len(snap.Entries) != 1 {
+		t.Fatalf("entries: want 1, got %d", len(snap.Entries))
+	}
+	e := snap.Entries[0]
+	if e.Key != "k1" || e.Evals != 3 || e.Rows != 4 {
+		t.Fatalf("entry: %+v", e)
+	}
+	if e.Latency.Count != 3 || e.Latency.Sum != 450 || e.Latency.Max != 300 {
+		t.Fatalf("latency: %+v", e.Latency)
+	}
+	if e.Stopped["complete"] != 2 || e.Stopped["budget"] != 1 {
+		t.Fatalf("stopped: %v", e.Stopped)
+	}
+	if e.CacheHits != 6 || e.CacheMisses != 2 {
+		t.Fatalf("cache: hits=%d misses=%d", e.CacheHits, e.CacheMisses)
+	}
+	// Root selectivity comes from the profile root: 4 true of 16 evals.
+	if e.Selectivity != 0.25 {
+		t.Fatalf("selectivity: want 0.25, got %v", e.Selectivity)
+	}
+	if len(e.Nodes) != 2 || e.Nodes[0].Path != "0" || e.Nodes[1].Path != "0.0" {
+		t.Fatalf("nodes: %+v", e.Nodes)
+	}
+	root := e.Nodes[0]
+	if root.Evals != 16 || root.True != 4 || root.RangeMin != 8 || root.RangeMax != 8 || root.RangeMean != 8 {
+		t.Fatalf("root node: %+v", root)
+	}
+}
+
+// TestMergeInvariants checks the aggregate invariants the snapshot
+// promises: per-node True <= Evals, the latency histogram's bucket counts
+// sum to its count, and the count equals the eval count (one latency
+// observation per recorded eval).
+func TestMergeInvariants(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 200; i++ {
+		s := sampleFor(fmt.Sprintf("k%d", i%7), int64(i*13%4096))
+		s.Nodes[0].True = int64(i % 3)
+		r.Record(s)
+	}
+	for _, e := range r.Take().Entries {
+		if e.Latency.Count != e.Evals {
+			t.Fatalf("%s: latency count %d != evals %d", e.Key, e.Latency.Count, e.Evals)
+		}
+		var bucketSum int64
+		for _, n := range e.Latency.Buckets {
+			bucketSum += n
+		}
+		if bucketSum != e.Latency.Count {
+			t.Fatalf("%s: buckets sum %d != count %d", e.Key, bucketSum, e.Latency.Count)
+		}
+		for _, n := range e.Nodes {
+			if n.True > n.Evals {
+				t.Fatalf("%s node %s: true %d > evals %d", e.Key, n.Path, n.True, n.Evals)
+			}
+			if n.Selectivity < 0 || n.Selectivity > 1 {
+				t.Fatalf("%s node %s: selectivity %v out of range", e.Key, n.Path, n.Selectivity)
+			}
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := New(0)
+		for i := 0; i < 20; i++ {
+			r.Record(sampleFor(fmt.Sprintf("k%d", i), int64(i*100)))
+		}
+		return r
+	}
+	a, b := build().JSON(), build().JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical record sequences produced different snapshots")
+	}
+}
+
+func TestTopKOrders(t *testing.T) {
+	r := New(0)
+	// k0: slow and selective; k1: fast, frequent; k2: unselective.
+	r.Record(Sample{Key: "k0", LatencyUS: 1000, Nodes: []NodeSample{{Path: "0", Op: "∃", Evals: 10, True: 9}}})
+	for i := 0; i < 5; i++ {
+		r.Record(Sample{Key: "k1", LatencyUS: 10, Rows: 2})
+	}
+	r.Record(Sample{Key: "k2", LatencyUS: 100, Nodes: []NodeSample{{Path: "0", Op: "∃", Evals: 10, True: 1}}})
+
+	byLat, err := r.TopK(ByLatency, 2)
+	if err != nil || len(byLat) != 2 || byLat[0].Key != "k0" {
+		t.Fatalf("by latency: %v %+v", err, byLat)
+	}
+	byCount, err := r.TopK(ByCount, 1)
+	if err != nil || len(byCount) != 1 || byCount[0].Key != "k1" {
+		t.Fatalf("by count: %v %+v", err, byCount)
+	}
+	bySel, err := r.TopK(BySelectivity, 3)
+	if err != nil || bySel[0].Key != "k2" {
+		t.Fatalf("by selectivity: %v %+v", err, bySel)
+	}
+	if _, err := r.TopK("nonsense", 1); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+}
+
+func TestWeightEviction(t *testing.T) {
+	// A tiny budget: every shard holds at most ~2 small entries.
+	r := New(16 * 1024)
+	for i := 0; i < 500; i++ {
+		r.Record(sampleFor(fmt.Sprintf("key-%04d", i), 10))
+	}
+	if r.Evictions() == 0 {
+		t.Fatal("no evictions under a tiny weight budget")
+	}
+	if n := r.Len(); n >= 500 {
+		t.Fatalf("registry holds %d entries, bound did not bite", n)
+	}
+	// The total weight respects the budget (per shard, so the sum does too).
+	if w := r.totalWeight(); w > 16*1024 {
+		t.Fatalf("total weight %d exceeds budget", w)
+	}
+}
+
+func TestImportRoundTrip(t *testing.T) {
+	src := New(0)
+	for i := 0; i < 10; i++ {
+		src.Record(sampleFor(fmt.Sprintf("k%d", i), int64(i*50)))
+		src.Record(Sample{Key: fmt.Sprintf("k%d", i), Stopped: "deadline", LatencyUS: 5})
+	}
+	exported := src.JSON()
+
+	dst := New(0)
+	if err := dst.ImportJSON(exported); err != nil {
+		t.Fatal(err)
+	}
+	a, b := src.Take(), dst.Take()
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatalf("entries: %d vs %d", len(a.Entries), len(b.Entries))
+	}
+	for i := range a.Entries {
+		x, y := a.Entries[i], b.Entries[i]
+		// Clocks differ across registries; compare the aggregates.
+		x.FirstSeen, x.LastSeen, y.FirstSeen, y.LastSeen = 0, 0, 0, 0
+		if fmt.Sprintf("%+v", x) != fmt.Sprintf("%+v", y) {
+			t.Fatalf("entry %d round-trip mismatch:\n%+v\n%+v", i, x, y)
+		}
+	}
+
+	// Importing the same snapshot again doubles the counts (merge, not
+	// replace).
+	if err := dst.ImportJSON(exported); err != nil {
+		t.Fatal(err)
+	}
+	e := dst.Take().Entries[0]
+	if e.Evals != 2*a.Entries[0].Evals || e.Latency.Sum != 2*a.Entries[0].Latency.Sum {
+		t.Fatalf("second import did not merge: %+v vs %+v", e, a.Entries[0])
+	}
+	if e.Latency.Max != a.Entries[0].Latency.Max {
+		t.Fatalf("max should merge by maximum: %+v", e.Latency)
+	}
+}
+
+func TestImportJSONRejectsGarbage(t *testing.T) {
+	if err := New(0).ImportJSON([]byte("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestConcurrentRecordSnapshotEvict is the -race check: writers, snapshot
+// readers, and import all run concurrently against one registry with a
+// budget small enough to evict constantly.
+func TestConcurrentRecordSnapshotEvict(t *testing.T) {
+	r := New(64 * 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				r.Record(sampleFor(fmt.Sprintf("g%d-k%d", g, i%40), int64(i)))
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := r.Take()
+				for _, e := range snap.Entries {
+					if e.Latency.Count != e.Evals {
+						t.Errorf("torn entry: count %d evals %d", e.Latency.Count, e.Evals)
+						return
+					}
+				}
+				if _, err := r.TopK(ByLatency, 5); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		donor := New(0)
+		donor.Record(sampleFor("imported", 77))
+		data := donor.JSON()
+		for i := 0; i < 20; i++ {
+			if err := r.ImportJSON(data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if r.Len() == 0 {
+		t.Fatal("registry empty after concurrent writes")
+	}
+}
+
+func TestPackageToggle(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	before := Default().Len()
+	Record(sampleFor("toggled-off", 1))
+	if Default().Len() != before {
+		t.Fatal("Record recorded while disabled")
+	}
+}
+
+func TestBucketSchemeMatchesObs(t *testing.T) {
+	// The registry's latency buckets must stay aligned with the obs
+	// histogram scheme, or import and exposition drift apart.
+	for _, v := range []int64{0, 1, 2, 3, 4, 1023, 1024, 1 << 40} {
+		i := obs.BucketIndex(v)
+		if i < 0 || i >= obs.NumBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of range", v, i)
+		}
+		if lbl := obs.BucketLabel(i); lbl == "" {
+			t.Fatalf("empty label for bucket %d", i)
+		}
+	}
+	if obs.BucketIndex(1024) != obs.BucketIndex(2047) || obs.BucketIndex(1023) == obs.BucketIndex(1024) {
+		t.Fatal("power-of-two bucket edges misplaced")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	r := New(0)
+	r.Record(sampleFor("k1", 100))
+	entries, err := r.TopK(ByLatency, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteTable(&buf, entries)
+	out := buf.String()
+	for _, want := range []string{"EVALS", "QUERY", "Q(k1)", "eq: "} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("table misses %q:\n%s", want, out)
+		}
+	}
+}

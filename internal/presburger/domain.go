@@ -271,4 +271,6 @@ func (Domain) Element(i int) domain.Value { return domain.Int(i) }
 // Decider returns the decision procedure for ℕ with the Presburger
 // signature, memoized behind a bounded decision cache (a no-op pass-through
 // when caching is disabled; see internal/deccache).
-func Decider() domain.Decider { return deccache.Wrap(Eliminator{}, deccache.DefaultCapacity) }
+func Decider() domain.Decider {
+	return deccache.WrapDomain("presburger", Eliminator{}, deccache.DefaultCapacity)
+}

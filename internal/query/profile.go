@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -88,6 +89,39 @@ func writeNode(b *strings.Builder, n *ProfileNode, branch, childPrefix string) {
 			writeNode(b, c, childPrefix+"├─ ", childPrefix+"│  ")
 		}
 	}
+}
+
+// NodeStat is one node of a flattened profile: the node's dotted
+// child-index path from the root ("0" the root, "0.1" its second child),
+// its operator label, and its counts. Paths are stable across runs of the
+// same formula because the profile tree mirrors the formula tree, which
+// is what lets per-node statistics be merged across runs (the qstats
+// registry joins on Path).
+type NodeStat struct {
+	Path  string
+	Op    string
+	Evals int64
+	True  int64
+	Range int
+}
+
+// Flatten renders the profile tree as a depth-first node list with dotted
+// index paths. Nil-safe: a nil profile or rootless profile flattens to
+// nothing.
+func (p *Profile) Flatten() []NodeStat {
+	if p == nil || p.Root == nil {
+		return nil
+	}
+	var out []NodeStat
+	var walk func(n *ProfileNode, path string)
+	walk = func(n *ProfileNode, path string) {
+		out = append(out, NodeStat{Path: path, Op: n.Op, Evals: n.Evals, True: n.True, Range: n.Range})
+		for i, c := range n.Children {
+			walk(c, path+"."+strconv.Itoa(i))
+		}
+	}
+	walk(p.Root, "0")
+	return out
 }
 
 // buildProfileTree mirrors the formula as a profile-node tree. Quantifier

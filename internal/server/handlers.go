@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	finq "repro"
 	"repro/internal/domain"
+	"repro/internal/obs/qstats"
 )
 
 // EvalRequest is the body of POST /v1/eval. Formula syntax, state format,
@@ -99,6 +101,10 @@ func (s *Server) handleEval(ctx context.Context, body []byte) (any, error) {
 	if req.Budget != nil {
 		lreq.Budget = &finq.EnumerationBudget{Rows: req.Budget.Rows, Probe: req.Budget.Probe}
 	}
+	// Feed the tail sampler: the canonical key marks this request as a
+	// sighting of its query, so each distinct query's first request gets a
+	// retained trace.
+	noteQueryKey(ctx, f.CanonicalKey())
 	res, err := finq.Eval(ctx, lreq)
 	if err != nil {
 		return nil, err
@@ -240,4 +246,60 @@ func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 		out = append(out, DomainJSON{Name: d.Name, Doc: d.Doc})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// QueryStatsResponse is the body of GET /v1/stats/queries.
+type QueryStatsResponse struct {
+	By      string             `json:"by"`
+	Queries []qstats.EntryView `json:"queries"`
+}
+
+// handleQueryStats serves GET /v1/stats/queries: the top-K per-query
+// aggregates from the qstats registry, ordered by ?by=latency (default),
+// count, or selectivity; ?k= bounds the result (default 20, <= 0 for
+// all).
+func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	by := r.URL.Query().Get("by")
+	if by == "" {
+		by = qstats.ByLatency
+	}
+	k := 20
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		n, err := strconv.Atoi(kq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad k %q: %v", kq, err)
+			return
+		}
+		k = n
+	}
+	entries, err := qstats.Default().TopK(by, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if entries == nil {
+		entries = []qstats.EntryView{}
+	}
+	writeJSON(w, http.StatusOK, QueryStatsResponse{By: by, Queries: entries})
+}
+
+// handleDebugQueries serves GET /debug/queries: the same per-query stats
+// as /v1/stats/queries rendered as a text table for humans.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	by := r.URL.Query().Get("by")
+	entries, err := qstats.Default().TopK(by, 50)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	qstats.WriteTable(w, entries)
 }

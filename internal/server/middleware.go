@@ -20,6 +20,7 @@ type reqState struct {
 	endpoint string
 	rows     int64
 	stopped  string
+	queryKey string
 	shed     bool
 	panicked bool
 }
@@ -44,6 +45,14 @@ func noteRows(ctx context.Context, n int64) {
 func noteStopped(ctx context.Context, reason string) {
 	if st := stateFrom(ctx); st != nil && reason != "" {
 		st.stopped = reason
+	}
+}
+
+// noteQueryKey records the evaluated formula's canonical key, feeding the
+// tail sampler's first-seen-query sampling and the capture's QueryKey.
+func noteQueryKey(ctx context.Context, key string) {
+	if st := stateFrom(ctx); st != nil && key != "" {
+		st.queryKey = key
 	}
 }
 
@@ -82,7 +91,7 @@ type redSet struct {
 // redEndpoints is the closed set of endpoint labels; unknown paths fold
 // into "other" so a path scan cannot mint unbounded metric families.
 var redEndpoints = []string{
-	"eval", "decide", "qe", "safety", "domains",
+	"eval", "decide", "qe", "safety", "domains", "stats",
 	"healthz", "readyz", "metrics", "debug", "other",
 }
 
@@ -114,6 +123,8 @@ func endpointName(path string) string {
 		return "safety"
 	case "/v1/domains":
 		return "domains"
+	case "/v1/stats/queries":
+		return "stats"
 	case "/healthz":
 		return "healthz"
 	case "/readyz":
@@ -147,8 +158,9 @@ func (s *Server) logger() *slog.Logger {
 //     latency histogram.
 //   - One structured access-log line per request: id, method, endpoint,
 //     status, duration, rows, partial-stop reason, shed/panic flags.
-//   - Requests slower than Config.SlowRequest get their span subtree
-//     snapshotted from the flight recorder (slowlog.go).
+//   - Slow, errored, and first-seen-query requests get their span subtree
+//     snapshotted from the flight recorder into the tail sampler
+//     (tailsample.go).
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -176,7 +188,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if status >= 400 {
 			family.errors.Inc()
 		}
-		family.latency.Observe(dur.Microseconds())
+		// The request ID rides along as the latency bucket's OpenMetrics
+		// exemplar, so a scraped histogram links back to a concrete request.
+		family.latency.ObserveExemplar(dur.Microseconds(), id)
 
 		attrs := []slog.Attr{
 			slog.String("id", id),
@@ -214,8 +228,27 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		s.logger().LogAttrs(ctx, level, "request", attrs...)
 
-		if dur >= s.cfg.SlowRequest && strings.HasPrefix(r.URL.Path, "/v1/") {
-			s.captureSlow(ctx, st, status, dur)
+		// Tail sampling on the /v1/ endpoints: retain the span subtree of
+		// slow requests, errored requests (sheds excluded — a 429 carries no
+		// evaluation, and overload would flood the reservoir), and the first
+		// request seen for each query key. A request matching several
+		// reasons records under the highest-priority one, but its query key
+		// is marked seen either way, so the first-key budget isn't spent on
+		// a key whose trace is already retained.
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			firstKey := st.queryKey != "" && s.markFirstSeen(st.queryKey)
+			reason := ""
+			switch {
+			case dur >= s.cfg.SlowRequest:
+				reason = ReasonSlow
+			case status >= 400 && !st.shed:
+				reason = ReasonError
+			case firstKey:
+				reason = ReasonFirstKey
+			}
+			if reason != "" {
+				s.captureTail(ctx, st, status, dur, reason)
+			}
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -435,7 +436,11 @@ func validateExposition(t *testing.T, text string) {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		// Sample line: name[{labels}] value
+		// Sample line: name[{labels}] value, optionally with an OpenMetrics
+		// exemplar suffix (` # {labels} value`) that 0.0.4 parsing ignores.
+		if j := strings.Index(line, " # "); j >= 0 {
+			line = line[:j]
+		}
 		i := strings.LastIndexByte(line, ' ')
 		if i < 0 {
 			t.Fatalf("malformed sample line: %q", line)
@@ -588,12 +593,15 @@ func TestSlowRequestTraceableBySingleID(t *testing.T) {
 	}
 	capData, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	var sc SlowCapture
+	var sc TailCapture
 	if err := json.Unmarshal(capData, &sc); err != nil {
 		t.Fatalf("slow capture is not JSON: %v in %s", err, capData)
 	}
 	if sc.RequestID != id || sc.Endpoint != "eval" || sc.Stopped != "deadline" {
 		t.Fatalf("slow capture fields: %+v", sc)
+	}
+	if sc.Reason != ReasonSlow {
+		t.Fatalf("slow capture reason: want %q, got %q", ReasonSlow, sc.Reason)
 	}
 	if len(sc.Events) == 0 {
 		t.Fatal("slow capture holds no trace events")
@@ -608,6 +616,44 @@ func TestSlowRequestTraceableBySingleID(t *testing.T) {
 		t.Fatalf("slow capture subtree misses the finq.eval span: %s", capData)
 	}
 
+	// 5. /debug/slow without an id lists the capture: one line per held
+	// sample, enough to pick an id to drill into.
+	resp, err = http.Get(base + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listData, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var listing []TailListing
+	if err := json.Unmarshal(listData, &listing); err != nil {
+		t.Fatalf("listing is not JSON: %v in %s", err, listData)
+	}
+	foundListing := false
+	for _, l := range listing {
+		if l.RequestID == id && l.Endpoint == "eval" && l.Reason == ReasonSlow {
+			foundListing = true
+		}
+	}
+	if !foundListing {
+		t.Fatalf("listing misses the slow request %q: %s", id, listData)
+	}
+
+	// 6. The Prometheus exposition links the metric to the trace: the eval
+	// latency bucket the request fell into carries an OpenMetrics exemplar
+	// with the same request id, so `/metrics → /debug/slow?id=` is one hop.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expoData, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	exemplarRE := regexp.MustCompile(
+		`(?m)^server_eval_latency_us_bucket\{le="[0-9]+"\} \d+ # \{request_id="` + id + `"\} \d+$`)
+	if !exemplarRE.Match(expoData) {
+		t.Fatalf("no exemplar with request_id=%q on any server_eval_latency_us bucket:\n%s",
+			id, grepLines(expoData, "server_eval_latency_us_bucket"))
+	}
+
 	// Unknown IDs 404.
 	resp, err = http.Get(base + "/debug/slow?id=no-such-id")
 	if err != nil {
@@ -617,5 +663,103 @@ func TestSlowRequestTraceableBySingleID(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown slow id: want 404, got %d", resp.StatusCode)
+	}
+}
+
+// grepLines filters an exposition body down to the lines containing a
+// substring, for readable failure messages.
+func grepLines(data []byte, substr string) string {
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestTailSamplerReasons drives the two non-slow capture paths: errored
+// requests and the first request of a never-before-seen query, with
+// SlowRequest set high enough that neither is captured as slow.
+func TestTailSamplerReasons(t *testing.T) {
+	cfg := Config{
+		EvalTimeout: 5 * time.Second,
+		SlowRequest: time.Hour, // nothing is slow in this test
+	}
+	_, base := startServer(t, cfg)
+
+	// A fresh query: captured once with reason first-key, and only once.
+	const evalBody = `{
+	  "domain": "eq",
+	  "state": {"relations": {"G": [["a", "b"]]}},
+	  "formula": "exists y. G(x, y)"}`
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/eval", strings.NewReader(evalBody))
+		req.Header.Set("X-Request-Id", "tail-first-"+strconv.Itoa(i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("eval %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// A parse error: captured with reason error.
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/eval",
+		strings.NewReader(`{"domain": "eq", "formula": "exists y. ("}`))
+	req.Header.Set("X-Request-Id", "tail-error-0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad formula: want 400, got %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listData, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var listing []TailListing
+	if err := json.Unmarshal(listData, &listing); err != nil {
+		t.Fatalf("listing is not JSON: %v in %s", err, listData)
+	}
+	reasons := map[string]string{}
+	for _, l := range listing {
+		reasons[l.RequestID] = l.Reason
+	}
+	if reasons["tail-first-0"] != ReasonFirstKey {
+		t.Errorf("first eval of a fresh query: want reason %q, got %q (listing %s)",
+			ReasonFirstKey, reasons["tail-first-0"], listData)
+	}
+	if r, ok := reasons["tail-first-1"]; ok {
+		t.Errorf("second eval of the same query captured again (reason %q): %s", r, listData)
+	}
+	if reasons["tail-error-0"] != ReasonError {
+		t.Errorf("errored request: want reason %q, got %q (listing %s)",
+			ReasonError, reasons["tail-error-0"], listData)
+	}
+
+	// The first-key capture carries the query's canonical key so it can be
+	// matched against /v1/stats/queries.
+	resp, err = http.Get(base + "/debug/slow?id=tail-first-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	capData, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var tc TailCapture
+	if err := json.Unmarshal(capData, &tc); err != nil {
+		t.Fatalf("capture is not JSON: %v in %s", err, capData)
+	}
+	if tc.QueryKey == "" {
+		t.Fatalf("first-key capture misses the query key: %s", capData)
 	}
 }

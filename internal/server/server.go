@@ -7,21 +7,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/eval     evaluate a formula over a domain and state
-//	POST /v1/decide   decide a pure-domain sentence
-//	POST /v1/qe       quantifier-eliminate a formula
-//	POST /v1/safety   relative-safety analysis of a query
-//	GET  /v1/domains  list the registered domains
-//	GET  /healthz     liveness (200 while the process serves HTTP)
-//	GET  /readyz      readiness (503 once a drain begins)
-//	GET  /debug/slow  slow-request captures, ?id= for one by request ID
-//	GET  /metrics     Prometheus metrics (also /debug/obs, /debug/pprof/)
+//	POST /v1/eval           evaluate a formula over a domain and state
+//	POST /v1/decide         decide a pure-domain sentence
+//	POST /v1/qe             quantifier-eliminate a formula
+//	POST /v1/safety         relative-safety analysis of a query
+//	GET  /v1/domains        list the registered domains
+//	GET  /v1/stats/queries  per-query stats, top-K by latency/count/selectivity
+//	GET  /healthz           liveness (200 while the process serves HTTP)
+//	GET  /readyz            readiness (503 once a drain begins)
+//	GET  /debug/slow        tail-sampled request captures; no args lists
+//	                        them, ?id= fetches one span subtree by request ID
+//	GET  /debug/queries     per-query stats as a text table
+//	GET  /metrics           Prometheus metrics (also /debug/obs, /debug/pprof/)
 //
 // Every request is request-scoped observable: an ID (honored from
 // X-Request-Id or minted) is echoed on the response, threaded through the
 // evaluation context — so structured logs, obs spans, and flight-recorder
 // events all carry it — reported in JSON error bodies, and logged in one
-// access line per request alongside per-endpoint RED metrics.
+// access line per request alongside per-endpoint RED metrics. The latency
+// histograms carry the ID onward as per-bucket OpenMetrics exemplars, and
+// a tail sampler retains the full span subtree of slow, errored, and
+// first-seen-query requests, so a latency bucket on /metrics leads to a
+// concrete trace on /debug/slow by request ID.
 //
 // Concurrency is bounded by a worker pool: at most Workers requests
 // evaluate at once, at most QueueDepth more wait for a slot, and anything
@@ -133,7 +140,7 @@ type Server struct {
 	ln       net.Listener
 	draining atomic.Bool
 	sampStop func()
-	slowLog
+	tailSampler
 }
 
 // New builds a server from the config. Nothing listens until Start.
@@ -154,9 +161,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
 	mux.HandleFunc("/debug/slow", s.handleSlow)
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/domains", s.handleDomains)
+	mux.HandleFunc("/v1/stats/queries", s.handleQueryStats)
 	mux.Handle("/v1/eval", s.endpoint("eval", s.cfg.EvalTimeout, s.handleEval))
 	mux.Handle("/v1/decide", s.endpoint("decide", s.cfg.DecideTimeout, s.handleDecide))
 	mux.Handle("/v1/qe", s.endpoint("qe", s.cfg.DecideTimeout, s.handleQE))
@@ -266,7 +275,7 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 		t0 := time.Now()
 		out, err := h(ctx, body)
 		sp.End()
-		hLatency.Observe(time.Since(t0).Microseconds())
+		hLatency.ObserveCtx(ctx, time.Since(t0).Microseconds())
 		if err != nil {
 			mErrors.Inc()
 			if ae, ok := err.(*apiError); ok {

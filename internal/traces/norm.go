@@ -142,5 +142,5 @@ func evalGroundAtoms(f *logic.Formula) (*logic.Formula, error) {
 // memoized behind a bounded decision cache (a no-op pass-through when
 // caching is disabled; see internal/deccache).
 func Decider() domain.Decider {
-	return deccache.Wrap(domain.QEDecider{Elim: Eliminator{}, Interp: Domain{}}, deccache.DefaultCapacity)
+	return deccache.WrapDomain("traces", domain.QEDecider{Elim: Eliminator{}, Interp: Domain{}}, deccache.DefaultCapacity)
 }

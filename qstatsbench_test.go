@@ -1,0 +1,105 @@
+// Per-query stats overhead benchmark: the E1 workload through finq.Eval
+// with the qstats registry recording and with it disabled. `make
+// bench-qstats` runs TestWriteBenchQstats, which measures both and writes
+// BENCH_qstats.json; the acceptance bar is under 3% — the recording path
+// is one canonical-key serialization plus one shard-locked fold per
+// evaluation, amortized over an entire enumeration.
+package finq
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/obs/qstats"
+	"repro/internal/presburger"
+	"repro/internal/query"
+)
+
+// runQstatsBench drives the E1 enumeration (∃y (R(y) ∧ x < y) over
+// Presburger ℕ, 34-row complete answer) through the public Eval
+// entrypoint, which is where the qstats recording hook lives.
+func runQstatsBench(b *testing.B) {
+	st := natStateB(b, 3, 5, 8, 13, 21, 34)
+	f := logic.Exists("y", logic.And(
+		logic.Atom("R", logic.Var("y")),
+		logic.Atom(presburger.PredLt, logic.Var("x"), logic.Var("y"))))
+	budget := query.EnumerationBudget{Rows: 64, Probe: 4096}
+	req := Request{
+		Domain: "presburger", State: st, Formula: f,
+		Mode: ModeEnumerate, Budget: &budget,
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Eval(ctx, req)
+		if err != nil || !res.Answer.Complete {
+			b.Fatalf("bad answer: %+v %v", res, err)
+		}
+	}
+}
+
+func BenchmarkEvalE1QstatsOn(b *testing.B) {
+	prev := qstats.SetEnabled(true)
+	defer qstats.SetEnabled(prev)
+	runQstatsBench(b)
+}
+
+func BenchmarkEvalE1QstatsOff(b *testing.B) {
+	prev := qstats.SetEnabled(false)
+	defer qstats.SetEnabled(prev)
+	runQstatsBench(b)
+}
+
+// TestWriteBenchQstats measures both modes and writes BENCH_qstats.json.
+// Gated behind BENCH_QSTATS=1 (the `make bench-qstats` target) so plain
+// `go test` stays fast and does not rewrite the checked-in measurement.
+func TestWriteBenchQstats(t *testing.T) {
+	if os.Getenv("BENCH_QSTATS") == "" {
+		t.Skip("set BENCH_QSTATS=1 (or run `make bench-qstats`) to write BENCH_qstats.json")
+	}
+	// Interleave modes and keep each mode's fastest round, as in
+	// TestWriteBenchLog: the minimum is the least-noise cost estimate.
+	const rounds = 5
+	onNs, offNs := int64(0), int64(0)
+	for r := 0; r < rounds; r++ {
+		qstats.SetEnabled(true)
+		on := testing.Benchmark(func(b *testing.B) { runQstatsBench(b) })
+		qstats.SetEnabled(false)
+		off := testing.Benchmark(func(b *testing.B) { runQstatsBench(b) })
+		qstats.SetEnabled(true)
+		if onNs == 0 || on.NsPerOp() < onNs {
+			onNs = on.NsPerOp()
+		}
+		if offNs == 0 || off.NsPerOp() < offNs {
+			offNs = off.NsPerOp()
+		}
+	}
+	overhead := 0.0
+	if offNs > 0 {
+		overhead = (float64(onNs) - float64(offNs)) / float64(offNs) * 100
+	}
+	out := map[string]any{
+		"benchmark":            "finq.Eval, E1 enumeration (34 rows, Presburger), qstats recording on vs off",
+		"ns_per_op_qstats_on":  onNs,
+		"ns_per_op_qstats_off": offNs,
+		"rounds":               rounds,
+		"overhead_pct":         overhead,
+		"note":                 "min ns/op over interleaved rounds; on = one CanonicalKey serialization + cache tally + shard-locked registry fold per eval, off = the toggle short-circuits before any of it",
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_qstats.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("BENCH_qstats.json: qstats on %d ns/op, off %d ns/op, overhead %.2f%%\n",
+		onNs, offNs, overhead)
+	if overhead >= 3.0 {
+		t.Errorf("qstats overhead %.2f%% exceeds the 3%% budget", overhead)
+	}
+}

@@ -4,7 +4,9 @@
 // way a scraper would before ingesting it: every sample line must parse
 // as `name[{labels}] value`, every family needs # HELP and # TYPE
 // metadata, histogram buckets must be cumulative and monotone, and each
-// histogram's +Inf bucket must equal its _count series.
+// histogram's +Inf bucket must equal its _count series. OpenMetrics
+// exemplars (` # {label="value"} value` after the sample) are accepted on
+// finite _bucket lines only and must themselves parse.
 //
 // It exits nonzero with a one-line diagnosis on the first violation.
 // CI pipes `curl /metrics` through it (scripts/serve-check.sh); run it
@@ -55,11 +57,16 @@ func main() {
 			continue
 		}
 
-		i := strings.LastIndexByte(line, ' ')
+		sample := line
+		if j := strings.Index(line, " # "); j >= 0 {
+			sample = line[:j]
+			checkExemplar(line, sample, line[j+3:])
+		}
+		i := strings.LastIndexByte(sample, ' ')
 		if i < 0 {
 			die("malformed sample line: %q", line)
 		}
-		nameAndLabels, valStr := line[:i], line[i+1:]
+		nameAndLabels, valStr := sample[:i], sample[i+1:]
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			die("unparseable value in %q: %v", line, err)
@@ -124,6 +131,42 @@ func main() {
 	}
 	fmt.Printf("expocheck: %d samples, %d families, %d histograms ok\n",
 		samples, len(types), len(hists))
+}
+
+// checkExemplar validates the ` # {label="value",...} value` suffix of a
+// sample line. Exemplars are only legal on finite histogram buckets.
+func checkExemplar(line, sample, exemplar string) {
+	if !strings.Contains(sample, "_bucket") {
+		die("exemplar on a non-bucket sample: %q", line)
+	}
+	if strings.Contains(sample, `le="+Inf"`) {
+		die("exemplar on a +Inf bucket: %q", line)
+	}
+	if !strings.HasPrefix(exemplar, "{") {
+		die("exemplar without a labelset: %q", line)
+	}
+	end := strings.IndexByte(exemplar, '}')
+	if end < 0 {
+		die("unterminated exemplar labelset: %q", line)
+	}
+	for _, pair := range strings.Split(exemplar[1:end], ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			die("malformed exemplar label %q: %q", pair, line)
+		}
+	}
+	rest := strings.TrimPrefix(exemplar[end+1:], " ")
+	value := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		// An optional timestamp may follow the exemplar value.
+		value, rest = rest[:i], rest[i+1:]
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			die("unparseable exemplar timestamp in %q: %v", line, err)
+		}
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		die("unparseable exemplar value in %q: %v", line, err)
+	}
 }
 
 func die(format string, args ...any) {

@@ -47,12 +47,42 @@ for path in /healthz /readyz; do
     echo "serve-check: GET $path 200 $(cat "$tmp/body")"
 done
 
+# One eval with a known request id seeds the RED latency histogram with
+# an OpenMetrics exemplar; the exposition must carry it and still pass
+# expocheck (which validates exemplar syntax on bucket lines).
+code="$(curl -s -o "$tmp/body" -w '%{http_code}' -H 'X-Request-Id: serve-check-0001' \
+    -d '{"domain": "eq", "state": {"relations": {"F": [["a", "b"]]}}, "formula": "exists y. F(x, y)"}' \
+    "http://$addr/v1/eval")"
+if [ "$code" != 200 ]; then
+    echo "serve-check: POST /v1/eval answered $code, want 200: $(cat "$tmp/body")" >&2
+    exit 1
+fi
+echo "serve-check: POST /v1/eval 200"
+
 code="$(curl -s -o "$tmp/metrics.txt" -w '%{http_code}' "http://$addr/metrics")"
 if [ "$code" != 200 ]; then
     echo "serve-check: GET /metrics answered $code, want 200" >&2
     exit 1
 fi
+if ! grep -q 'request_id="serve-check-0001"' "$tmp/metrics.txt"; then
+    echo "serve-check: /metrics misses the eval exemplar for serve-check-0001" >&2
+    grep server_eval_latency_us_bucket "$tmp/metrics.txt" >&2 || true
+    exit 1
+fi
+echo "serve-check: exemplar request_id=serve-check-0001 present on /metrics"
 "$GO" run scripts/expocheck.go <"$tmp/metrics.txt"
+
+# The per-query stats endpoint answers with the eval's aggregates.
+code="$(curl -s -o "$tmp/stats.json" -w '%{http_code}' "http://$addr/v1/stats/queries?by=count")"
+if [ "$code" != 200 ]; then
+    echo "serve-check: GET /v1/stats/queries answered $code, want 200" >&2
+    exit 1
+fi
+if ! grep -q '"evals"' "$tmp/stats.json"; then
+    echo "serve-check: /v1/stats/queries misses the eval aggregates: $(cat "$tmp/stats.json")" >&2
+    exit 1
+fi
+echo "serve-check: GET /v1/stats/queries 200 with aggregates"
 
 # Graceful shutdown: SIGTERM flips /readyz to 503 before the listener
 # closes (bounded by finqd's -drain-grace window).
