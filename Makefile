@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-perf bench-log bench-qstats trace-demo serve-smoke serve-check lint-logs
+.PHONY: build test vet staticcheck race bench bench-perf bench-log bench-qstats bench-prof bench-index trace-demo serve-smoke serve-check lint-logs
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,17 @@ bench-log:
 # writes BENCH_qstats.json. Fails if the overhead exceeds 3%.
 bench-qstats:
 	BENCH_QSTATS=1 $(GO) test -run TestWriteBenchQstats -count=1 -v .
+
+# bench-prof measures the pprof label attribution + allocation metering
+# overhead on the E1 evaluation through finq.Eval (the prof toggle on vs.
+# off) and writes BENCH_prof.json. Fails if the overhead exceeds 3%.
+bench-prof:
+	BENCH_PROF=1 $(GO) test -run TestWriteBenchProf -count=1 -v .
+
+# bench-index merges every BENCH_*.json measurement into the versioned
+# BENCH_index.json; `-check` mode (used by CI) verifies it is current.
+bench-index:
+	$(GO) run scripts/benchindex.go
 
 # trace-demo records the E1 experiment (enumeration over the Presburger
 # domain) with the flight recorder armed and writes a Chrome trace —

@@ -78,7 +78,7 @@ func usage() {
   finq saferange -state file.json "<formula>"
   finq algebra   -domain <name> -state file.json "<safe-range formula>"
   finq repl      -domain <name> [-state file.json]
-  finq stats     [-queries] [-by latency|count|selectivity] [-k n] [-json] [-import file] [-export file]
+  finq stats     [-queries] [-by latency|count|selectivity|allocs] [-k n] [-json] [-import file] [-export file]
   finq version
 
 global flags:
@@ -99,7 +99,7 @@ global flags:
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	queries := fs.Bool("queries", false, "print per-query stats instead of process metrics")
-	by := fs.String("by", "latency", "order for -queries: latency, count, or selectivity")
+	by := fs.String("by", "latency", "order for -queries: latency, count, selectivity, or allocs")
 	k := fs.Int("k", 20, "top-K entries for -queries (<= 0 for all)")
 	importPath := fs.String("import", "", "merge a saved per-query stats snapshot before printing")
 	exportPath := fs.String("export", "", `write the per-query stats snapshot JSON to a file ("-" for stdout)`)

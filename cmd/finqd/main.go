@@ -7,6 +7,10 @@
 //	finqd [-addr host:port] [-workers n] [-queue n]
 //	      [-timeout-eval d] [-timeout-decide d] [-max-body bytes]
 //	      [-slow d] [-drain-grace d]
+//	      [-slo-latency d] [-slo-target f] [-slo-error-target f]
+//	      [-slo-tick d] [-slo-fast d] [-slo-slow d] [-slo-burn f]
+//	      [-profile-capture[=false]] [-profile-dur d] [-profile-ring n]
+//	      [-profile-cooldown d]
 //	finqd -smoke
 //
 // The global flags (-debug-addr, -trace-out, -cache, -log-level,
@@ -27,6 +31,20 @@
 // aggregates (latency, selectivity, cache hits, keyed by the formula's
 // canonical key) are served on /v1/stats/queries (JSON) and
 // /debug/queries (text table).
+//
+// The SLO burn-rate engine watches the pooled endpoints (eval, decide,
+// qe, safety): each gets a latency objective (-slo-latency at -slo-target,
+// bucket-rounded) and an error objective (-slo-error-target), sampled
+// every -slo-tick over the -slo-fast and -slo-slow windows. When the fast
+// burn crosses -slo-burn with the slow window confirming, the trip is
+// logged, exported on /metrics and GET /v1/slo, and — unless
+// -profile-capture=false — a bounded CPU+heap profile pair is captured
+// into a ring of -profile-ring, cross-linked to the tripping request and
+// its tail-sampler trace. GET /debug/profiles lists the captures;
+// ?id=&kind=cpu|heap downloads raw pprof bytes; POST
+// /debug/profiles/capture runs one on demand. -slo-latency 0 disables the
+// engine entirely. GET /v1/version reports the build identity so captured
+// evidence pins to the binary that produced it.
 //
 // -smoke starts the server on an ephemeral port, exercises every endpoint
 // once in-process — including /healthz, /readyz and its drain flip, the
@@ -65,19 +83,41 @@ func main() {
 	maxBody := fs.Int64("max-body", 1<<20, "request body limit in bytes")
 	slow := fs.Duration("slow", time.Second, "capture the span subtree of requests at least this slow")
 	drainGrace := fs.Duration("drain-grace", 500*time.Millisecond, "wait between flipping /readyz and closing the listener on shutdown")
+	sloLatency := fs.Duration("slo-latency", time.Second, "latency SLO threshold per pooled endpoint (0 disables the SLO engine)")
+	sloTarget := fs.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-latency")
+	sloErrorTarget := fs.Float64("slo-error-target", 0.999, "fraction of requests that must not error")
+	sloTick := fs.Duration("slo-tick", 10*time.Second, "SLO burn-rate sampling period")
+	sloFast := fs.Duration("slo-fast", time.Minute, "fast SLO burn window")
+	sloSlow := fs.Duration("slo-slow", 10*time.Minute, "slow SLO burn window")
+	sloBurn := fs.Float64("slo-burn", 8, "fast-window burn rate that trips a capture (slow window confirms at half)")
+	profCapture := fs.Bool("profile-capture", true, "capture a CPU+heap profile pair on SLO trips")
+	profDur := fs.Duration("profile-dur", 2*time.Second, "CPU window of each triggered profile capture")
+	profRing := fs.Int("profile-ring", 8, "profile captures retained before the oldest is evicted")
+	profCooldown := fs.Duration("profile-cooldown", 5*time.Minute, "suppress repeat captures for one trigger reason this long")
 	smoke := fs.Bool("smoke", false, "start on an ephemeral port, exercise every endpoint once, exit")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	cfg := server.Config{
-		Addr:          *addr,
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		EvalTimeout:   *timeoutEval,
-		DecideTimeout: *timeoutDecide,
-		MaxBody:       *maxBody,
-		SlowRequest:   *slow,
-		DrainGrace:    *drainGrace,
+		Addr:                   *addr,
+		Workers:                *workers,
+		QueueDepth:             *queue,
+		EvalTimeout:            *timeoutEval,
+		DecideTimeout:          *timeoutDecide,
+		MaxBody:                *maxBody,
+		SlowRequest:            *slow,
+		DrainGrace:             *drainGrace,
+		SLOLatency:             *sloLatency,
+		SLOLatencyTarget:       *sloTarget,
+		SLOErrorTarget:         *sloErrorTarget,
+		SLOTick:                *sloTick,
+		SLOFastWindow:          *sloFast,
+		SLOSlowWindow:          *sloSlow,
+		SLOTripBurn:            *sloBurn,
+		ProfileCaptureDisarmed: !*profCapture,
+		ProfileCPUDuration:     *profDur,
+		ProfileRing:            *profRing,
+		ProfileCooldown:        *profCooldown,
 	}
 	if *smoke {
 		cfg.Addr = "127.0.0.1:0"

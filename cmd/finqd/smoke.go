@@ -15,6 +15,7 @@ import (
 
 	finq "repro"
 	"repro/internal/obs/logctx"
+	"repro/internal/obs/prof"
 	"repro/internal/server"
 )
 
@@ -82,6 +83,18 @@ var smokeChecks = []struct {
 	{
 		name: "metrics-runtime", method: "GET", path: "/metrics",
 		want: "runtime_goroutines",
+	},
+	{
+		name: "metrics-slo", method: "GET", path: "/metrics",
+		want: "slo_eval_latency_burn_fast_milli",
+	},
+	{
+		name: "slo", method: "GET", path: "/v1/slo",
+		want: `"enabled":true`,
+	},
+	{
+		name: "profiles-list", method: "GET", path: "/debug/profiles",
+		want: `"armed":true`,
 	},
 }
 
@@ -218,6 +231,74 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("qstats check: /v1/stats/queries misses the smoke query key %q with evals >= 1: %s", wantKey, statsData)
 	}
 	fmt.Printf("smoke %-22s ok  smoke query present with evals >= 1\n", "stats-queries")
+
+	// Version contract: /v1/version serves exactly the build line the
+	// binary itself reports, so captured evidence pins to this build.
+	resp, err = client.Get("http://" + addr + "/v1/version")
+	if err != nil {
+		return fmt.Errorf("version check: %w", err)
+	}
+	verData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("version check: status %d err %v: %s", resp.StatusCode, err, verData)
+	}
+	var ver struct {
+		Version string `json:"version"`
+		Line    string `json:"line"`
+	}
+	if err := json.Unmarshal(verData, &ver); err != nil {
+		return fmt.Errorf("version check: decoding response: %w", err)
+	}
+	if ver.Line != finq.Version() || ver.Version == "" {
+		return fmt.Errorf("version check: served %q, binary reports %q", ver.Line, finq.Version())
+	}
+	fmt.Printf("smoke %-22s ok  %s\n", "version", ver.Line)
+
+	// Profile-capture contract: an on-demand capture completes, is listed
+	// on /debug/profiles, and its CPU payload downloads by id.
+	resp, err = client.Post("http://"+addr+"/debug/profiles/capture?dur_ms=150", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("profile capture: %w", err)
+	}
+	capData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("profile capture: status %d err %v: %s", resp.StatusCode, err, capData)
+	}
+	var cap struct {
+		ID       string `json:"id"`
+		CPUBytes int    `json:"cpu_bytes"`
+	}
+	if err := json.Unmarshal(capData, &cap); err != nil {
+		return fmt.Errorf("profile capture: decoding response: %w", err)
+	}
+	if cap.ID == "" || cap.CPUBytes <= 0 {
+		return fmt.Errorf("profile capture: empty capture: %s", capData)
+	}
+	resp, err = client.Get("http://" + addr + "/debug/profiles")
+	if err != nil {
+		return fmt.Errorf("profile list: %w", err)
+	}
+	listData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(listData), cap.ID) {
+		return fmt.Errorf("profile list misses %q: %s", cap.ID, listData)
+	}
+	resp, err = client.Get("http://" + addr + "/debug/profiles?id=" + cap.ID + "&kind=cpu")
+	if err != nil {
+		return fmt.Errorf("profile download: %w", err)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(payload) != cap.CPUBytes {
+		return fmt.Errorf("profile download: status %d err %v, %d bytes (metadata says %d)",
+			resp.StatusCode, err, len(payload), cap.CPUBytes)
+	}
+	if _, err := prof.SampleLabels(payload); err != nil {
+		return fmt.Errorf("profile download: payload is not a pprof profile: %w", err)
+	}
+	fmt.Printf("smoke %-22s ok  capture %s listed and downloadable (%d bytes)\n", "profile-capture", cap.ID, cap.CPUBytes)
 
 	// Drain contract: StartDrain flips /readyz to 503 while the listener
 	// still serves (a balancer stops routing, in-flight work completes);

@@ -46,6 +46,7 @@ import (
 	"repro/internal/domains/zless"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/qstats"
 	"repro/internal/parser"
 	"repro/internal/presburger"
@@ -319,10 +320,24 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 	if recording {
 		ctx, tally = deccache.WithTally(ctx)
 	}
+	// The canonical key is both the qstats registry key and the pprof
+	// query_key label, so a profile slice and a stats row name the same
+	// query class. Computed once, only when someone will consume it.
+	var key string
+	if recording || prof.Enabled() {
+		key = req.Formula.CanonicalKey()
+	}
+	var res *Result
 	t0 := time.Now()
-	res, err := evalMode(ctx, d, st, mode, req)
+	mark := prof.BeginAlloc()
+	prof.Do(ctx, func(ctx context.Context) {
+		res, err = evalMode(ctx, d, st, mode, req)
+	}, "query_key", prof.QueryKeyLabel(key), "domain", req.Domain, "mode", string(mode))
+	allocBytes, allocObjs, allocSampled := mark.End()
 	if recording {
-		recordSample(d, mode, req.Formula, res, err, time.Since(t0), tally)
+		s := makeSample(key, d, mode, req.Formula, res, err, time.Since(t0), tally)
+		s.AllocBytes, s.AllocObjects, s.AllocSampled = allocBytes, allocObjs, allocSampled
+		qstats.Record(s)
 	}
 	return res, err
 }
@@ -361,8 +376,9 @@ func evalMode(ctx context.Context, d DomainInfo, st *State, mode EvalMode, req R
 // registry entry, so pathological formula sizes don't dominate the weight.
 const maxQueryDisplay = 120
 
-// recordSample folds one finished evaluation into the qstats registry.
-func recordSample(d DomainInfo, mode EvalMode, f *Formula, res *Result, err error, dur time.Duration, tally *deccache.Tally) {
+// makeSample builds the qstats sample for one finished evaluation; Eval
+// stamps the allocation fields and records it.
+func makeSample(key string, d DomainInfo, mode EvalMode, f *Formula, res *Result, err error, dur time.Duration, tally *deccache.Tally) qstats.Sample {
 	display := f.String()
 	if len(display) > maxQueryDisplay {
 		r := []rune(display)
@@ -372,7 +388,7 @@ func recordSample(d DomainInfo, mode EvalMode, f *Formula, res *Result, err erro
 		display = string(r) + "…"
 	}
 	s := qstats.Sample{
-		Key:       f.CanonicalKey(),
+		Key:       key,
 		Domain:    d.Name,
 		Mode:      string(mode),
 		Query:     display,
@@ -398,7 +414,7 @@ func recordSample(d DomainInfo, mode EvalMode, f *Formula, res *Result, err erro
 			})
 		}
 	}
-	qstats.Record(s)
+	return s
 }
 
 // packResult folds an evaluator's (answer, error) pair into the Result

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"context"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -178,6 +179,35 @@ func BucketIndex(v int64) int {
 // string ("0" for the non-positive bucket) — the le label of the
 // Prometheus exposition and the bucket key of JSON snapshots.
 func BucketLabel(i int) string { return bucketLabel(i) }
+
+// BucketUpper is the inclusive upper bound of the bucket v falls into:
+// the smallest threshold the histogram can actually resolve at or above
+// v. SLO latency thresholds round up through this, so "good" is exactly
+// the observations CountUnder can count. v ≤ 0 maps to 0; values in the
+// top bucket saturate at MaxInt64.
+func BucketUpper(v int64) int64 {
+	i := BucketIndex(v)
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxInt64
+	}
+	return int64(uint64(1)<<uint(i)) - 1
+}
+
+// CountUnder returns how many observations landed in buckets whose upper
+// bound is ≤ BucketUpper(v) — i.e. observations known to be ≤ the
+// bucket-rounded threshold. The count is a sum of per-bucket atomics, so
+// it is consistent to within concurrent observations.
+func (h *Histogram) CountUnder(v int64) int64 {
+	top := BucketIndex(v)
+	var n int64
+	for i := 0; i <= top && i < histBuckets; i++ {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
 
 // Exemplar links a histogram bucket to a recent trace: the request ID of
 // the most recent exemplar-bearing observation that landed in the bucket,

@@ -148,6 +148,38 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestBucketUpperCountUnder checks the SLO helpers: BucketUpper rounds a
+// threshold up to its bucket's inclusive bound, and CountUnder counts the
+// observations at or below that bound.
+func TestBucketUpperCountUnder(t *testing.T) {
+	for _, tc := range []struct{ v, want int64 }{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 3}, {4, 7},
+		{1000, 1023}, {1023, 1023}, {1024, 2047},
+		{int64(1) << 62, 1<<63 - 1},
+	} {
+		if got := BucketUpper(tc.v); got != tc.want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	Enable()
+	h := NewHistogram("test.countunder")
+	for _, v := range []int64{0, 1, 3, 500, 1023, 1024, 5000} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ v, want int64 }{
+		{0, 1},    // just the non-positive bucket
+		{1, 2},    // + value 1
+		{3, 3},    // + value 3
+		{1000, 5}, // + 500 and 1023 (≤ 1023 bound)
+		{1024, 6}, // + 1024
+		{1 << 40, 7},
+	} {
+		if got := h.CountUnder(tc.v); got != tc.want {
+			t.Errorf("CountUnder(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
 // TestSpanLabels: labels fold into the aggregation key.
 func TestSpanLabels(t *testing.T) {
 	Enable()

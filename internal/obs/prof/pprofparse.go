@@ -1,0 +1,172 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Minimal pprof profile reader. A captured profile is a gzipped
+// profile.proto message; the only thing this package (and the smoke and
+// acceptance tests) need from it is the string labels attached to each
+// sample, so rather than pulling in a protobuf dependency this walks the
+// wire format directly for the three fields involved:
+//
+//	Profile: 2 = repeated Sample, 6 = repeated string_table
+//	Sample:  3 = repeated Label
+//	Label:   1 = key (string_table index), 2 = str (string_table index)
+//
+// Everything else is skipped by wire type. The format is stable — it is
+// the contract between the Go runtime and `go tool pprof`.
+
+// SampleLabels decodes a gzipped pprof profile and returns each sample's
+// string-valued labels, one map per sample that has any.
+func SampleLabels(profile []byte) ([]map[string]string, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(profile))
+	if err != nil {
+		return nil, fmt.Errorf("prof: profile is not gzipped: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("prof: decompressing profile: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+
+	// First pass: collect the string table and the raw sample messages.
+	var table []string
+	var samples [][]byte
+	if err := walkFields(raw, func(field int, wire int, val uint64, sub []byte) error {
+		switch {
+		case field == 6 && wire == 2:
+			table = append(table, string(sub))
+		case field == 2 && wire == 2:
+			samples = append(samples, sub)
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("prof: parsing profile: %w", err)
+	}
+
+	// Second pass: pull each sample's labels through the string table.
+	var out []map[string]string
+	for _, s := range samples {
+		var labels map[string]string
+		err := walkFields(s, func(field int, wire int, val uint64, sub []byte) error {
+			if field != 3 || wire != 2 {
+				return nil
+			}
+			var keyIdx, strIdx uint64
+			if err := walkFields(sub, func(f int, w int, v uint64, _ []byte) error {
+				switch f {
+				case 1:
+					keyIdx = v
+				case 2:
+					strIdx = v
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			// strIdx == 0 means a numeric label; skip those.
+			if keyIdx == 0 || strIdx == 0 {
+				return nil
+			}
+			if keyIdx >= uint64(len(table)) || strIdx >= uint64(len(table)) {
+				return fmt.Errorf("label index out of range")
+			}
+			if labels == nil {
+				labels = map[string]string{}
+			}
+			labels[table[keyIdx]] = table[strIdx]
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("prof: parsing sample: %w", err)
+		}
+		if labels != nil {
+			out = append(out, labels)
+		}
+	}
+	return out, nil
+}
+
+// HasLabel reports whether any sample in the gzipped profile carries the
+// given label key/value pair, and how many do.
+func HasLabel(profile []byte, key, value string) (int, error) {
+	all, err := SampleLabels(profile)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, m := range all {
+		if m[key] == value {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// walkFields iterates the top-level fields of one protobuf message,
+// calling fn with the field number, wire type, varint value (wire 0) and
+// sub-message bytes (wire 2). Unknown wire types are skipped.
+func walkFields(msg []byte, fn func(field int, wire int, val uint64, sub []byte) error) error {
+	for len(msg) > 0 {
+		tag, n := uvarint(msg)
+		if n <= 0 {
+			return fmt.Errorf("bad tag varint")
+		}
+		msg = msg[n:]
+		field := int(tag >> 3)
+		wire := int(tag & 7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(msg)
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", field)
+			}
+			msg = msg[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(msg) < 8 {
+				return fmt.Errorf("short fixed64 in field %d", field)
+			}
+			msg = msg[8:]
+		case 2: // length-delimited
+			l, n := uvarint(msg)
+			if n <= 0 || uint64(len(msg)-n) < l {
+				return fmt.Errorf("bad length in field %d", field)
+			}
+			sub := msg[n : n+int(l)]
+			msg = msg[n+int(l):]
+			if err := fn(field, wire, 0, sub); err != nil {
+				return err
+			}
+		case 5: // fixed32
+			if len(msg) < 4 {
+				return fmt.Errorf("short fixed32 in field %d", field)
+			}
+			msg = msg[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// uvarint decodes a protobuf varint, returning the value and the number
+// of bytes consumed (0 if truncated).
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * uint(i))
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,133 @@
+package prof
+
+import (
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// TestDoSetsLabels: Do attaches the goroutine labels while fn runs, and
+// skips them when attribution is off.
+func TestDoSetsLabels(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+
+	var key, ep string
+	var ok1, ok2 bool
+	Do(context.Background(), func(ctx context.Context) {
+		key, ok1 = pprof.Label(ctx, "query_key")
+		ep, ok2 = pprof.Label(ctx, "endpoint")
+	}, "query_key", "Q1", "endpoint", "eval")
+	if !ok1 || key != "Q1" || !ok2 || ep != "eval" {
+		t.Fatalf("labels not set: query_key=%q(%v) endpoint=%q(%v)", key, ok1, ep, ok2)
+	}
+
+	SetEnabled(false)
+	Do(context.Background(), func(ctx context.Context) {
+		_, ok1 = pprof.Label(ctx, "query_key")
+	}, "query_key", "Q1")
+	if ok1 {
+		t.Fatal("labels set while attribution disabled")
+	}
+}
+
+// TestDoOddKV: an odd trailing key is dropped rather than panicking.
+func TestDoOddKV(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	ran := false
+	Do(context.Background(), func(ctx context.Context) {
+		ran = true
+		if v, ok := pprof.Label(ctx, "a"); !ok || v != "1" {
+			t.Errorf("label a=%q(%v), want 1", v, ok)
+		}
+	}, "a", "1", "dangling")
+	if !ran {
+		t.Fatal("fn did not run")
+	}
+}
+
+// TestQueryKeyLabel: short keys pass through, long keys truncate to a
+// bounded prefix.
+func TestQueryKeyLabel(t *testing.T) {
+	if got := QueryKeyLabel("short"); got != "short" {
+		t.Fatalf("short key mangled: %q", got)
+	}
+	long := strings.Repeat("x", maxLabelLen+50)
+	got := QueryKeyLabel(long)
+	if len(got) >= len(long) || !strings.HasPrefix(got, strings.Repeat("x", maxLabelLen)) || !strings.HasSuffix(got, "…") {
+		t.Fatalf("long key not truncated: len=%d", len(got))
+	}
+	// Truncation is deterministic, so labeling and matching agree.
+	if QueryKeyLabel(long) != got {
+		t.Fatal("truncation not deterministic")
+	}
+}
+
+// TestAllocMeter: a metered run attributes the bytes it allocates; a
+// contended or disabled run returns an inert mark.
+func TestAllocMeter(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	prevStride := SetAllocSampling(1)
+	defer SetAllocSampling(prevStride)
+
+	m := BeginAlloc()
+	sink = make([]byte, 1<<20)
+	bytes, objs, sampled := m.End()
+	if !sampled {
+		t.Fatal("mark not sampled")
+	}
+	if bytes < 1<<20 {
+		t.Fatalf("allocated bytes %d, want ≥ %d", bytes, 1<<20)
+	}
+	if objs < 1 {
+		t.Fatalf("allocated objects %d, want ≥ 1", objs)
+	}
+
+	// Contention: a second mark while the first is open goes unsampled.
+	m1 := BeginAlloc()
+	m2 := BeginAlloc()
+	if _, _, s := m2.End(); s {
+		t.Fatal("contended mark reported sampled")
+	}
+	if _, _, s := m1.End(); !s {
+		t.Fatal("first mark lost its sample to the contended one")
+	}
+	// Token released: metering works again.
+	m3 := BeginAlloc()
+	if _, _, s := m3.End(); !s {
+		t.Fatal("token not released after contended End")
+	}
+
+	SetEnabled(false)
+	if m := BeginAlloc(); m.active {
+		m.End()
+		t.Fatal("BeginAlloc active while disabled")
+	}
+}
+
+// TestAllocSamplingStride: with stride N, exactly one BeginAlloc in every
+// N is an active measurement.
+func TestAllocSamplingStride(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	prevStride := SetAllocSampling(4)
+	defer SetAllocSampling(prevStride)
+
+	active := 0
+	for i := 0; i < 16; i++ {
+		m := BeginAlloc()
+		if m.active {
+			active++
+		}
+		m.End()
+	}
+	if active != 4 {
+		t.Fatalf("stride 4 over 16 calls metered %d, want 4", active)
+	}
+}
+
+// sink keeps the allocation in TestAllocMeter from being optimized away.
+var sink []byte

@@ -1,0 +1,382 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The SLO engine turns the server's cumulative RED counters into
+// burn rates. An objective says "at least LatencyTarget of requests
+// finish within LatencyUS" (and "at most 1−ErrorTarget of requests
+// error"); the burn rate is the fraction of the error budget being spent
+// per unit time, so burn 1.0 exactly exhausts the budget over the SLO
+// period and burn 10 exhausts it ten times as fast. Two windows smooth
+// the signal the standard way: the fast window reacts to an incident in
+// seconds, the slow window keeps a brief blip from paging. A trip fires
+// on the edge where the fast burn crosses TripBurn while the slow burn
+// confirms it — and the capture store turns that edge into a CPU+heap
+// profile of the incident in progress.
+
+// EndpointCounts is one endpoint's cumulative counters at a sample
+// instant: total requests, error responses, latency observations, and
+// latency observations at or under the objective's threshold.
+type EndpointCounts struct {
+	Requests int64
+	Errors   int64
+	LatCount int64
+	LatGood  int64
+}
+
+// Source yields the current cumulative counts per endpoint. The server
+// adapts its RED metric families into one of these.
+type Source func() map[string]EndpointCounts
+
+// Objective is one endpoint's SLO targets. A zero LatencyUS disables the
+// latency dimension; a zero ErrorTarget disables the error dimension.
+type Objective struct {
+	// Endpoint is the RED endpoint label ("eval", "decide", ...).
+	Endpoint string
+	// LatencyUS is the good-latency threshold in microseconds. The obs
+	// histograms bucket by powers of two, so the effective threshold is
+	// the enclosing bucket's upper bound (EffectiveLatencyUS).
+	LatencyUS int64
+	// LatencyTarget is the objective fraction of requests that must meet
+	// the threshold, e.g. 0.99.
+	LatencyTarget float64
+	// ErrorTarget is the objective fraction of requests that must not
+	// error, e.g. 0.999.
+	ErrorTarget float64
+}
+
+// EffectiveLatencyUS is the threshold the engine can actually enforce:
+// LatencyUS rounded up to its histogram bucket's inclusive upper bound.
+func (o Objective) EffectiveLatencyUS() int64 {
+	if o.LatencyUS <= 0 {
+		return 0
+	}
+	return obs.BucketUpper(o.LatencyUS)
+}
+
+// Trip dimensions.
+const (
+	DimLatency = "latency"
+	DimErrors  = "errors"
+)
+
+// Trip is one burn-threshold crossing: the endpoint and dimension that
+// tripped, with both window burn rates at the moment of the edge.
+type Trip struct {
+	Endpoint  string
+	Dimension string
+	FastBurn  float64
+	SlowBurn  float64
+}
+
+// EngineConfig tunes the SLO engine. Zero durations take the defaults
+// noted on each field.
+type EngineConfig struct {
+	Objectives []Objective
+	Source     Source
+	// Tick is the sampling period (default 10s).
+	Tick time.Duration
+	// FastWindow and SlowWindow are the burn-rate windows (defaults 1m
+	// and 10m). The slow window bounds the engine's memory: it keeps
+	// SlowWindow/Tick+2 samples.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// TripBurn is the fast-window burn rate that fires a trip when the
+	// slow window confirms at half the rate (default 8).
+	TripBurn float64
+	// OnTrip, when set, is called from the engine's sampling goroutine on
+	// each trip edge. Implementations must not block (the capture store's
+	// async trigger is the intended callee).
+	OnTrip func(Trip)
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Tick <= 0 {
+		c.Tick = 10 * time.Second
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 10 * time.Minute
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = c.FastWindow
+	}
+	if c.TripBurn <= 0 {
+		c.TripBurn = 8
+	}
+	return c
+}
+
+// sloSample is one tick's cumulative counts.
+type sloSample struct {
+	at     time.Time
+	counts map[string]EndpointCounts
+}
+
+// dimGauges are one endpoint+dimension's exported burn gauges, in
+// milli-units (burn 1.0 → 1000) since obs gauges are integers.
+type dimGauges struct {
+	fast, slow, tripped *obs.Gauge
+}
+
+// Engine samples a Source on a ticker and maintains burn rates per
+// objective and dimension. Create with NewEngine; drive with Start (or
+// tick directly in tests); read with Status.
+type Engine struct {
+	cfg EngineConfig
+
+	mu      sync.Mutex
+	ring    []sloSample // newest last, bounded by slow window
+	burns   map[string]burnState
+	stopped bool
+
+	gauges map[string]dimGauges
+}
+
+// burnState is the latest computed burn pair and trip latch for one
+// endpoint+dimension key.
+type burnState struct {
+	fast, slow float64
+	tripped    bool
+	lastTrip   time.Time
+}
+
+func dimKey(endpoint, dim string) string { return endpoint + "/" + dim }
+
+// NewEngine validates the config and registers the burn gauges. The
+// objective set is closed at construction, so the gauge families are a
+// closed set too.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("prof: slo engine needs a Source")
+	}
+	seen := map[string]bool{}
+	for _, o := range cfg.Objectives {
+		if o.Endpoint == "" {
+			return nil, fmt.Errorf("prof: slo objective with empty endpoint")
+		}
+		if seen[o.Endpoint] {
+			return nil, fmt.Errorf("prof: duplicate slo objective for endpoint %q", o.Endpoint)
+		}
+		seen[o.Endpoint] = true
+		if o.LatencyUS > 0 && (o.LatencyTarget <= 0 || o.LatencyTarget >= 1) {
+			return nil, fmt.Errorf("prof: slo latency target for %q must be in (0,1), got %v", o.Endpoint, o.LatencyTarget)
+		}
+		if o.ErrorTarget < 0 || o.ErrorTarget >= 1 {
+			return nil, fmt.Errorf("prof: slo error target for %q must be in [0,1), got %v", o.Endpoint, o.ErrorTarget)
+		}
+	}
+	e := &Engine{
+		cfg:    cfg,
+		burns:  map[string]burnState{},
+		gauges: map[string]dimGauges{},
+	}
+	for _, o := range cfg.Objectives {
+		for _, dim := range []string{DimLatency, DimErrors} {
+			if (dim == DimLatency && o.LatencyUS <= 0) || (dim == DimErrors && o.ErrorTarget <= 0) {
+				continue
+			}
+			base := "slo." + o.Endpoint + "." + dim
+			g := dimGauges{
+				fast:    obs.NewGauge(base + "_burn_fast_milli"),
+				slow:    obs.NewGauge(base + "_burn_slow_milli"),
+				tripped: obs.NewGauge(base + "_tripped"),
+			}
+			obs.SetHelp(base+"_burn_fast_milli", "Fast-window SLO burn rate x1000 for the "+o.Endpoint+" "+dim+" objective.")
+			obs.SetHelp(base+"_burn_slow_milli", "Slow-window SLO burn rate x1000 for the "+o.Endpoint+" "+dim+" objective.")
+			obs.SetHelp(base+"_tripped", "1 while the "+o.Endpoint+" "+dim+" burn trigger is latched.")
+			e.gauges[dimKey(o.Endpoint, dim)] = g
+		}
+	}
+	return e, nil
+}
+
+// Start begins sampling on the configured tick and returns an idempotent
+// stop function. An immediate first sample runs before returning, so
+// Status and the gauges are populated from the start.
+func (e *Engine) Start() (stop func()) {
+	e.Tick(time.Now())
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(e.cfg.Tick)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				e.Tick(now)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Tick takes one sample and recomputes every burn rate; Start calls it on
+// the ticker and tests call it directly with a synthetic clock.
+func (e *Engine) Tick(now time.Time) {
+	counts := e.cfg.Source()
+	var trips []Trip
+
+	e.mu.Lock()
+	e.ring = append(e.ring, sloSample{at: now, counts: counts})
+	cutoff := now.Add(-e.cfg.SlowWindow)
+	// Keep one sample at or before the cutoff so the slow window always
+	// has a full-span baseline once enough history exists.
+	drop := 0
+	for drop < len(e.ring)-1 && e.ring[drop+1].at.Before(cutoff) {
+		drop++
+	}
+	e.ring = e.ring[drop:]
+
+	for _, o := range e.cfg.Objectives {
+		for _, dim := range []string{DimLatency, DimErrors} {
+			key := dimKey(o.Endpoint, dim)
+			g, active := e.gauges[key]
+			if !active {
+				continue
+			}
+			fast := e.burnOver(o, dim, now, e.cfg.FastWindow)
+			slow := e.burnOver(o, dim, now, e.cfg.SlowWindow)
+			st := e.burns[key]
+			st.fast, st.slow = fast, slow
+			over := fast >= e.cfg.TripBurn && slow >= e.cfg.TripBurn/2
+			if over && !st.tripped {
+				st.lastTrip = now
+				trips = append(trips, Trip{Endpoint: o.Endpoint, Dimension: dim, FastBurn: fast, SlowBurn: slow})
+			}
+			st.tripped = over
+			e.burns[key] = st
+			g.fast.Set(int64(fast * 1000))
+			g.slow.Set(int64(slow * 1000))
+			if over {
+				g.tripped.Set(1)
+			} else {
+				g.tripped.Set(0)
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	if e.cfg.OnTrip != nil {
+		for _, tr := range trips {
+			e.cfg.OnTrip(tr)
+		}
+	}
+}
+
+// burnOver computes one dimension's burn rate over the trailing window:
+// (bad fraction among the window's requests) / (error budget). Caller
+// holds e.mu. Returns 0 until the ring spans at least two samples.
+func (e *Engine) burnOver(o Objective, dim string, now time.Time, window time.Duration) float64 {
+	if len(e.ring) < 2 {
+		return 0
+	}
+	newest := e.ring[len(e.ring)-1]
+	// The window baseline is the newest sample at or before now-window,
+	// or the oldest sample while history is still shorter than the window.
+	cutoff := now.Add(-window)
+	base := e.ring[0]
+	for _, s := range e.ring[1 : len(e.ring)-1] {
+		if s.at.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	nc, bc := newest.counts[o.Endpoint], base.counts[o.Endpoint]
+	var bad, total int64
+	var budget float64
+	switch dim {
+	case DimLatency:
+		total = nc.LatCount - bc.LatCount
+		bad = total - (nc.LatGood - bc.LatGood)
+		budget = 1 - o.LatencyTarget
+	case DimErrors:
+		total = nc.Requests - bc.Requests
+		bad = nc.Errors - bc.Errors
+		budget = 1 - o.ErrorTarget
+	}
+	if total <= 0 || budget <= 0 {
+		return 0
+	}
+	if bad < 0 {
+		bad = 0
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// DimensionStatus is one dimension of an endpoint's SLO as reported by
+// Status and GET /v1/slo.
+type DimensionStatus struct {
+	// Target is the objective fraction (good latency or non-error).
+	Target float64 `json:"target"`
+	// ThresholdUS is the configured good-latency bound; EffectiveUS the
+	// bucket bound actually enforced. Latency dimension only.
+	ThresholdUS int64 `json:"threshold_us,omitempty"`
+	EffectiveUS int64 `json:"effective_us,omitempty"`
+	// BurnFast and BurnSlow are the current burn rates.
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+	// Tripped reports the trigger latch; LastTripUnixMS the most recent
+	// trip edge (0 when never tripped).
+	Tripped        bool  `json:"tripped"`
+	LastTripUnixMS int64 `json:"last_trip_unix_ms,omitempty"`
+}
+
+// EndpointStatus is one endpoint's SLO summary.
+type EndpointStatus struct {
+	Endpoint string           `json:"endpoint"`
+	Latency  *DimensionStatus `json:"latency,omitempty"`
+	Errors   *DimensionStatus `json:"errors,omitempty"`
+}
+
+// Status reports every objective's current burn state, sorted by
+// endpoint for deterministic JSON.
+func (e *Engine) Status() []EndpointStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]EndpointStatus, 0, len(e.cfg.Objectives))
+	for _, o := range e.cfg.Objectives {
+		es := EndpointStatus{Endpoint: o.Endpoint}
+		if o.LatencyUS > 0 {
+			st := e.burns[dimKey(o.Endpoint, DimLatency)]
+			es.Latency = &DimensionStatus{
+				Target: o.LatencyTarget, ThresholdUS: o.LatencyUS, EffectiveUS: o.EffectiveLatencyUS(),
+				BurnFast: st.fast, BurnSlow: st.slow, Tripped: st.tripped,
+			}
+			if !st.lastTrip.IsZero() {
+				es.Latency.LastTripUnixMS = st.lastTrip.UnixMilli()
+			}
+		}
+		if o.ErrorTarget > 0 {
+			st := e.burns[dimKey(o.Endpoint, DimErrors)]
+			es.Errors = &DimensionStatus{
+				Target:   o.ErrorTarget,
+				BurnFast: st.fast, BurnSlow: st.slow, Tripped: st.tripped,
+			}
+			if !st.lastTrip.IsZero() {
+				es.Errors.LastTripUnixMS = st.lastTrip.UnixMilli()
+			}
+		}
+		out = append(out, es)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out
+}
+
+// Windows reports the engine's effective tick and window configuration —
+// the /v1/slo header block.
+func (e *Engine) Windows() (tick, fast, slow time.Duration, tripBurn float64) {
+	return e.cfg.Tick, e.cfg.FastWindow, e.cfg.SlowWindow, e.cfg.TripBurn
+}

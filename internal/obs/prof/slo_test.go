@@ -1,0 +1,189 @@
+package prof
+
+import (
+	"testing"
+	"time"
+)
+
+// sloClock drives Engine.Tick with a synthetic timeline.
+type sloClock struct{ now time.Time }
+
+func (c *sloClock) advance(d time.Duration) time.Time {
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// TestEffectiveLatency: thresholds round up to the histogram bucket bound.
+func TestEffectiveLatency(t *testing.T) {
+	for _, tc := range []struct{ in, want int64 }{
+		{0, 0}, {1, 1}, {1000, 1023}, {1023, 1023}, {1024, 2047},
+	} {
+		if got := (Objective{LatencyUS: tc.in}).EffectiveLatencyUS(); got != tc.want {
+			t.Errorf("EffectiveLatencyUS(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNewEngineValidation rejects malformed objective sets.
+func TestNewEngineValidation(t *testing.T) {
+	src := func() map[string]EndpointCounts { return nil }
+	cases := []EngineConfig{
+		{Source: nil},
+		{Source: src, Objectives: []Objective{{Endpoint: ""}}},
+		{Source: src, Objectives: []Objective{
+			{Endpoint: "eval", LatencyUS: 1000, LatencyTarget: 0.9},
+			{Endpoint: "eval", ErrorTarget: 0.99},
+		}},
+		{Source: src, Objectives: []Objective{{Endpoint: "eval", LatencyUS: 1000, LatencyTarget: 1.5}}},
+		{Source: src, Objectives: []Objective{{Endpoint: "eval", ErrorTarget: -0.1}}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("case %d: config accepted, want error", i)
+		}
+	}
+	if _, err := NewEngine(EngineConfig{Source: src, Objectives: []Objective{
+		{Endpoint: "eval", LatencyUS: 1000, LatencyTarget: 0.9, ErrorTarget: 0.99},
+	}}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestBurnAndTrip drives the engine over a synthetic incident: burns rise
+// when bad traffic arrives, the trip fires once on the edge (fast over
+// threshold, slow confirming), stays latched while over, and re-arms
+// after recovery.
+func TestBurnAndTrip(t *testing.T) {
+	counts := EndpointCounts{}
+	var trips []Trip
+	eng, err := NewEngine(EngineConfig{
+		Objectives: []Objective{{Endpoint: "eval", LatencyUS: 1000, LatencyTarget: 0.9, ErrorTarget: 0.99}},
+		Source: func() map[string]EndpointCounts {
+			return map[string]EndpointCounts{"eval": counts}
+		},
+		Tick:       time.Second,
+		FastWindow: 2 * time.Second,
+		SlowWindow: 4 * time.Second,
+		TripBurn:   2,
+		OnTrip:     func(tr Trip) { trips = append(trips, tr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &sloClock{now: time.Unix(1_700_000_000, 0)}
+
+	// t0: baseline, no traffic yet.
+	eng.Tick(clk.now)
+	// t1: 100 healthy requests.
+	counts = EndpointCounts{Requests: 100, LatCount: 100, LatGood: 100}
+	eng.Tick(clk.advance(time.Second))
+	if len(trips) != 0 {
+		t.Fatalf("trip on healthy traffic: %+v", trips)
+	}
+	// t2: 100 more requests, half over the latency threshold. Fast window
+	// spans t0..t2: 50/200 bad / 0.1 budget = burn 2.5 ≥ 2; slow confirms.
+	counts = EndpointCounts{Requests: 200, LatCount: 200, LatGood: 150}
+	eng.Tick(clk.advance(time.Second))
+	if len(trips) != 1 || trips[0].Endpoint != "eval" || trips[0].Dimension != DimLatency {
+		t.Fatalf("want one latency trip, got %+v", trips)
+	}
+	if trips[0].FastBurn < 2 || trips[0].SlowBurn < 1 {
+		t.Fatalf("trip burns too low: %+v", trips[0])
+	}
+	// t3: no new traffic; the window still sees the incident, the latch
+	// holds, and no second trip fires.
+	eng.Tick(clk.advance(time.Second))
+	if len(trips) != 1 {
+		t.Fatalf("latched trip re-fired: %+v", trips)
+	}
+	st := eng.Status()
+	if len(st) != 1 || st[0].Latency == nil || st[0].Errors == nil {
+		t.Fatalf("status shape wrong: %+v", st)
+	}
+	if st[0].Latency.EffectiveUS != 1023 {
+		t.Errorf("effective threshold %d, want 1023", st[0].Latency.EffectiveUS)
+	}
+	if st[0].Latency.LastTripUnixMS == 0 {
+		t.Error("latency trip time not recorded")
+	}
+	// Recovery: several quiet ticks push the incident out of both windows.
+	for i := 0; i < 6; i++ {
+		eng.Tick(clk.advance(time.Second))
+	}
+	st = eng.Status()
+	if st[0].Latency.Tripped || st[0].Latency.BurnFast != 0 {
+		t.Fatalf("did not recover: %+v", st[0].Latency)
+	}
+	// A fresh error incident re-trips — this time on the errors dimension.
+	counts = EndpointCounts{Requests: 300, Errors: 50, LatCount: 300, LatGood: 250}
+	eng.Tick(clk.advance(time.Second))
+	var sawErrors bool
+	for _, tr := range trips[1:] {
+		if tr.Dimension == DimErrors {
+			sawErrors = true
+		}
+	}
+	if !sawErrors {
+		t.Fatalf("error burn did not trip: %+v", trips)
+	}
+}
+
+// TestBurnWindowBaseline: with history longer than the window, the burn
+// uses the in-window baseline, not the whole ring.
+func TestBurnWindowBaseline(t *testing.T) {
+	counts := EndpointCounts{}
+	eng, err := NewEngine(EngineConfig{
+		Objectives: []Objective{{Endpoint: "eval", LatencyUS: 1000, LatencyTarget: 0.9}},
+		Source: func() map[string]EndpointCounts {
+			return map[string]EndpointCounts{"eval": counts}
+		},
+		Tick:       time.Second,
+		FastWindow: 2 * time.Second,
+		SlowWindow: 10 * time.Second,
+		TripBurn:   1000, // never trip; this test reads burns only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &sloClock{now: time.Unix(1_700_000_000, 0)}
+	// A bad burst long ago...
+	eng.Tick(clk.now)
+	counts = EndpointCounts{Requests: 100, LatCount: 100, LatGood: 0}
+	eng.Tick(clk.advance(time.Second))
+	// ...then five seconds of healthy traffic.
+	for i := 0; i < 5; i++ {
+		counts.Requests += 100
+		counts.LatCount += 100
+		counts.LatGood += 100
+		eng.Tick(clk.advance(time.Second))
+	}
+	st := eng.Status()[0].Latency
+	// Fast window (2s) saw only healthy traffic; slow window still covers
+	// the burst.
+	if st.BurnFast != 0 {
+		t.Errorf("fast burn %v, want 0 (burst outside fast window)", st.BurnFast)
+	}
+	if st.BurnSlow <= 0 {
+		t.Errorf("slow burn %v, want > 0 (burst inside slow window)", st.BurnSlow)
+	}
+}
+
+// TestEngineStartStop: Start samples immediately and stop is idempotent.
+func TestEngineStartStop(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Objectives: []Objective{{Endpoint: "eval", LatencyUS: 1000, LatencyTarget: 0.9}},
+		Source: func() map[string]EndpointCounts {
+			return map[string]EndpointCounts{"eval": {Requests: 1, LatCount: 1, LatGood: 1}}
+		},
+		Tick: time.Hour, // the ticker never fires during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := eng.Start()
+	if got := eng.Status(); len(got) != 1 {
+		t.Fatalf("status after Start: %+v", got)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -126,6 +126,12 @@ type Sample struct {
 	// CacheHits and CacheMisses attribute decision-cache traffic to this
 	// evaluation (deccache.Tally).
 	CacheHits, CacheMisses int64
+	// AllocBytes and AllocObjects are the evaluation's heap allocation
+	// deltas (prof.BeginAlloc/End), meaningful only when AllocSampled is
+	// set — the alloc meter is single-flight, so concurrent evaluations go
+	// unsampled rather than report overlapping numbers.
+	AllocBytes, AllocObjects int64
+	AllocSampled             bool
 	// Nodes carries the flattened EXPLAIN profile of a profiled run; nil
 	// for unprofiled evaluations.
 	Nodes []NodeSample
@@ -150,6 +156,8 @@ type entry struct {
 	evals, rows  int64
 	stopped      [5]int64
 	hits, misses int64
+
+	allocBytes, allocObjs, allocSamples int64
 
 	latCount, latSum, latMax int64
 	latBuckets               [obs.NumBuckets]int64
@@ -176,6 +184,12 @@ func (e *entry) fold(s Sample, now int64) {
 	e.stopped[stopIndex(s.Stopped)]++
 	e.hits += s.CacheHits
 	e.misses += s.CacheMisses
+
+	if s.AllocSampled {
+		e.allocSamples++
+		e.allocBytes += s.AllocBytes
+		e.allocObjs += s.AllocObjects
+	}
 
 	e.latCount++
 	e.latSum += s.LatencyUS

@@ -89,6 +89,55 @@ func TestMergeInvariants(t *testing.T) {
 	}
 }
 
+// TestAllocDimension: sampled allocation deltas aggregate, unsampled runs
+// contribute nothing, the mean divides by the sampled count only, and the
+// allocs TopK order and import merge see the dimension.
+func TestAllocDimension(t *testing.T) {
+	r := New(0)
+	r.Record(Sample{Key: "ka", LatencyUS: 10, AllocBytes: 4096, AllocObjects: 10, AllocSampled: true})
+	r.Record(Sample{Key: "ka", LatencyUS: 10, AllocBytes: 2048, AllocObjects: 6, AllocSampled: true})
+	// An unsampled (concurrent) run: alloc numbers must be ignored.
+	r.Record(Sample{Key: "ka", LatencyUS: 10, AllocBytes: 999999, AllocObjects: 999})
+	r.Record(Sample{Key: "kb", LatencyUS: 10, AllocBytes: 100, AllocObjects: 1, AllocSampled: true})
+
+	snap := r.Take()
+	var ka, kb EntryView
+	for _, e := range snap.Entries {
+		switch e.Key {
+		case "ka":
+			ka = e
+		case "kb":
+			kb = e
+		}
+	}
+	if ka.AllocBytes != 6144 || ka.AllocObjects != 16 || ka.AllocSamples != 2 {
+		t.Fatalf("ka alloc aggregates: %+v", ka)
+	}
+	if ka.MeanAllocBytes != 3072 {
+		t.Fatalf("ka mean alloc: %v, want 3072", ka.MeanAllocBytes)
+	}
+	if kb.AllocBytes != 100 || kb.AllocSamples != 1 {
+		t.Fatalf("kb alloc aggregates: %+v", kb)
+	}
+
+	byAllocs, err := r.TopK(ByAllocs, 2)
+	if err != nil || len(byAllocs) != 2 || byAllocs[0].Key != "ka" {
+		t.Fatalf("by allocs: %v %+v", err, byAllocs)
+	}
+
+	// Import merges the dimension losslessly.
+	r2 := New(0)
+	r2.Import(snap)
+	r2.Import(snap)
+	e2, err := r2.TopK(ByAllocs, 1)
+	if err != nil || e2[0].AllocBytes != 12288 || e2[0].AllocSamples != 4 {
+		t.Fatalf("imported alloc aggregates: %v %+v", err, e2)
+	}
+	if e2[0].MeanAllocBytes != 3072 {
+		t.Fatalf("imported mean alloc: %v", e2[0].MeanAllocBytes)
+	}
+}
+
 func TestSnapshotDeterministic(t *testing.T) {
 	build := func() *Registry {
 		r := New(0)

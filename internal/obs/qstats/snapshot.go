@@ -49,6 +49,13 @@ type EntryView struct {
 	Stopped       map[string]int64 `json:"stopped,omitempty"`
 	CacheHits     int64            `json:"cache_hits"`
 	CacheMisses   int64            `json:"cache_misses"`
+	// AllocBytes and AllocObjects sum the heap-allocation deltas of the
+	// AllocSamples evaluations that ran with the alloc meter (serialized
+	// runs); MeanAllocBytes = AllocBytes / AllocSamples.
+	AllocBytes     int64   `json:"alloc_bytes,omitempty"`
+	AllocObjects   int64   `json:"alloc_objects,omitempty"`
+	AllocSamples   int64   `json:"alloc_samples,omitempty"`
+	MeanAllocBytes float64 `json:"mean_alloc_bytes,omitempty"`
 	// Selectivity is the root node's true/evals ratio when profile data
 	// exists, else rows/evals clamped to [0,1] as a coarse fallback.
 	Selectivity float64    `json:"selectivity"`
@@ -75,6 +82,10 @@ func (e *entry) view() EntryView {
 	}
 	if e.latCount > 0 {
 		v.MeanLatencyUS = float64(e.latSum) / float64(e.latCount)
+	}
+	v.AllocBytes, v.AllocObjects, v.AllocSamples = e.allocBytes, e.allocObjs, e.allocSamples
+	if e.allocSamples > 0 {
+		v.MeanAllocBytes = float64(e.allocBytes) / float64(e.allocSamples)
 	}
 	for i, n := range e.latBuckets {
 		if n == 0 {
@@ -161,6 +172,7 @@ const (
 	ByLatency     = "latency"     // total latency (sum of eval wall time)
 	ByCount       = "count"       // evaluation count
 	BySelectivity = "selectivity" // lowest selectivity first: expensive filters
+	ByAllocs      = "allocs"      // total sampled allocation bytes
 )
 
 // TopK returns up to k entries ordered by the given dimension: "latency"
@@ -178,9 +190,11 @@ func (r *Registry) TopK(by string, k int) ([]EntryView, error) {
 		less = func(a, b EntryView) bool { return a.Evals > b.Evals }
 	case BySelectivity:
 		less = func(a, b EntryView) bool { return a.Selectivity < b.Selectivity }
+	case ByAllocs:
+		less = func(a, b EntryView) bool { return a.AllocBytes > b.AllocBytes }
 	default:
-		return nil, fmt.Errorf("qstats: unknown order %q (want %s, %s, or %s)",
-			by, ByLatency, ByCount, BySelectivity)
+		return nil, fmt.Errorf("qstats: unknown order %q (want %s, %s, %s, or %s)",
+			by, ByLatency, ByCount, BySelectivity, ByAllocs)
 	}
 	sort.SliceStable(snap.Entries, func(i, j int) bool {
 		a, b := snap.Entries[i], snap.Entries[j]
@@ -250,6 +264,9 @@ func (r *Registry) importEntry(v EntryView, labelIndex map[string]int) {
 	for reason, n := range v.Stopped {
 		e.stopped[stopIndex(reason)] += n
 	}
+	e.allocBytes += v.AllocBytes
+	e.allocObjs += v.AllocObjects
+	e.allocSamples += v.AllocSamples
 	e.latCount += v.Latency.Count
 	e.latSum += v.Latency.Sum
 	if v.Latency.Max > e.latMax {
@@ -298,12 +315,16 @@ func (r *Registry) importEntry(v EntryView, labelIndex map[string]int) {
 // WriteTable renders entries as an aligned text table — the /debug/queries
 // page, `finq stats -queries`, and the REPL's :qstats all use it.
 func WriteTable(w io.Writer, entries []EntryView) {
-	fmt.Fprintf(w, "%-7s %-9s %-6s %-7s %-9s %-9s %-5s %-6s %-9s %s\n",
-		"EVALS", "MODE", "ROWS", "MEAN_US", "MAX_US", "TOTAL_US", "SEL", "HIT%", "STOPPED", "QUERY")
+	fmt.Fprintf(w, "%-7s %-9s %-6s %-7s %-9s %-9s %-8s %-5s %-6s %-9s %s\n",
+		"EVALS", "MODE", "ROWS", "MEAN_US", "MAX_US", "TOTAL_US", "ALLOC_B", "SEL", "HIT%", "STOPPED", "QUERY")
 	for _, e := range entries {
 		hitPct := "-"
 		if total := e.CacheHits + e.CacheMisses; total > 0 {
 			hitPct = fmt.Sprintf("%.0f", float64(e.CacheHits)/float64(total)*100)
+		}
+		allocB := "-"
+		if e.AllocSamples > 0 {
+			allocB = fmt.Sprintf("%.0f", e.MeanAllocBytes)
 		}
 		stopped := "-"
 		if len(e.Stopped) > 0 {
@@ -319,8 +340,8 @@ func WriteTable(w io.Writer, entries []EntryView) {
 		if e.Domain != "" {
 			q = e.Domain + ": " + q
 		}
-		fmt.Fprintf(w, "%-7d %-9s %-6d %-7.0f %-9d %-9d %-5.2f %-6s %-9s %s\n",
+		fmt.Fprintf(w, "%-7d %-9s %-6d %-7.0f %-9d %-9d %-8s %-5.2f %-6s %-9s %s\n",
 			e.Evals, e.Mode, e.Rows, e.MeanLatencyUS, e.Latency.Max, e.Latency.Sum,
-			e.Selectivity, hitPct, stopped, q)
+			allocB, e.Selectivity, hitPct, stopped, q)
 	}
 }

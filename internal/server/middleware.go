@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/logctx"
+	"repro/internal/obs/prof"
 )
 
 // reqState is the per-request scratchpad the middleware shares with the
@@ -91,7 +92,7 @@ type redSet struct {
 // redEndpoints is the closed set of endpoint labels; unknown paths fold
 // into "other" so a path scan cannot mint unbounded metric families.
 var redEndpoints = []string{
-	"eval", "decide", "qe", "safety", "domains", "stats",
+	"eval", "decide", "qe", "safety", "domains", "stats", "slo", "version",
 	"healthz", "readyz", "metrics", "debug", "other",
 }
 
@@ -125,6 +126,10 @@ func endpointName(path string) string {
 		return "domains"
 	case "/v1/stats/queries":
 		return "stats"
+	case "/v1/slo":
+		return "slo"
+	case "/v1/version":
+		return "version"
 	case "/healthz":
 		return "healthz"
 	case "/readyz":
@@ -175,7 +180,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		rw.Header().Set("X-Request-Id", id)
 
 		t0 := time.Now()
-		next.ServeHTTP(rw, r)
+		// The handler runs under pprof labels, so every CPU-profile sample
+		// taken while this request is in flight attributes to its endpoint
+		// and request ID (finq.Eval adds query_key below this).
+		prof.Do(ctx, func(ctx context.Context) {
+			next.ServeHTTP(rw, r.WithContext(ctx))
+		}, "endpoint", st.endpoint, "request_id", id)
 		dur := time.Since(t0)
 
 		status := rw.status

@@ -12,12 +12,17 @@
 //	POST /v1/qe             quantifier-eliminate a formula
 //	POST /v1/safety         relative-safety analysis of a query
 //	GET  /v1/domains        list the registered domains
-//	GET  /v1/stats/queries  per-query stats, top-K by latency/count/selectivity
+//	GET  /v1/stats/queries  per-query stats, top-K by latency/count/selectivity/allocs
+//	GET  /v1/slo            SLO burn-rate summary per endpoint objective
+//	GET  /v1/version        build identity (module version, VCS stamp, toolchain)
 //	GET  /healthz           liveness (200 while the process serves HTTP)
 //	GET  /readyz            readiness (503 once a drain begins)
 //	GET  /debug/slow        tail-sampled request captures; no args lists
 //	                        them, ?id= fetches one span subtree by request ID
 //	GET  /debug/queries     per-query stats as a text table
+//	GET  /debug/profiles    triggered CPU+heap profile captures; ?id=&kind=
+//	                        downloads raw pprof bytes
+//	POST /debug/profiles/capture  on-demand bounded CPU+heap capture
 //	GET  /metrics           Prometheus metrics (also /debug/obs, /debug/pprof/)
 //
 // Every request is request-scoped observable: an ID (honored from
@@ -50,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 // Config tunes the service. The zero value serves on an ephemeral local
@@ -81,6 +87,40 @@ type Config struct {
 	// slog.Default() (which cliutil.Setup configures from -log-level and
 	// -log-format).
 	Logger *slog.Logger
+
+	// SLOLatency enables the SLO burn-rate engine: each pooled endpoint
+	// (eval, decide, qe, safety) gets a latency objective at this threshold
+	// (bucket-rounded) and an error objective. <= 0 disables the engine
+	// unless SLOObjectives is set explicitly.
+	SLOLatency time.Duration
+	// SLOLatencyTarget is the objective fraction of requests under
+	// SLOLatency; <= 0 means 0.99.
+	SLOLatencyTarget float64
+	// SLOErrorTarget is the objective fraction of non-error requests;
+	// <= 0 means 0.999, exactly 0 via the flag keeps the default.
+	SLOErrorTarget float64
+	// SLOObjectives overrides the per-endpoint objective construction
+	// entirely (tests, unusual topologies).
+	SLOObjectives []prof.Objective
+	// SLOTick, SLOFastWindow, SLOSlowWindow, and SLOTripBurn tune the
+	// engine's sampling and trip thresholds; zero values take the prof
+	// package defaults (10s, 1m, 10m, burn 8).
+	SLOTick       time.Duration
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
+	SLOTripBurn   float64
+
+	// ProfileCapture arms trigger-based profile capture on SLO trips
+	// (manual POST /debug/profiles/capture works regardless). Default on;
+	// the flag -profile-capture=false disarms.
+	ProfileCaptureDisarmed bool
+	// ProfileRing bounds retained captures; <= 0 means 8.
+	ProfileRing int
+	// ProfileCPUDuration bounds each capture's CPU window; <= 0 means 2s.
+	ProfileCPUDuration time.Duration
+	// ProfileCooldown suppresses repeat captures for one trigger reason;
+	// <= 0 means 5m.
+	ProfileCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +144,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowRequest <= 0 {
 		c.SlowRequest = time.Second
+	}
+	if c.SLOLatencyTarget <= 0 {
+		c.SLOLatencyTarget = 0.99
+	}
+	if c.SLOErrorTarget <= 0 {
+		c.SLOErrorTarget = 0.999
 	}
 	return c
 }
@@ -141,12 +187,46 @@ type Server struct {
 	draining atomic.Bool
 	sampStop func()
 	tailSampler
+
+	// Profile-guided observability: the capture store always exists (the
+	// manual capture endpoint needs no SLO); the engine exists only when
+	// objectives are configured, and Start/Shutdown drive its ticker.
+	profStore  *prof.Store
+	objectives []prof.Objective
+	sloEngine  *prof.Engine
+	sloStop    func()
 }
 
 // New builds a server from the config. Nothing listens until Start.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, slots: make(chan struct{}, cfg.Workers)}
+	s.profStore = prof.NewStore(prof.StoreConfig{
+		Ring:        cfg.ProfileRing,
+		CPUDuration: cfg.ProfileCPUDuration,
+		Cooldown:    cfg.ProfileCooldown,
+	})
+	if cfg.ProfileCaptureDisarmed {
+		s.profStore.Disarm()
+	}
+	s.objectives = buildObjectives(cfg)
+	if len(s.objectives) > 0 {
+		eng, err := prof.NewEngine(prof.EngineConfig{
+			Objectives: s.objectives,
+			Source:     sloSource(s.objectives),
+			Tick:       cfg.SLOTick,
+			FastWindow: cfg.SLOFastWindow,
+			SlowWindow: cfg.SLOSlowWindow,
+			TripBurn:   cfg.SLOTripBurn,
+			OnTrip:     s.onSLOTrip,
+		})
+		if err != nil {
+			// Objectives come from flags or code; a bad set is a programming
+			// or deployment error, surfaced at construction.
+			panic(fmt.Sprintf("server: building SLO engine: %v", err))
+		}
+		s.sloEngine = eng
+	}
 	s.http = &http.Server{Handler: s.Handler()}
 	return s
 }
@@ -164,8 +244,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/profiles", s.handleProfiles)
+	mux.HandleFunc("/debug/profiles/capture", s.handleProfileCapture)
 	mux.HandleFunc("/v1/domains", s.handleDomains)
 	mux.HandleFunc("/v1/stats/queries", s.handleQueryStats)
+	mux.HandleFunc("/v1/slo", s.handleSLO)
+	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.Handle("/v1/eval", s.endpoint("eval", s.cfg.EvalTimeout, s.handleEval))
 	mux.Handle("/v1/decide", s.endpoint("decide", s.cfg.DecideTimeout, s.handleDecide))
 	mux.Handle("/v1/qe", s.endpoint("qe", s.cfg.DecideTimeout, s.handleQE))
@@ -183,6 +267,9 @@ func (s *Server) Start() (string, error) {
 	}
 	s.ln = ln
 	s.sampStop = obs.StartRuntimeSampler(0)
+	if s.sloEngine != nil {
+		s.sloStop = s.sloEngine.Start()
+	}
 	go s.http.Serve(ln)
 	return ln.Addr().String(), nil
 }
@@ -201,6 +288,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.sampStop != nil {
 		defer s.sampStop()
+	}
+	if s.sloStop != nil {
+		s.sloStop()
 	}
 	return s.http.Shutdown(ctx)
 }

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMarkFirstSeenDedup: the first sighting of a key reports true,
+// every later sighting false.
+func TestMarkFirstSeenDedup(t *testing.T) {
+	s := New(Config{})
+	if !s.markFirstSeen("k1") {
+		t.Fatal("first sighting of k1 not reported")
+	}
+	if s.markFirstSeen("k1") {
+		t.Fatal("second sighting of k1 reported as first")
+	}
+	if !s.markFirstSeen("k2") {
+		t.Fatal("first sighting of k2 not reported")
+	}
+}
+
+// TestMarkFirstSeenCap: the seen set stops growing at tailSeenCap, so a
+// key-churning client cannot grow it without bound — and past the cap no
+// new key is reported as first (no first-key captures), while keys
+// already marked stay deduplicated.
+func TestMarkFirstSeenCap(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < tailSeenCap; i++ {
+		if !s.markFirstSeen(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("key %d under the cap not reported as first", i)
+		}
+	}
+	if got := len(s.seen); got != tailSeenCap {
+		t.Fatalf("seen set holds %d keys, want exactly %d", got, tailSeenCap)
+	}
+	// Past the cap: new keys are refused and do not grow the set.
+	for i := 0; i < 64; i++ {
+		if s.markFirstSeen(fmt.Sprintf("overflow%d", i)) {
+			t.Fatalf("overflow key %d reported as first past the cap", i)
+		}
+	}
+	if got := len(s.seen); got != tailSeenCap {
+		t.Fatalf("seen set grew past the cap: %d keys", got)
+	}
+	// Keys marked before the cap are still recognized as seen.
+	if s.markFirstSeen("k0") {
+		t.Fatal("pre-cap key re-reported as first after the cap filled")
+	}
+}
+
+// TestMarkFirstSeenConcurrent drives markFirstSeen from many goroutines
+// with overlapping key sets (run under -race): each key must be reported
+// first exactly once process-wide, and the set must respect the cap.
+func TestMarkFirstSeenConcurrent(t *testing.T) {
+	s := New(Config{})
+	const (
+		workers     = 8
+		keysPerSlot = 4000 // workers share these, total stays under the cap
+	)
+	firsts := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPerSlot; i++ {
+				if s.markFirstSeen(fmt.Sprintf("shared%d", i)) {
+					firsts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range firsts {
+		total += n
+	}
+	if total != keysPerSlot {
+		t.Fatalf("%d first sightings across workers, want exactly %d (one per key)", total, keysPerSlot)
+	}
+	if got := len(s.seen); got != keysPerSlot {
+		t.Fatalf("seen set holds %d keys, want %d", got, keysPerSlot)
+	}
+}

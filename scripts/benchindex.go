@@ -1,0 +1,116 @@
+//go:build ignore
+
+// Benchindex consolidates the repository's BENCH_*.json measurement files
+// into one versioned index, BENCH_index.json, so a dashboard or a later
+// build can diff every tracked overhead and speedup from a single
+// deterministic document instead of globbing the tree.
+//
+// Each BENCH_<name>.json is validated (a JSON object with a "benchmark"
+// description string) and embedded verbatim under its <name> key. The
+// index carries a schema version so consumers can detect layout changes,
+// and the entries are emitted in sorted-key order so reruns produce
+// byte-identical output for unchanged inputs.
+//
+// Run via `make bench-index` or by hand:
+//
+//	go run scripts/benchindex.go            # writes BENCH_index.json
+//	go run scripts/benchindex.go -check     # verifies it is up to date
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// schemaVersion identifies the index layout. Bump it when the envelope
+// changes shape (not when a benchmark file adds a field).
+const schemaVersion = 1
+
+const indexFile = "BENCH_index.json"
+
+func main() {
+	check := flag.Bool("check", false, "verify "+indexFile+" matches the BENCH_*.json files instead of writing it")
+	flag.Parse()
+	if err := run(*check); err != nil {
+		fmt.Fprintln(os.Stderr, "benchindex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(check bool) error {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return err
+	}
+	sort.Strings(files)
+
+	benchmarks := map[string]json.RawMessage{}
+	for _, file := range files {
+		if file == indexFile {
+			continue
+		}
+		name := strings.TrimSuffix(strings.TrimPrefix(file, "BENCH_"), ".json")
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		// Validate the shape every measurement writer follows: a JSON
+		// object with a human-readable "benchmark" description.
+		var entry map[string]any
+		if err := json.Unmarshal(data, &entry); err != nil {
+			return fmt.Errorf("%s: not a JSON object: %w", file, err)
+		}
+		if desc, ok := entry["benchmark"].(string); !ok || desc == "" {
+			return fmt.Errorf("%s: missing the \"benchmark\" description string", file)
+		}
+		// Re-encode through the decoded map so the index is key-sorted and
+		// consistently indented regardless of the source file's formatting.
+		canon, err := json.Marshal(entry)
+		if err != nil {
+			return err
+		}
+		benchmarks[name] = canon
+	}
+	if len(benchmarks) == 0 {
+		return fmt.Errorf("no BENCH_*.json measurement files found (run the make bench targets first)")
+	}
+
+	index := map[string]any{
+		"schema":     schemaVersion,
+		"note":       "merged view of every BENCH_*.json measurement; regenerate with `make bench-index` after rerunning a bench target",
+		"benchmarks": benchmarks,
+	}
+	out, err := json.MarshalIndent(index, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+
+	if check {
+		existing, err := os.ReadFile(indexFile)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w (run `make bench-index`)", indexFile, err)
+		}
+		if !bytes.Equal(existing, out) {
+			return fmt.Errorf("%s is stale; run `make bench-index`", indexFile)
+		}
+		fmt.Printf("benchindex: %s is up to date (%d benchmarks)\n", indexFile, len(benchmarks))
+		return nil
+	}
+	if err := os.WriteFile(indexFile, out, 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(benchmarks))
+	for n := range benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("benchindex: wrote %s (schema %d, benchmarks: %s)\n", indexFile, schemaVersion, strings.Join(names, ", "))
+	return nil
+}

@@ -19,7 +19,14 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 "$GO" build -o "$tmp/finqd" ./cmd/finqd
-"$tmp/finqd" -addr 127.0.0.1:0 2>"$tmp/finqd.log" &
+# Aggressive SLO windows so the burn-rate trip section below fires within
+# seconds of deliberately slow traffic; harmless for the earlier probes
+# (the quick eq eval stays under the 2ms latency objective).
+"$tmp/finqd" -addr 127.0.0.1:0 \
+    -slo-latency 2ms -slo-target 0.5 -slo-tick 250ms \
+    -slo-fast 1s -slo-slow 2s -slo-burn 1.2 \
+    -profile-dur 1s -profile-cooldown 1h -slow 5ms \
+    2>"$tmp/finqd.log" &
 pid=$!
 
 # finqd announces its bound address on stderr once the listener is up.
@@ -83,6 +90,60 @@ if ! grep -q '"evals"' "$tmp/stats.json"; then
     exit 1
 fi
 echo "serve-check: GET /v1/stats/queries 200 with aggregates"
+
+# SLO burn-rate trip over the wire: deliberately slow enumerations (each
+# well over the 2ms objective) push the eval latency burn past the trip
+# threshold; the server must capture a CPU+heap profile pair on its own,
+# list it on /debug/profiles, and serve the CPU payload by id as a
+# profile `go tool pprof` accepts.
+slow_body='{"domain": "presburger", "state": {"relations": {"R": [["5"]]}}, "formula": "~R(x)", "mode": "enumerate", "budget": {"rows": 60, "probe": 1073741824}}'
+i=0
+while [ "$i" -lt 24 ]; do
+    curl -s -o /dev/null -d "$slow_body" "http://$addr/v1/eval"
+    i=$((i + 1))
+done
+capture_id=""
+tries=0
+while [ -z "$capture_id" ]; do
+    curl -s -o "$tmp/profiles.json" "http://$addr/debug/profiles"
+    if grep -q '"reason":"slo:eval:latency"' "$tmp/profiles.json"; then
+        capture_id="$(grep -o '"id":"prof-[0-9]*"' "$tmp/profiles.json" | head -n 1 | sed 's/.*"prof-/prof-/;s/"$//')"
+        break
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve-check: SLO trip never produced a profile capture" >&2
+        cat "$tmp/profiles.json" >&2
+        grep 'slo' "$tmp/finqd.log" >&2 || true
+        exit 1
+    fi
+    # Keep the burn above threshold while the engine ticks.
+    curl -s -o /dev/null -d "$slow_body" "http://$addr/v1/eval"
+    sleep 0.2
+done
+echo "serve-check: SLO trip captured $capture_id"
+
+profile_out="${PROFILE_OUT:-$tmp/profile.pb.gz}"
+code="$(curl -s -o "$profile_out" -w '%{http_code}' "http://$addr/debug/profiles?id=$capture_id&kind=cpu")"
+if [ "$code" != 200 ] || [ ! -s "$profile_out" ]; then
+    echo "serve-check: profile download answered $code (or empty payload)" >&2
+    exit 1
+fi
+if ! "$GO" tool pprof -top "$profile_out" >"$tmp/pprof-top.txt" 2>&1; then
+    echo "serve-check: go tool pprof rejected the downloaded profile:" >&2
+    cat "$tmp/pprof-top.txt" >&2
+    exit 1
+fi
+echo "serve-check: $capture_id CPU profile validates with go tool pprof -top:"
+head -n 8 "$tmp/pprof-top.txt" | sed 's/^/serve-check:   /'
+
+# The trip must also be visible on the SLO summary.
+code="$(curl -s -o "$tmp/slo.json" -w '%{http_code}' "http://$addr/v1/slo")"
+if [ "$code" != 200 ] || ! grep -q '"last_trip_unix_ms"' "$tmp/slo.json"; then
+    echo "serve-check: GET /v1/slo answered $code without a recorded trip: $(cat "$tmp/slo.json")" >&2
+    exit 1
+fi
+echo "serve-check: GET /v1/slo 200 with a recorded trip"
 
 # Graceful shutdown: SIGTERM flips /readyz to 503 before the listener
 # closes (bounded by finqd's -drain-grace window).
