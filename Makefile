@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-perf bench-log bench-qstats bench-prof bench-index trace-demo serve-smoke serve-check lint-logs
+.PHONY: build test vet staticcheck race bench bench-perf bench-compile bench-log bench-qstats bench-prof bench-index trace-demo serve-smoke serve-check lint-logs
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ bench:
 # the uncached rows/sec.
 bench-perf:
 	BENCH_PERF=1 $(GO) test -run TestWriteBenchPerf -count=1 -v .
+
+# bench-compile measures the E1 enumeration through the interpreter
+# (planner off, decision cache on) and through the plan-caching compiler
+# (the default) and writes BENCH_compile.json with rows/sec for both and
+# the plan-cache hit rate. Fails if compiled is not at least 10x the
+# interpreted rows/sec.
+bench-compile:
+	BENCH_COMPILE=1 $(GO) test -run TestWriteBenchCompile -count=1 -v .
 
 # bench-log measures the structured access log's overhead on the E1
 # request through the full finqd handler chain (logging on vs. a disabled

@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs/prof"
 	"repro/internal/obs/qstats"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/presburger"
 	"repro/internal/query"
 	"repro/internal/traces"
@@ -312,13 +313,16 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 	sp.ArgStr("mode", string(mode))
 	defer sp.End()
 
-	// Per-query stats: a deccache tally on the context attributes this
-	// evaluation's cache traffic to it, and the finished run is folded into
-	// the qstats registry keyed by the formula's canonical key.
+	// Per-query stats: deccache and plan-cache tallies on the context
+	// attribute this evaluation's cache traffic to it, and the finished run
+	// is folded into the qstats registry keyed by the formula's canonical
+	// key.
 	var tally *deccache.Tally
+	var planTally *plan.Tally
 	recording := qstats.Enabled()
 	if recording {
 		ctx, tally = deccache.WithTally(ctx)
+		ctx, planTally = plan.WithTally(ctx)
 	}
 	// The canonical key is both the qstats registry key and the pprof
 	// query_key label, so a profile slice and a stats row name the same
@@ -334,8 +338,14 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 		res, err = evalMode(ctx, d, st, mode, req)
 	}, "query_key", prof.QueryKeyLabel(key), "domain", req.Domain, "mode", string(mode))
 	allocBytes, allocObjs, allocSampled := mark.End()
+	// EXPLAIN surfaces carry the compiled plan's text: profiled runs
+	// evaluate through the instrumented interpreter, so the plan lookup here
+	// (a cache hit in the steady state) shows what the planner would run.
+	if res != nil && res.Profile != nil {
+		res.Profile.Plan = plan.For(ctx, st.Scheme(), d.Name, key, req.Formula).Text()
+	}
 	if recording {
-		s := makeSample(key, d, mode, req.Formula, res, err, time.Since(t0), tally)
+		s := makeSample(key, d, mode, req.Formula, res, err, time.Since(t0), tally, planTally)
 		s.AllocBytes, s.AllocObjects, s.AllocSampled = allocBytes, allocObjs, allocSampled
 		qstats.Record(s)
 	}
@@ -378,7 +388,7 @@ const maxQueryDisplay = 120
 
 // makeSample builds the qstats sample for one finished evaluation; Eval
 // stamps the allocation fields and records it.
-func makeSample(key string, d DomainInfo, mode EvalMode, f *Formula, res *Result, err error, dur time.Duration, tally *deccache.Tally) qstats.Sample {
+func makeSample(key string, d DomainInfo, mode EvalMode, f *Formula, res *Result, err error, dur time.Duration, tally *deccache.Tally, planTally *plan.Tally) qstats.Sample {
 	display := f.String()
 	if len(display) > maxQueryDisplay {
 		r := []rune(display)
@@ -397,6 +407,11 @@ func makeSample(key string, d DomainInfo, mode EvalMode, f *Formula, res *Result
 	if tally != nil {
 		s.CacheHits = tally.Hits.Load()
 		s.CacheMisses = tally.Misses.Load()
+	}
+	if planTally != nil {
+		s.Plan = string(planTally.Tier())
+		s.PlanHits = planTally.Hits.Load()
+		s.PlanMisses = planTally.Misses.Load()
 	}
 	switch {
 	case err != nil:

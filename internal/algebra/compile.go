@@ -20,9 +20,14 @@ import (
 //   - disjunctions with equal free variables become unions;
 //   - ∃x projects x away.
 //
-// Compile handles exactly the safe-range fragment in this shape; formulas
-// outside it (including anything with a universal quantifier — rewrite with
-// ¬∃¬ first) are rejected with an explanatory error.
+// Universal quantifiers are handled by the classical ¬∃¬ rewrite applied
+// internally: a conjunct ∀x φ compiles as the guarded difference for
+// ¬∃x ¬φ against the conjunction's generators (correlated bodies are
+// compiled seeded with the guard plan, so free variables of φ ranged by
+// the surrounding conjunction stay ranged). Compile therefore accepts the
+// same fragment whether the caller writes ∀ or ¬∃¬; only genuinely
+// non-safe-range input — a universal or negation whose free variables no
+// generator ranges — is rejected with an explanatory error.
 func Compile(scheme *db.Scheme, f *logic.Formula) (Expr, error) {
 	c := &compiler{scheme: scheme}
 	return c.compile(logic.NNF(f))
@@ -57,10 +62,12 @@ func (c *compiler) compile(f *logic.Formula) (Expr, error) {
 		}
 		cols := removeCol(inner.Columns(), f.Var)
 		return &Project{In: inner, Cols: cols}, nil
-	case logic.FNot:
-		return nil, fmt.Errorf("algebra: unguarded negation %v is not safe-range", f)
-	case logic.FForall:
-		return nil, fmt.Errorf("algebra: universal quantifier is not in the safe-range fragment (rewrite as ¬∃¬)")
+	case logic.FNot, logic.FForall:
+		// A bare negation or universal compiles as a one-conjunct
+		// conjunction: the guarded-difference machinery admits it when it is
+		// closed (guard = the empty-schema unit row) and produces the
+		// explanatory unguarded-variable error otherwise.
+		return c.compileAnd([]*logic.Formula{f})
 	}
 	return nil, fmt.Errorf("algebra: cannot compile %v", f)
 }
@@ -107,8 +114,17 @@ func (c *compiler) compileAtom(f *logic.Formula) (Expr, error) {
 
 // compileAnd splits a conjunction into generators (positive DB-rooted
 // subformulas), equalities, domain-predicate selections, and guarded
-// negations.
+// negations. Universal conjuncts ∀x φ join the negations as ∃x ¬φ — the
+// ¬∃¬ rewrite the doc comment on Compile describes.
 func (c *compiler) compileAnd(subs []*logic.Formula) (Expr, error) {
+	return c.compileAndFrom(nil, subs)
+}
+
+// compileAndFrom is compileAnd seeded with an optional already-compiled
+// guard plan whose columns count as ranged: the correlated case of a
+// negation or universal body, where the surrounding conjunction ranges
+// variables the body mentions free.
+func (c *compiler) compileAndFrom(seed Expr, subs []*logic.Formula) (Expr, error) {
 	var generators []*logic.Formula
 	var equalities []*logic.Formula
 	var domainSel []*logic.Formula // positive or negated domain atoms
@@ -134,22 +150,46 @@ func (c *compiler) compileAnd(subs []*logic.Formula) (Expr, error) {
 			}
 		case s.Kind == logic.FNot:
 			negations = append(negations, s.Sub[0])
+		case s.Kind == logic.FForall:
+			// ∀x φ ≡ ¬∃x ¬φ: a guarded difference against the generators.
+			negations = append(negations, logic.Exists(s.Var, logic.NNF(logic.Not(s.Sub[0]))))
 		default:
 			generators = append(generators, s)
 		}
 	}
 
-	var plan Expr
-	for _, g := range generators {
-		e, err := c.compile(g)
-		if err != nil {
-			return nil, err
+	// Generators, to a fixpoint: each compiles standalone when it is
+	// self-ranged; one that is not (a disjunction or quantified body
+	// mentioning variables other conjuncts range) retries seeded with the
+	// plan built so far, so correlated subformulas compile once their
+	// guards are in place.
+	plan := seed
+	pendingGens := append([]*logic.Formula(nil), generators...)
+	for len(pendingGens) > 0 {
+		progressed := false
+		var still []*logic.Formula
+		var lastErr error
+		for _, g := range pendingGens {
+			e, err := c.compile(g)
+			if err != nil && plan != nil {
+				e, err = c.compileSeeded(plan, g)
+			}
+			if err != nil {
+				lastErr = err
+				still = append(still, g)
+				continue
+			}
+			if plan == nil {
+				plan = e
+			} else {
+				plan = &Join{L: plan, R: e}
+			}
+			progressed = true
 		}
-		if plan == nil {
-			plan = e
-		} else {
-			plan = &Join{L: plan, R: e}
+		if !progressed {
+			return nil, lastErr
 		}
+		pendingGens = still
 	}
 	if plan == nil {
 		plan = &Lit{Cols: nil, Rows: [][]string{{}}}
@@ -189,24 +229,83 @@ func (c *compiler) compileAnd(subs []*logic.Formula) (Expr, error) {
 		plan = &Select{In: plan, Cond: cond}
 	}
 
-	// Guarded negations: E − (E ⋈ G), requiring free(G) ⊆ cols(E).
+	// Guarded negations: E − (E ⋈ G), requiring free(G) ⊆ cols(E). A body
+	// that does not compile standalone (its free variables are ranged by
+	// the conjunction, not by itself) compiles seeded with the plan as
+	// guard; a free variable nothing ranges stays an error.
 	for _, n := range negations {
-		g, err := c.compile(n)
-		if err != nil {
-			return nil, err
-		}
 		have := map[string]bool{}
 		for _, col := range plan.Columns() {
 			have[col] = true
 		}
-		for _, col := range g.Columns() {
-			if !have[col] {
-				return nil, fmt.Errorf("algebra: negation of %v is unguarded on %q", n, col)
+		for _, v := range n.FreeVars() {
+			if !have[v] {
+				return nil, fmt.Errorf("algebra: negation of %v is unguarded on %q", n, v)
+			}
+		}
+		g, err := c.compile(n)
+		if err != nil {
+			g, err = c.compileSeeded(plan, n)
+			if err != nil {
+				return nil, err
 			}
 		}
 		plan = &Diff{L: plan, R: &Project{In: &Join{L: plan, R: g}, Cols: plan.Columns()}}
 	}
 	return plan, nil
+}
+
+// compileSeeded compiles a formula in a context where the columns of an
+// already-compiled guard plan are ranged: conjunctions start from the
+// seed, disjuncts union over it (which makes their columns uniform), and
+// anything else becomes a one-conjunct seeded conjunction so domain
+// predicates select over the seed.
+func (c *compiler) compileSeeded(seed Expr, f *logic.Formula) (Expr, error) {
+	switch f.Kind {
+	case logic.FExists:
+		// A bound variable that collides with a seed column would join
+		// against the guard instead of quantifying independently — rename
+		// it before compiling the body.
+		v, body := f.Var, f.Sub[0]
+		for _, col := range seed.Columns() {
+			if col == v {
+				nv := freshAvoiding(v, seed.Columns(), body)
+				body = logic.Subst(body, v, logic.Var(nv))
+				v = nv
+				break
+			}
+		}
+		inner, err := c.compileSeeded(seed, body)
+		if err != nil {
+			return nil, err
+		}
+		return &Project{In: inner, Cols: removeCol(inner.Columns(), v)}, nil
+	case logic.FAnd:
+		return c.compileAndFrom(seed, f.Sub)
+	case logic.FOr:
+		var plan Expr
+		for _, s := range f.Sub {
+			e, err := c.compileSeeded(seed, s)
+			if err != nil {
+				return nil, err
+			}
+			if plan == nil {
+				plan = e
+				continue
+			}
+			if !sameCols(plan.Columns(), e.Columns()) {
+				return nil, fmt.Errorf("algebra: disjuncts with different free variables (%v vs %v) are not safe-range",
+					plan.Columns(), e.Columns())
+			}
+			plan = &Union{L: plan, R: e}
+		}
+		if plan == nil {
+			return &Lit{Cols: nil, Rows: nil}, nil
+		}
+		return plan, nil
+	default:
+		return c.compileAndFrom(seed, []*logic.Formula{f})
+	}
 }
 
 // applyEquality incorporates one equality conjunct into the plan, if
@@ -303,6 +402,30 @@ func (c *compiler) compileOr(subs []*logic.Formula) (Expr, error) {
 		return &Lit{Cols: nil, Rows: nil}, nil
 	}
 	return plan, nil
+}
+
+// freshAvoiding returns a variable name derived from hint that collides
+// neither with the given columns nor with any variable (free or bound)
+// of f.
+func freshAvoiding(hint string, cols []string, f *logic.Formula) string {
+	used := map[string]bool{}
+	for _, c := range cols {
+		used[c] = true
+	}
+	for _, v := range f.FreeVars() {
+		used[v] = true
+	}
+	f.Walk(func(g *logic.Formula) {
+		if g.Kind == logic.FExists || g.Kind == logic.FForall {
+			used[g.Var] = true
+		}
+	})
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s_%d", hint, i)
+		if !used[name] {
+			return name
+		}
+	}
 }
 
 func sameCols(a, b []string) bool {

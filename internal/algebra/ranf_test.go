@@ -1,9 +1,10 @@
-package algebra
+package algebra_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/algebra"
 	"repro/internal/logic"
 	"repro/internal/parser"
 	"repro/internal/query"
@@ -11,7 +12,7 @@ import (
 
 func TestToRANFDistributesExists(t *testing.T) {
 	f := parser.MustParse("exists x. (F(x, y) | F(y, x))")
-	g := ToRANF(f)
+	g := algebra.ToRANF(f)
 	if g.Kind != logic.FOr {
 		t.Fatalf("∃ should distribute over ∨: %v", g)
 	}
@@ -26,7 +27,7 @@ func TestToRANFDistributesMixedOr(t *testing.T) {
 	// F(x,y) ∧ (F(y,z) ∨ F(x,x)): the disjuncts bind different variables,
 	// so the conjunction distributes.
 	f := parser.MustParse("F(x, y) & (F(y, z) | F(x, x))")
-	g := ToRANF(f)
+	g := algebra.ToRANF(f)
 	if g.Kind != logic.FOr {
 		t.Fatalf("mixed disjunction should distribute: %v", g)
 	}
@@ -34,13 +35,13 @@ func TestToRANFDistributesMixedOr(t *testing.T) {
 
 func TestToRANFLeavesUniformUnions(t *testing.T) {
 	f := parser.MustParse("F(x, y) & (F(y, x) | F(x, y))")
-	g := ToRANF(f)
+	g := algebra.ToRANF(f)
 	if g.Kind != logic.FAnd {
 		t.Errorf("uniform union should stay put: %v", g)
 	}
 }
 
-// TestCompileRANFWidensFragment: formulas plain Compile rejects become
+// TestCompileRANFWidensFragment: formulas plain algebra.Compile rejects become
 // compilable after RANF rewriting, with answers matching the calculus.
 func TestCompileRANFWidensFragment(t *testing.T) {
 	ctx := fathersCtx(t)
@@ -53,12 +54,12 @@ func TestCompileRANFWidensFragment(t *testing.T) {
 	}
 	for _, src := range widened {
 		f := parser.MustParse(src)
-		if _, err := Compile(scheme, f); err == nil {
-			t.Logf("note: plain Compile already accepts %s", src)
+		if _, err := algebra.Compile(scheme, f); err == nil {
+			t.Logf("note: plain algebra.Compile already accepts %s", src)
 		}
-		plan, err := CompileRANF(scheme, f)
+		plan, err := algebra.CompileRANF(scheme, f)
 		if err != nil {
-			t.Fatalf("CompileRANF(%s): %v", src, err)
+			t.Fatalf("algebra.CompileRANF(%s): %v", src, err)
 		}
 		got, err := plan.Eval(ctx)
 		if err != nil {
@@ -80,7 +81,7 @@ func TestToRANFPreservesSemantics(t *testing.T) {
 	ctx := fathersCtx(t)
 	for i := 0; i < 200; i++ {
 		f := randSafeCandidate(rng, 3)
-		g := ToRANF(f)
+		g := algebra.ToRANF(f)
 		a, err := query.EvalActive(ctx.Dom, ctx.St, f)
 		if err != nil {
 			t.Fatal(err)
@@ -110,10 +111,10 @@ func TestCompileRANFCoverage(t *testing.T) {
 	plain, widened := 0, 0
 	for i := 0; i < 500; i++ {
 		f := randSafeCandidate(rng, 3)
-		if _, err := Compile(scheme, f); err == nil {
+		if _, err := algebra.Compile(scheme, f); err == nil {
 			plain++
 		}
-		if plan, err := CompileRANF(scheme, f); err == nil {
+		if plan, err := algebra.CompileRANF(scheme, f); err == nil {
 			widened++
 			// And the widened plans still agree with the calculus.
 			got, err := plan.Eval(ctx)

@@ -7,6 +7,8 @@
 //	                         Chrome trace (Perfetto / chrome://tracing) on exit
 //	-cache[=on|off]          toggle the memoized decision cache
 //	                         (internal/deccache); each tool picks its default
+//	-plan[=on|off]           toggle the plan-caching query compiler
+//	                         (internal/plan); default on
 //	-log-level <l>           structured-log threshold: debug|info|warn|error
 //	                         (default info)
 //	-log-format <f>          structured-log encoding: text|json (default text)
@@ -17,9 +19,10 @@
 // the same and can be shipped to the same place.
 //
 // The flags may appear anywhere on the command line, in "-flag value" or
-// "-flag=value" form (single or double dash) — except -cache, whose value
-// must be attached with "=" (a bare -cache means on) so that "-cache eval"
-// does not swallow the subcommand — and are stripped before the subcommand
+// "-flag=value" form (single or double dash) — except -cache and -plan,
+// whose values must be attached with "=" (a bare -cache or -plan means on)
+// so that "-cache eval" does not swallow the subcommand — and are stripped
+// before the subcommand
 // flag sets see the arguments. Hoisting them here keeps the four CLIs' flag
 // handling identical without threading the flags through every FlagSet.
 package cliutil
@@ -33,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/logctx"
 	"repro/internal/obs/trace"
+	"repro/internal/plan"
 )
 
 // Setup extracts the global flags from args, starts the debug server and
@@ -58,6 +62,13 @@ func Setup(tool string, args []string, cacheDefault bool) (rest []string, finish
 		useCache = on
 	}
 	deccache.SetEnabled(useCache)
+	if g.planVal != "" {
+		on, err := parsePlanValue(g.planVal)
+		if err != nil {
+			return nil, nil, err
+		}
+		plan.SetEnabled(on)
+	}
 	if err := logctx.Setup(os.Stderr, g.logLevel, g.logFormat); err != nil {
 		return nil, nil, err
 	}
@@ -110,15 +121,17 @@ type globals struct {
 	debugAddr string
 	traceOut  string
 	cacheVal  string
+	planVal   string
 	logLevel  string
 	logFormat string
 }
 
 // extractGlobals strips -debug-addr, -trace-out, -log-level, -log-format
-// (all four spellings each) and -cache from the argument list. cacheVal is
-// "" when the flag is absent, "on" for a bare -cache, and the literal
-// value for -cache=value; unlike the other globals a bare -cache never
-// consumes the next argument, which is usually the subcommand.
+// (all four spellings each), -cache, and -plan from the argument list.
+// cacheVal/planVal are "" when the flag is absent, "on" for a bare flag,
+// and the literal value for the = spelling; unlike the other globals a
+// bare -cache or -plan never consumes the next argument, which is usually
+// the subcommand.
 func extractGlobals(args []string) globals {
 	var g globals
 	for i := 0; i < len(args); i++ {
@@ -148,6 +161,12 @@ func extractGlobals(args []string) globals {
 			} else {
 				g.cacheVal = "on"
 			}
+		case "plan":
+			if hasVal {
+				g.planVal = val
+			} else {
+				g.planVal = "on"
+			}
 		default:
 			g.rest = append(g.rest, a)
 		}
@@ -164,6 +183,17 @@ func parseCacheValue(v string) (bool, error) {
 		return false, nil
 	}
 	return false, fmt.Errorf("-cache: want on|off, got %q", v)
+}
+
+// parsePlanValue maps the accepted -plan values onto the toggle.
+func parsePlanValue(v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("-plan: want on|off, got %q", v)
 }
 
 // splitFlag parses "-name", "--name", "-name=value" into its parts; a

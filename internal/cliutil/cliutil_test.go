@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/deccache"
+	"repro/internal/plan"
 )
 
 func TestExtractGlobalsCacheFlag(t *testing.T) {
@@ -103,5 +104,68 @@ func TestSetupWiresCacheToggle(t *testing.T) {
 
 	if _, _, err := Setup("test", []string{"-cache=sideways"}, true); err == nil {
 		t.Error("Setup accepted a malformed -cache value")
+	}
+}
+
+// TestSetupWiresPlanToggle: -plan follows the -cache pattern — bare means
+// on, =off disables the planner, the default leaves it untouched.
+func TestSetupWiresPlanToggle(t *testing.T) {
+	prev := plan.Enabled()
+	defer plan.SetEnabled(prev)
+
+	cases := []struct {
+		args []string
+		rest []string
+		want bool
+	}{
+		// Bare -plan must not swallow the subcommand that follows it.
+		{[]string{"-plan", "eval"}, []string{"eval"}, true},
+		{[]string{"--plan=off", "eval"}, []string{"eval"}, false},
+		{[]string{"-plan=1"}, nil, true},
+	}
+	for _, c := range cases {
+		rest, finish, err := Setup("test", c.args, true)
+		if err != nil {
+			t.Fatalf("Setup(%v): %v", c.args, err)
+		}
+		finish()
+		if !reflect.DeepEqual(rest, c.rest) {
+			t.Errorf("Setup(%v) left args %v, want %v", c.args, rest, c.rest)
+		}
+		if plan.Enabled() != c.want {
+			t.Errorf("Setup(%v): planner enabled = %v, want %v", c.args, plan.Enabled(), c.want)
+		}
+	}
+
+	// Absent flag: the process toggle is untouched.
+	plan.SetEnabled(false)
+	if _, finish, err := Setup("test", nil, true); err != nil {
+		t.Fatal(err)
+	} else {
+		finish()
+	}
+	if plan.Enabled() {
+		t.Error("Setup with no -plan flag changed the planner toggle")
+	}
+	plan.SetEnabled(prev)
+
+	if _, _, err := Setup("test", []string{"-plan=sideways"}, true); err == nil {
+		t.Error("Setup accepted a malformed -plan value")
+	}
+}
+
+func TestParsePlanValue(t *testing.T) {
+	for _, v := range []string{"on", "true", "1", "ON"} {
+		if got, err := parsePlanValue(v); err != nil || !got {
+			t.Errorf("parsePlanValue(%q) = %v, %v; want true", v, got, err)
+		}
+	}
+	for _, v := range []string{"off", "false", "0", "OFF"} {
+		if got, err := parsePlanValue(v); err != nil || got {
+			t.Errorf("parsePlanValue(%q) = %v, %v; want false", v, got, err)
+		}
+	}
+	if _, err := parsePlanValue("maybe"); err == nil {
+		t.Error("parsePlanValue accepted garbage")
 	}
 }

@@ -22,8 +22,10 @@ package prof
 
 import (
 	"context"
+	"hash/fnv"
 	"runtime/metrics"
 	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -55,14 +57,19 @@ func Enabled() bool { return enabled.Load() }
 const maxLabelLen = 192
 
 // QueryKeyLabel is the pprof label value for a formula's canonical key:
-// the key itself, truncated to a bounded prefix for pathological sizes.
-// Use it both when labeling (finq.Eval) and when matching labels in a
-// captured profile, so the two sides agree on long keys.
+// the key itself when it fits, otherwise a bounded prefix suffixed with
+// "#" and an FNV-64a hash of the full key, so two long keys sharing a
+// prefix still map to distinct labels. Use it both when labeling
+// (finq.Eval) and when matching labels in a captured profile, so the two
+// sides agree on long keys.
 func QueryKeyLabel(key string) string {
 	if len(key) <= maxLabelLen {
 		return key
 	}
-	return key[:maxLabelLen] + "…"
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	suffix := "#" + strconv.FormatUint(h.Sum64(), 16)
+	return key[:maxLabelLen-len(suffix)] + suffix
 }
 
 // Do runs fn with the given pprof labels (alternating key, value) added

@@ -49,19 +49,34 @@ func TestDoOddKV(t *testing.T) {
 }
 
 // TestQueryKeyLabel: short keys pass through, long keys truncate to a
-// bounded prefix.
+// bounded prefix plus a hash of the full key.
 func TestQueryKeyLabel(t *testing.T) {
 	if got := QueryKeyLabel("short"); got != "short" {
 		t.Fatalf("short key mangled: %q", got)
 	}
 	long := strings.Repeat("x", maxLabelLen+50)
 	got := QueryKeyLabel(long)
-	if len(got) >= len(long) || !strings.HasPrefix(got, strings.Repeat("x", maxLabelLen)) || !strings.HasSuffix(got, "…") {
-		t.Fatalf("long key not truncated: len=%d", len(got))
+	if len(got) > maxLabelLen || !strings.HasPrefix(got, "xxxx") || !strings.Contains(got, "#") {
+		t.Fatalf("long key not truncated with hash: %q (len=%d)", got, len(got))
 	}
 	// Truncation is deterministic, so labeling and matching agree.
 	if QueryKeyLabel(long) != got {
 		t.Fatal("truncation not deterministic")
+	}
+}
+
+// TestQueryKeyLabelDistinguishesLongKeys is the collision regression: two
+// distinct keys sharing a prefix longer than the label bound must map to
+// distinct labels — the suffix hash covers the full key, not the prefix.
+func TestQueryKeyLabelDistinguishesLongKeys(t *testing.T) {
+	prefix := strings.Repeat("k", maxLabelLen+10)
+	a := QueryKeyLabel(prefix + "A")
+	b := QueryKeyLabel(prefix + "B")
+	if a == b {
+		t.Fatalf("long keys with shared prefix collapsed to one label: %q", a)
+	}
+	if len(a) > maxLabelLen || len(b) > maxLabelLen {
+		t.Fatalf("labels exceed bound: %d, %d", len(a), len(b))
 	}
 }
 

@@ -126,6 +126,12 @@ type Sample struct {
 	// CacheHits and CacheMisses attribute decision-cache traffic to this
 	// evaluation (deccache.Tally).
 	CacheHits, CacheMisses int64
+	// Plan is the tier of the compiled plan the evaluation ran at
+	// ("algebra", "closure", "interp"; empty when the planner was off).
+	Plan string
+	// PlanHits and PlanMisses attribute plan-cache traffic to this
+	// evaluation (plan.Tally).
+	PlanHits, PlanMisses int64
 	// AllocBytes and AllocObjects are the evaluation's heap allocation
 	// deltas (prof.BeginAlloc/End), meaningful only when AllocSampled is
 	// set — the alloc meter is single-flight, so concurrent evaluations go
@@ -157,6 +163,9 @@ type entry struct {
 	stopped      [5]int64
 	hits, misses int64
 
+	plan                 string
+	planHits, planMisses int64
+
 	allocBytes, allocObjs, allocSamples int64
 
 	latCount, latSum, latMax int64
@@ -184,6 +193,11 @@ func (e *entry) fold(s Sample, now int64) {
 	e.stopped[stopIndex(s.Stopped)]++
 	e.hits += s.CacheHits
 	e.misses += s.CacheMisses
+	if s.Plan != "" {
+		e.plan = s.Plan
+	}
+	e.planHits += s.PlanHits
+	e.planMisses += s.PlanMisses
 
 	if s.AllocSampled {
 		e.allocSamples++
@@ -272,6 +286,36 @@ func Record(s Sample) {
 		return
 	}
 	Default().Record(s)
+}
+
+// NodeSelectivities returns the measured per-node selectivities (true
+// fraction per evaluation) for a query key, keyed by the node's EXPLAIN
+// profile path ("0", "0.1", …). Nil when the key has no profiled runs.
+// The planner orders conjuncts and disjuncts by these when available.
+func (r *Registry) NodeSelectivities(key string) map[string]float64 {
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[key]
+	if e == nil || len(e.nodes) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(e.nodes))
+	for path, n := range e.nodes {
+		if n.evals > 0 {
+			out[path] = float64(n.trueN) / float64(n.evals)
+		}
+	}
+	return out
+}
+
+// NodeSelectivities reads measured node selectivities from the default
+// registry; nil when collection is off or the key is unseen.
+func NodeSelectivities(key string) map[string]float64 {
+	if !enabled.Load() {
+		return nil
+	}
+	return Default().NodeSelectivities(key)
 }
 
 func (r *Registry) shardFor(key string) *shard {

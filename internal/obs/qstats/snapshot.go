@@ -49,6 +49,11 @@ type EntryView struct {
 	Stopped       map[string]int64 `json:"stopped,omitempty"`
 	CacheHits     int64            `json:"cache_hits"`
 	CacheMisses   int64            `json:"cache_misses"`
+	// Plan is the execution tier the query's compiled plan runs at;
+	// PlanHits/PlanMisses count plan-cache traffic for the key.
+	Plan       string `json:"plan,omitempty"`
+	PlanHits   int64  `json:"plan_hits,omitempty"`
+	PlanMisses int64  `json:"plan_misses,omitempty"`
 	// AllocBytes and AllocObjects sum the heap-allocation deltas of the
 	// AllocSamples evaluations that ran with the alloc meter (serialized
 	// runs); MeanAllocBytes = AllocBytes / AllocSamples.
@@ -77,6 +82,7 @@ func (e *entry) view() EntryView {
 		Key: e.key, Domain: e.domain, Mode: e.mode, Query: e.query,
 		Evals: e.evals, Rows: e.rows,
 		CacheHits: e.hits, CacheMisses: e.misses,
+		Plan: e.plan, PlanHits: e.planHits, PlanMisses: e.planMisses,
 		FirstSeen: e.firstSeen, LastSeen: e.lastSeen,
 		Latency: HistJSON{Count: e.latCount, Sum: e.latSum, Max: e.latMax},
 	}
@@ -261,6 +267,11 @@ func (r *Registry) importEntry(v EntryView, labelIndex map[string]int) {
 	e.rows += v.Rows
 	e.hits += v.CacheHits
 	e.misses += v.CacheMisses
+	if v.Plan != "" {
+		e.plan = v.Plan
+	}
+	e.planHits += v.PlanHits
+	e.planMisses += v.PlanMisses
 	for reason, n := range v.Stopped {
 		e.stopped[stopIndex(reason)] += n
 	}

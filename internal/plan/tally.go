@@ -1,0 +1,48 @@
+package plan
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Tally counts plan-cache traffic for one request, so per-query stats can
+// attribute hits and misses (and the tier the plan ran at) to the query
+// that caused them. Carried through context like deccache's tally.
+type Tally struct {
+	// Hits counts plan-cache hits attributed to this request.
+	Hits atomic.Int64
+	// Misses counts compilations attributed to this request.
+	Misses atomic.Int64
+	// tier holds the tier of the most recent plan lookup, stored as an
+	// atomic pointer so concurrent workers stay race-free.
+	tier atomic.Pointer[Tier]
+}
+
+func (t *Tally) setTier(tier Tier) { t.tier.Store(&tier) }
+
+// Tier returns the tier of the last plan this request resolved
+// ("" before any lookup).
+func (t *Tally) Tier() Tier {
+	if p := t.tier.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+type tallyKey struct{}
+
+// WithTally returns a context carrying a fresh Tally, plus the Tally for
+// reading after evaluation.
+func WithTally(ctx context.Context) (context.Context, *Tally) {
+	t := &Tally{}
+	return context.WithValue(ctx, tallyKey{}, t), t
+}
+
+// TallyFrom returns the Tally carried by ctx, or nil.
+func TallyFrom(ctx context.Context) *Tally {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tallyKey{}).(*Tally)
+	return t
+}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/db"
@@ -70,6 +71,12 @@ func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decide
 	sp := obs.StartSpanCtx(ctx, "query.enumerate")
 	defer sp.End()
 	mEnumCalls.Inc()
+	// Compiled-plan fast path: an algebra-tier plan materializes the
+	// answer once and the probe loop replays against it — identical rows,
+	// order, and budget accounting, no per-probe decision procedure.
+	if ans, err, ok := planEnumerationAnswer(ctx, sp, dom, st, f, budget); ok {
+		return ans, err
+	}
 	pure, err := Translate(dom, st, f)
 	if err != nil {
 		return nil, err
@@ -314,14 +321,23 @@ func (g *tupleGen) inc() bool {
 	return true
 }
 
+// ErrEnumerationWidth reports that a tuple-enumeration index computation
+// would exceed the int range: the block decomposition of ℕ^k needs (m+1)^k,
+// which wraps for wide tuples (large k) or deep indexes (large m). Callers
+// see this explicit error instead of a silently skipped block or the
+// misleading "out of range" panic the wrapped arithmetic used to produce.
+var ErrEnumerationWidth = errors.New("query: enumeration width exceeds int range")
+
 // tupleIndices is a bijective enumeration of ℕ^k: tuples are ordered by
 // maximum component, so every tuple has a finite index. It recomputes the
 // block decomposition from scratch on every call; the enumeration loop
 // uses tupleGen instead, and this function remains as the independent
-// oracle the generator is tested against.
-func tupleIndices(k, n int) []int {
+// oracle the generator is tested against. All arithmetic is
+// overflow-checked: an index whose block decomposition leaves int returns
+// ErrEnumerationWidth.
+func tupleIndices(k, n int) ([]int, error) {
 	if k == 1 {
-		return []int{n}
+		return []int{n}, nil
 	}
 	// Tuples with max component exactly m: (m+1)^k − m^k of them. Find the
 	// block, then the offset within it.
@@ -331,12 +347,23 @@ func tupleIndices(k, n int) []int {
 	for rem >= block {
 		rem -= block
 		m++
-		block = pow(m+1, k) - pow(m, k)
+		hi, err := pow(m+1, k)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := pow(m, k)
+		if err != nil {
+			return nil, err
+		}
+		block = hi - lo
 	}
 	// Enumerate the block: all tuples over [0..m] containing at least one m,
 	// indexed by counting in base m+1 and skipping those without an m.
 	count := -1
-	total := pow(m+1, k)
+	total, err := pow(m+1, k)
+	if err != nil {
+		return nil, err
+	}
 	for code := 0; code < total; code++ {
 		t := decode(code, k, m+1)
 		hasMax := false
@@ -351,18 +378,26 @@ func tupleIndices(k, n int) []int {
 		}
 		count++
 		if count == rem {
-			return t
+			return t, nil
 		}
 	}
-	panic("query: tuple enumeration out of range")
+	// Unreachable when the checked arithmetic holds: rem < block == the
+	// number of max-containing codes below total.
+	return nil, fmt.Errorf("query: tuple index %d not found in block m=%d k=%d", n, m, k)
 }
 
-func pow(b, e int) int {
+// pow is overflow-checked integer exponentiation: b^e, or
+// ErrEnumerationWidth when the product leaves the int range.
+func pow(b, e int) (int, error) {
 	out := 1
 	for i := 0; i < e; i++ {
-		out *= b
+		next := out * b
+		if b != 0 && (next/b != out || next < 0) {
+			return 0, ErrEnumerationWidth
+		}
+		out = next
 	}
-	return out
+	return out, nil
 }
 
 func decode(code, k, base int) []int {

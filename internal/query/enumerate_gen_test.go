@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/db"
@@ -21,7 +22,10 @@ func TestTupleGenMatchesOracle(t *testing.T) {
 		}
 		for i := 0; i < n; i++ {
 			got := gen.next()
-			want := tupleIndices(k, i)
+			want, err := tupleIndices(k, i)
+			if err != nil {
+				t.Fatalf("k=%d i=%d: %v", k, i, err)
+			}
 			if len(got) != len(want) {
 				t.Fatalf("k=%d i=%d: length %d vs %d", k, i, len(got), len(want))
 			}
@@ -31,6 +35,51 @@ func TestTupleGenMatchesOracle(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPowOverflowChecked pins the overflow-checked arithmetic at its
+// boundaries: results that fit an int are exact, results that wrap return
+// ErrEnumerationWidth instead of a silently negative value.
+func TestPowOverflowChecked(t *testing.T) {
+	ok := []struct{ b, e, want int }{
+		{0, 0, 1}, {0, 5, 0}, {1, 63, 1}, {2, 62, 1 << 62},
+		{3, 3, 27}, {10, 18, 1_000_000_000_000_000_000},
+	}
+	for _, c := range ok {
+		got, err := pow(c.b, c.e)
+		if err != nil || got != c.want {
+			t.Errorf("pow(%d, %d) = %d, %v; want %d", c.b, c.e, got, err, c.want)
+		}
+	}
+	over := []struct{ b, e int }{
+		{2, 63}, {2, 64}, {3, 41}, {10, 19}, {1 << 16, 4}, {1 << 32, 2},
+	}
+	for _, c := range over {
+		if got, err := pow(c.b, c.e); err == nil {
+			t.Errorf("pow(%d, %d) = %d, want ErrEnumerationWidth", c.b, c.e, got)
+		} else if !errors.Is(err, ErrEnumerationWidth) {
+			t.Errorf("pow(%d, %d): error %v, want ErrEnumerationWidth", c.b, c.e, err)
+		}
+	}
+}
+
+// TestTupleIndicesWidthError pins the regression the unchecked arithmetic
+// allowed: a tuple wide enough that (m+1)^k leaves int must surface the
+// explicit width error, not skip blocks or panic "out of range". With
+// k = 64, block m = 1 already needs 2^64 − 1 codes.
+func TestTupleIndicesWidthError(t *testing.T) {
+	// Index 0 is the all-zero tuple and never needs the block product.
+	if got, err := tupleIndices(64, 0); err != nil || len(got) != 64 {
+		t.Fatalf("tupleIndices(64, 0) = %v, %v", got, err)
+	}
+	// Index 1 forces the m = 1 block size (2^64 − 1^64): overflow.
+	if _, err := tupleIndices(64, 1); !errors.Is(err, ErrEnumerationWidth) {
+		t.Fatalf("tupleIndices(64, 1): error %v, want ErrEnumerationWidth", err)
+	}
+	// Narrower boundary: k = 2 stays exact deep into the enumeration.
+	if got, err := tupleIndices(2, 3000); err != nil || len(got) != 2 {
+		t.Fatalf("tupleIndices(2, 3000) = %v, %v", got, err)
 	}
 }
 

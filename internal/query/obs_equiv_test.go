@@ -11,6 +11,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/plan"
 )
 
 // rowsKey renders an answer's rows as a canonical sorted string.
@@ -136,6 +137,10 @@ func TestParallelSerialAgreementTraced(t *testing.T) {
 func TestEvalActiveMetrics(t *testing.T) {
 	prev := obs.SetEnabled(true)
 	defer obs.SetEnabled(prev)
+	// The assignment counter is an interpreter metric; a compiled plan
+	// would serve this query without assignments.
+	prevPlan := plan.SetEnabled(false)
+	defer plan.SetEnabled(prevPlan)
 	st := db.NewState(db.MustScheme(map[string]int{"R": 1}))
 	for _, w := range []string{"a", "b", "c"} {
 		if err := st.Insert("R", domain.Word(w)); err != nil {

@@ -32,14 +32,17 @@ type ProfileNode struct {
 // Profile is a per-query EXPLAIN report: the execution tree of one
 // EvalActiveProfiled run plus run-level totals.
 type Profile struct {
-	Query        string       `json:"query"`
-	Vars         []string     `json:"vars"`
-	ActiveDomain int          `json:"active_domain_size"`
-	Assignments  int64        `json:"assignments"`
-	Rows         int          `json:"rows"`
-	Complete     bool         `json:"complete"`
-	WallNS       int64        `json:"wall_ns"`
-	Root         *ProfileNode `json:"root"`
+	Query        string   `json:"query"`
+	Vars         []string `json:"vars"`
+	ActiveDomain int      `json:"active_domain_size"`
+	Assignments  int64    `json:"assignments"`
+	Rows         int      `json:"rows"`
+	Complete     bool     `json:"complete"`
+	WallNS       int64    `json:"wall_ns"`
+	// Plan is the compiled plan's EXPLAIN text for the query (tier,
+	// lowered form, optimizations); set by the finq facade.
+	Plan string       `json:"plan,omitempty"`
+	Root *ProfileNode `json:"root"`
 }
 
 // JSON renders the profile as indented JSON.
@@ -63,6 +66,9 @@ func (p *Profile) Text() string {
 	fmt.Fprintf(&b, "query: %s\n", p.Query)
 	fmt.Fprintf(&b, "active domain %d · free vars %v · assignments %d · rows %d · complete=%v · wall %s\n",
 		p.ActiveDomain, p.Vars, p.Assignments, p.Rows, p.Complete, fmtNS(p.WallNS))
+	if p.Plan != "" {
+		b.WriteString(p.Plan)
+	}
 	writeNode(&b, p.Root, "", "")
 	return b.String()
 }

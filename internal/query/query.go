@@ -199,6 +199,12 @@ func EvalActiveCtx(ctx context.Context, dom domain.Domain, st *db.State, f *logi
 	if sp.Traced() {
 		sp.Arg("formula_size", int64(f.Size()))
 	}
+	// Compiled-plan fast path: serve from the plan cache when the planner
+	// has a non-interp tier for this query; fall through to the generic
+	// interpreter otherwise.
+	if ans, err, ok := planActiveAnswer(ctx, sp, dom, st, f, rng); ok {
+		return ans, err
+	}
 	vars := f.FreeVars()
 	ans := &Answer{Vars: vars, Rows: db.NewRelation(maxInt(len(vars), 1)), Complete: true}
 	si := stateInterp{dom: dom, st: st}

@@ -155,7 +155,10 @@ func TestTupleIndicesBijective(t *testing.T) {
 	for _, k := range []int{1, 2, 3} {
 		seen := map[string]bool{}
 		for i := 0; i < 200; i++ {
-			idx := tupleIndices(k, i)
+			idx, err := tupleIndices(k, i)
+			if err != nil {
+				t.Fatalf("k=%d i=%d: %v", k, i, err)
+			}
 			if len(idx) != k {
 				t.Fatalf("k=%d: wrong length %d", k, len(idx))
 			}
@@ -174,8 +177,8 @@ func TestTupleIndicesBijective(t *testing.T) {
 	}
 	// Small tuples appear early: (0,0) must be index 0, and all tuples with
 	// components ≤ 2 must appear within the first 27 indices for k=3.
-	if got := tupleIndices(2, 0); got[0] != 0 || got[1] != 0 {
-		t.Errorf("first tuple = %v", got)
+	if got, err := tupleIndices(2, 0); err != nil || got[0] != 0 || got[1] != 0 {
+		t.Errorf("first tuple = %v (err %v)", got, err)
 	}
 }
 
