@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-perf bench-compile bench-log bench-qstats bench-prof bench-index trace-demo serve-smoke serve-check lint-logs
+.PHONY: build test vet staticcheck race bench bench-perf bench-compile bench-log bench-qstats bench-prof bench-serve bench-index trace-demo serve-smoke serve-check lint-logs docs-api docs-api-check
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,21 @@ bench-qstats:
 # off) and writes BENCH_prof.json. Fails if the overhead exceeds 3%.
 bench-prof:
 	BENCH_PROF=1 $(GO) test -run TestWriteBenchProf -count=1 -v .
+
+# bench-serve runs the finqload measurement against an in-process finqd on
+# the E1 corpus and writes BENCH_serve.json. Fails if batched per-query
+# throughput is under 5x single /v1/eval, or if the first streamed row of
+# a budget-bound enumeration arrives outside the first half of the run.
+bench-serve:
+	BENCH_SERVE=1 $(GO) test -run TestWriteBenchServe -count=1 -v ./cmd/finqload
+
+# docs-api regenerates docs/API.md from the apiv1 wire types;
+# docs-api-check (used by CI) verifies it is current.
+docs-api:
+	$(GO) run scripts/apidocgen.go
+
+docs-api-check:
+	$(GO) run scripts/apidocgen.go -check
 
 # bench-index merges every BENCH_*.json measurement into the versioned
 # BENCH_index.json; `-check` mode (used by CI) verifies it is current.

@@ -1,0 +1,61 @@
+package apiv1
+
+// Streaming row delivery. POST /v1/eval streams when the request asks for
+// it (?stream=1, or an Accept header naming a streaming content type) and
+// the mode is "enumerate": rows are flushed to the client as the §1.1
+// algorithm produces them, instead of after the budget ends. The PR 4
+// cancellation plumbing makes early client disconnect safe — the
+// evaluation stops between rows and the stop reason "client-gone" is
+// recorded in spans and per-query stats.
+//
+// Two encodings are negotiated by Accept (JSON lines are the default):
+//
+//   - ContentTypeNDJSON: one JSON value per line — a StreamHeader line,
+//     then one StreamRow line per answer row, then a StreamTrailer line.
+//   - ContentTypeFrames: the same three payloads as length-prefixed binary
+//     frames (the compact hot-path encoding; see the finq frame codec).
+//     Header and trailer frames carry the JSON of StreamHeader and
+//     StreamTrailer; row frames carry length-prefixed cells directly.
+const (
+	// ContentTypeJSON is the default (non-streaming) response encoding.
+	ContentTypeJSON = "application/json"
+	// ContentTypeNDJSON is newline-delimited JSON streaming.
+	ContentTypeNDJSON = "application/x-ndjson"
+	// ContentTypeFrames is the compact binary frame streaming encoding.
+	ContentTypeFrames = "application/x-finq-frames"
+)
+
+// StreamHeader is the first line/frame of a streaming response, sent
+// before evaluation begins.
+type StreamHeader struct {
+	// Vars are the answer's column names, in row cell order. Empty for a
+	// boolean (sentence) query, whose verdict arrives in the trailer.
+	Vars []string `json:"vars"`
+}
+
+// StreamRow is one answer row, flushed as the enumeration finds it.
+type StreamRow struct {
+	// Row holds one constant name per header var.
+	Row []string `json:"row"`
+}
+
+// StreamTrailer is the last line/frame of a streaming response: the
+// result metadata that a non-streaming response would carry around the
+// rows.
+type StreamTrailer struct {
+	// Rows is the number of rows streamed before the trailer.
+	Rows int64 `json:"rows"`
+	// Truth carries a boolean query's verdict (no rows are streamed).
+	Truth *bool `json:"truth,omitempty"`
+	// Complete reports a complete answer (the enumeration proved there
+	// are no further rows).
+	Complete bool `json:"complete"`
+	// Partial reports that something stopped the run early.
+	Partial bool `json:"partial,omitempty"`
+	// Stopped is "" for a complete answer, else "budget", "deadline",
+	// "canceled", or "client-gone".
+	Stopped string `json:"stopped,omitempty"`
+	// Error reports an evaluation failure after streaming began (the
+	// status line was already 200 by then).
+	Error *Error `json:"error,omitempty"`
+}

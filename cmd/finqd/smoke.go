@@ -14,6 +14,8 @@ import (
 	"time"
 
 	finq "repro"
+	"repro/apiv1"
+	apiclient "repro/client"
 	"repro/internal/obs/logctx"
 	"repro/internal/obs/prof"
 	"repro/internal/server"
@@ -191,6 +193,12 @@ func runSmoke(cfg server.Config) error {
 	}
 	fmt.Printf("smoke %-22s ok  X-Request-Id echoed and in access log\n", "request-id")
 
+	// From here on the typed client package drives the checks — the same
+	// client cmd/finqload and the server tests use — so the smoke also
+	// exercises the Go surface of the v1 API, not only the raw wire.
+	sctx := context.Background()
+	api := apiclient.New("http://"+addr, nil)
+
 	// Per-query stats contract: the smoke eval above was folded into the
 	// qstats registry, so /v1/stats/queries must list its canonical key
 	// with a nonzero eval count.
@@ -199,61 +207,102 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("qstats check: parsing the smoke formula: %w", err)
 	}
 	wantKey := evalFormula.CanonicalKey()
-	resp, err = client.Get("http://" + addr + "/v1/stats/queries?by=count&k=0")
+	stats, err := api.QueryStats(sctx, "count", 0)
 	if err != nil {
 		return fmt.Errorf("qstats check: %w", err)
 	}
-	statsData, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return fmt.Errorf("qstats check: reading response: %w", err)
+	var entries []struct {
+		Key   string `json:"key"`
+		Evals int64  `json:"evals"`
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("qstats check: status %d: %s", resp.StatusCode, statsData)
-	}
-	var stats struct {
-		Queries []struct {
-			Key   string `json:"key"`
-			Evals int64  `json:"evals"`
-		} `json:"queries"`
-	}
-	if err := json.Unmarshal(statsData, &stats); err != nil {
-		return fmt.Errorf("qstats check: decoding response: %w", err)
+	if err := json.Unmarshal(stats.Queries, &entries); err != nil {
+		return fmt.Errorf("qstats check: decoding entries: %w", err)
 	}
 	found := false
-	for _, q := range stats.Queries {
+	for _, q := range entries {
 		if q.Key == wantKey && q.Evals >= 1 {
 			found = true
 			break
 		}
 	}
 	if !found {
-		return fmt.Errorf("qstats check: /v1/stats/queries misses the smoke query key %q with evals >= 1: %s", wantKey, statsData)
+		return fmt.Errorf("qstats check: /v1/stats/queries misses the smoke query key %q with evals >= 1: %s", wantKey, stats.Queries)
 	}
 	fmt.Printf("smoke %-22s ok  smoke query present with evals >= 1\n", "stats-queries")
 
 	// Version contract: /v1/version serves exactly the build line the
 	// binary itself reports, so captured evidence pins to this build.
-	resp, err = client.Get("http://" + addr + "/v1/version")
+	ver, err := api.Version(sctx)
 	if err != nil {
 		return fmt.Errorf("version check: %w", err)
-	}
-	verData, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("version check: status %d err %v: %s", resp.StatusCode, err, verData)
-	}
-	var ver struct {
-		Version string `json:"version"`
-		Line    string `json:"line"`
-	}
-	if err := json.Unmarshal(verData, &ver); err != nil {
-		return fmt.Errorf("version check: decoding response: %w", err)
 	}
 	if ver.Line != finq.Version() || ver.Version == "" {
 		return fmt.Errorf("version check: served %q, binary reports %q", ver.Line, finq.Version())
 	}
 	fmt.Printf("smoke %-22s ok  %s\n", "version", ver.Line)
+
+	// Batch contract: one request evaluates several queries against one
+	// shared state; a failing item is scoped to that item.
+	batch, err := api.EvalBatch(sctx, apiv1.BatchRequest{
+		Domain: "presburger",
+		State:  json.RawMessage(`{"relations": {"R": [["1"], ["3"]]}}`),
+		Items: []apiv1.BatchItem{
+			{Formula: "R(x)"},
+			{Formula: "((("},
+			{Formula: "exists x. R(x)"},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("batch check: %w", err)
+	}
+	if len(batch.Items) != 3 || batch.Stopped != "" {
+		return fmt.Errorf("batch check: unexpected shape: %+v", batch)
+	}
+	if r := batch.Items[0].Result; r == nil || r.Answer == nil || len(r.Answer.Rows) != 2 {
+		return fmt.Errorf("batch check: item 0 should carry 2 rows: %+v", batch.Items[0])
+	}
+	if e := batch.Items[1].Error; e == nil || e.Code != apiv1.CodeBadRequest {
+		return fmt.Errorf("batch check: bad-formula item should be a scoped %s: %+v", apiv1.CodeBadRequest, batch.Items[1])
+	}
+	if r := batch.Items[2].Result; r == nil || r.Answer == nil || r.Answer.Truth == nil || !*r.Answer.Truth {
+		return fmt.Errorf("batch check: sentence item should be true: %+v", batch.Items[2])
+	}
+	fmt.Printf("smoke %-22s ok  3 items, shared state, scoped error\n", "eval-batch")
+
+	// Streaming contract: rows of an enumeration arrive one by one in both
+	// encodings, with the completion verdict on the trailer.
+	for _, enc := range []string{apiv1.ContentTypeNDJSON, apiv1.ContentTypeFrames} {
+		streamed := 0
+		sres, err := api.EvalStream(sctx, apiv1.EvalRequest{
+			Domain:  "presburger",
+			Formula: "R(x)",
+			State:   json.RawMessage(`{"relations": {"R": [["1"], ["3"]]}}`),
+			Mode:    "enumerate",
+			Budget:  &apiv1.Budget{Rows: 16, Probe: 1 << 20},
+		}, enc, func(row []string) error {
+			streamed++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("stream check (%s): %w", enc, err)
+		}
+		if streamed != 2 || !sres.Trailer.Complete || sres.Trailer.Rows != 2 {
+			return fmt.Errorf("stream check (%s): %d rows, trailer %+v", enc, streamed, sres.Trailer)
+		}
+		fmt.Printf("smoke %-22s ok  2 rows then complete trailer (%s)\n", "eval-stream", enc)
+	}
+
+	// Error-envelope contract: a failing request surfaces through the
+	// client as a typed APIError with a closed-set code and a request ID.
+	if _, err := api.Eval(sctx, apiv1.EvalRequest{Domain: "nope", Formula: "x = x"}); err == nil {
+		return fmt.Errorf("error-envelope check: unknown domain did not fail")
+	} else if ae, ok := err.(*apiclient.APIError); !ok {
+		return fmt.Errorf("error-envelope check: want *apiclient.APIError, got %T: %v", err, err)
+	} else if ae.Status != http.StatusBadRequest || ae.Code != apiv1.CodeBadRequest ||
+		!apiv1.ValidCode(ae.Code) || ae.RequestID == "" {
+		return fmt.Errorf("error-envelope check: %+v", ae)
+	}
+	fmt.Printf("smoke %-22s ok  typed %s with request ID\n", "error-envelope", apiv1.CodeBadRequest)
 
 	// Profile-capture contract: an on-demand capture completes, is listed
 	// on /debug/profiles, and its CPU payload downloads by id.

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/apiv1"
+	apiclient "repro/client"
+	"repro/internal/server"
+)
+
+// TestWriteBenchServe measures the wire cost of serving the E1 corpus
+// through finqd three ways — one query per /v1/eval request, batched via
+// /v1/eval/batch, and as a streamed enumeration — and writes
+// BENCH_serve.json. Two acceptance bars fail the run:
+//
+//  1. batched per-query throughput must be at least 5x the single-eval
+//     per-query throughput (the batch amortizes the round trip, the body
+//     decode, and the shared state parse), and
+//  2. the first streamed row must arrive in the first half of a
+//     budget-bound enumeration — rows flush while the evaluation runs,
+//     not after it.
+//
+// Gated behind BENCH_SERVE=1 (run via `make bench-serve`) so the ordinary
+// test suite stays fast.
+func TestWriteBenchServe(t *testing.T) {
+	if os.Getenv("BENCH_SERVE") == "" {
+		t.Skip("set BENCH_SERVE=1 to measure serving throughput and write BENCH_serve.json")
+	}
+	corpus, err := loadCorpus("../../testdata/corpus/e1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Logger: quietLogger()})
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	api := apiclient.New("http://"+addr, nil)
+	ctx := context.Background()
+
+	// Interleave single/batch rounds and keep the best of each, the same
+	// noise-suppression scheme BENCH_perf uses: on a single shared core the
+	// closed loop measures client+server CPU together, and scheduling noise
+	// between runs is well above the bar's margin.
+	const (
+		batchSize = 64
+		rounds    = 3
+	)
+	var single, batch *loadResult
+	for round := 0; round < rounds; round++ {
+		s, err := runLoad(ctx, api, corpus, loadOptions{
+			Mode: "eval", Workers: 4, Warmup: 300 * time.Millisecond, Duration: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runLoad(ctx, api, corpus, loadOptions{
+			Mode: "batch", Batch: batchSize, Workers: 4,
+			Warmup: 300 * time.Millisecond, Duration: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Errors > 0 || b.Errors > 0 {
+			t.Fatalf("round %d load errors: single %d, batch %d", round, s.Errors, b.Errors)
+		}
+		if single == nil || s.QueriesPerSec > single.QueriesPerSec {
+			single = s
+		}
+		if batch == nil || b.QueriesPerSec > batch.QueriesPerSec {
+			batch = b
+		}
+	}
+	speedup := batch.QueriesPerSec / single.QueriesPerSec
+	t.Logf("single: %.0f queries/s (p50 %.3fms)", single.QueriesPerSec, single.P50MS)
+	t.Logf("batch:  %.0f queries/s (p50 %.3fms per %d-item request)", batch.QueriesPerSec, batch.P50MS, batchSize)
+	t.Logf("batch speedup per query: %.1fx", speedup)
+
+	// Streaming: enumerate an infinite answer (~R(x)) under a row budget
+	// and timestamp the first row against the whole request.
+	t0 := time.Now()
+	var firstRow time.Duration
+	sres, err := api.EvalStream(ctx, apiv1.EvalRequest{
+		Domain:  corpus.Domain,
+		State:   corpus.State,
+		Formula: "~R(x)",
+		Mode:    "enumerate",
+		Budget:  &apiv1.Budget{Rows: 64, Probe: 1 << 20},
+	}, apiv1.ContentTypeNDJSON, func(row []string) error {
+		if firstRow == 0 {
+			firstRow = time.Since(t0)
+		}
+		return nil
+	})
+	total := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stream: first row %.3fms, trailer (%d rows, stopped %q) %.3fms",
+		ms(firstRow), sres.Trailer.Rows, sres.Trailer.Stopped, ms(total))
+
+	// Bars.
+	if speedup < 5 {
+		t.Errorf("batch bar: per-query throughput %.1fx single eval, want >= 5x", speedup)
+	}
+	if sres.Trailer.Stopped != "budget" || sres.Trailer.Rows == 0 {
+		t.Errorf("stream bar: want a budget-bound enumeration with rows, got %+v", sres.Trailer)
+	}
+	if firstRow == 0 || firstRow > total/2 {
+		t.Errorf("stream bar: first row at %.3fms of %.3fms — rows must flush while the evaluation runs", ms(firstRow), ms(total))
+	}
+	if t.Failed() {
+		return
+	}
+
+	out := map[string]any{
+		"benchmark":               "finqd wire cost on the E1 corpus: single /v1/eval vs /v1/eval/batch vs streamed enumeration",
+		"corpus":                  "testdata/corpus/e1.json",
+		"single":                  single,
+		"batch":                   batch,
+		"batch_speedup_per_query": speedup,
+		"stream_first_row_ms":     ms(firstRow),
+		"stream_total_ms":         ms(total),
+		"stream_rows":             sres.Trailer.Rows,
+		"stream_stopped":          sres.Trailer.Stopped,
+		"note":                    "closed-loop workers, warmup discarded, best of 3 interleaved rounds per mode; bars: batch >= 5x single per-query throughput, first streamed row inside the first half of a budget-bound enumeration",
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_serve.json")
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -263,12 +263,20 @@ type Request struct {
 	// Profile requests a per-node EXPLAIN profile alongside the answer.
 	// Profiling adds per-node timers, so profiled runs are slower.
 	Profile bool
+	// OnRow, when non-nil under ModeEnumerate, receives each answer row as
+	// the §1.1 algorithm finds it — before the next existential decision —
+	// so callers can stream rows while the evaluation is still running.
+	// The tuple is shared with the answer under construction and must not
+	// be mutated. A non-nil error stops the enumeration: the rows so far
+	// come back as a partial Result (Stopped "client-gone" when the error
+	// is ErrClientGone, an error otherwise).
+	OnRow func(vars []string, row Tuple) error
 }
 
 // Result is Eval's outcome. Partial answers — a row budget or the request
 // context stopped the computation — are results, not errors: Answer holds
 // the rows found so far, Partial is set, and Stopped names what stopped
-// the run ("budget", "deadline", or "canceled").
+// the run ("budget", "deadline", "canceled", or "client-gone").
 type Result struct {
 	// Answer is the computed (possibly partial) answer.
 	Answer *Answer
@@ -276,10 +284,18 @@ type Result struct {
 	Profile *Profile
 	// Partial reports that the computation was stopped before completion.
 	Partial bool
-	// Stopped is "" for a complete answer, else "budget", "deadline", or
-	// "canceled".
+	// Stopped is "" for a complete answer, else "budget", "deadline",
+	// "canceled", or "client-gone".
 	Stopped string
 }
+
+// ErrClientGone marks a consumer that went away mid-evaluation: cancel an
+// evaluation context with it as the cause (context.WithCancelCause), or
+// return it from Request.OnRow, and the partial Result comes back with
+// Stopped = "client-gone" instead of "canceled" — so spans, the access
+// log, and per-query stats distinguish a client disconnect from a
+// server-side cancellation.
+var ErrClientGone = errors.New("finq: client gone")
 
 // Eval is the single evaluation entrypoint: it runs the request's formula
 // over the named domain and state under the given context, honoring
@@ -338,6 +354,16 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 		res, err = evalMode(ctx, d, st, mode, req)
 	}, "query_key", prof.QueryKeyLabel(key), "domain", req.Domain, "mode", string(mode))
 	allocBytes, allocObjs, allocSampled := mark.End()
+	// A cancellation caused by the consumer going away (the streaming
+	// handler cancels with ErrClientGone when the client disconnects) is
+	// its own stop reason, so traffic analysis can tell abandoned requests
+	// from server-side deadlines.
+	if res != nil && res.Stopped == "canceled" && errors.Is(context.Cause(ctx), ErrClientGone) {
+		res.Stopped = "client-gone"
+	}
+	if res != nil && res.Stopped != "" {
+		sp.ArgStr("stopped", res.Stopped)
+	}
 	// EXPLAIN surfaces carry the compiled plan's text: profiled runs
 	// evaluate through the instrumented interpreter, so the plan lookup here
 	// (a cache hit in the steady state) shows what the planner would run.
@@ -376,7 +402,11 @@ func evalMode(ctx context.Context, d DomainInfo, st *State, mode EvalMode, req R
 		if req.Budget != nil {
 			budget = *req.Budget
 		}
-		ans, err := query.EnumerationAnswerCtx(ctx, en, d.Decider, st, req.Formula, budget)
+		var sink query.RowSink
+		if req.OnRow != nil {
+			sink = query.RowSink(req.OnRow)
+		}
+		ans, err := query.EnumerationAnswerSinkCtx(ctx, en, d.Decider, st, req.Formula, budget, sink)
 		return packResult(ans, nil, err)
 	}
 	return nil, fmt.Errorf("finq: Eval: unknown mode %q (want %q or %q)", mode, ModeActive, ModeEnumerate)
@@ -439,6 +469,10 @@ func packResult(ans *Answer, prof *Profile, err error) (*Result, error) {
 	if err != nil {
 		var stopped string
 		switch {
+		case errors.Is(err, ErrClientGone):
+			// A row sink reported the consumer gone (streaming write
+			// failure); the rows delivered so far are the partial answer.
+			stopped = "client-gone"
 		case errors.Is(err, context.DeadlineExceeded):
 			stopped = "deadline"
 		case errors.Is(err, context.Canceled):

@@ -1,0 +1,120 @@
+package finq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The compact binary row encoding for streaming delivery
+// (application/x-finq-frames). A stream is a sequence of frames:
+//
+//	frame   := type(1 byte) | uvarint(len(payload)) | payload
+//	'H'     header:  payload is the JSON of apiv1.StreamHeader
+//	'R'     row:     payload is uvarint(cells) then per cell
+//	                 uvarint(len) | bytes — constant names, exactly the
+//	                 strings a JSON row would carry
+//	'T'     trailer: payload is the JSON of apiv1.StreamTrailer
+//
+// Row frames skip JSON entirely on the hot path: no quoting, no escaping,
+// no per-row reflection — one length-prefixed cell per column. Header and
+// trailer are one-per-stream, so their JSON payloads cost nothing
+// measurable and keep the metadata self-describing. JSON (NDJSON)
+// remains the default wire encoding; frames are negotiated by Accept.
+
+// Frame type bytes.
+const (
+	FrameHeader  = byte('H')
+	FrameRow     = byte('R')
+	FrameTrailer = byte('T')
+)
+
+// MaxFramePayload bounds a single frame's payload so a corrupt or
+// malicious length prefix cannot force an unbounded allocation.
+const MaxFramePayload = 1 << 24
+
+// ErrFrameTooLarge reports a frame whose declared payload length exceeds
+// MaxFramePayload.
+var ErrFrameTooLarge = errors.New("finq: frame payload exceeds limit")
+
+// AppendFrame appends one frame (type byte, uvarint length, payload) to
+// dst and returns the extended slice.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// AppendRowFrame appends a row frame carrying the cells and returns the
+// extended slice. The payload is uvarint(len(cells)) then each cell as
+// uvarint(len) | bytes.
+func AppendRowFrame(dst []byte, cells []string) []byte {
+	n := 0
+	for _, c := range cells {
+		n += len(c) + binary.MaxVarintLen64
+	}
+	payload := make([]byte, 0, n+binary.MaxVarintLen64)
+	payload = binary.AppendUvarint(payload, uint64(len(cells)))
+	for _, c := range cells {
+		payload = binary.AppendUvarint(payload, uint64(len(c)))
+		payload = append(payload, c...)
+	}
+	return AppendFrame(dst, FrameRow, payload)
+}
+
+// DecodeRowPayload inverts AppendRowFrame's payload encoding.
+func DecodeRowPayload(payload []byte) ([]string, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, errors.New("finq: bad row frame: cell count")
+	}
+	if count > uint64(len(payload)) {
+		// Each cell costs at least one length byte, so the count cannot
+		// exceed the remaining payload size.
+		return nil, fmt.Errorf("finq: bad row frame: %d cells in %d bytes", count, len(payload))
+	}
+	payload = payload[n:]
+	cells := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		sz, n := binary.Uvarint(payload)
+		if n <= 0 || sz > uint64(len(payload[n:])) {
+			return nil, fmt.Errorf("finq: bad row frame: cell %d length", i)
+		}
+		cells = append(cells, string(payload[n:n+int(sz)]))
+		payload = payload[n+int(sz):]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("finq: bad row frame: %d trailing bytes", len(payload))
+	}
+	return cells, nil
+}
+
+// ReadFrame reads one frame from the stream: its type byte and payload.
+// io.EOF is returned exactly at a clean frame boundary;
+// io.ErrUnexpectedEOF inside a frame.
+func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
+	typ, err := r.ReadByte()
+	if err != nil {
+		return 0, nil, err // io.EOF at a boundary is the clean end
+	}
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if size > MaxFramePayload {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}

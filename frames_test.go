@@ -1,0 +1,173 @@
+package finq
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip: frames written with the Append helpers read back
+// intact through ReadFrame, in order, with a clean EOF at the boundary.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, FrameHeader, []byte(`{"vars":["x","y"]}`))
+	rows := [][]string{
+		{"0", "1"},
+		{"", "a long constant name to cross the single-byte varint boundary: " + strings.Repeat("ab", 100)},
+		{},
+	}
+	for _, r := range rows {
+		buf = AppendRowFrame(buf, r)
+	}
+	buf = AppendFrame(buf, FrameTrailer, []byte(`{"rows":3,"complete":true}`))
+
+	r := bufio.NewReader(bytes.NewReader(buf))
+	typ, payload, err := ReadFrame(r)
+	if err != nil || typ != FrameHeader || string(payload) != `{"vars":["x","y"]}` {
+		t.Fatalf("header frame: %q %q %v", typ, payload, err)
+	}
+	for i, want := range rows {
+		typ, payload, err := ReadFrame(r)
+		if err != nil || typ != FrameRow {
+			t.Fatalf("row frame %d: %q %v", i, typ, err)
+		}
+		cells, err := DecodeRowPayload(payload)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		// Round-tripping normalizes nil/empty; compare contents.
+		if len(cells) != len(want) {
+			t.Fatalf("row %d: %v != %v", i, cells, want)
+		}
+		for j := range want {
+			if cells[j] != want[j] {
+				t.Fatalf("row %d cell %d: %q != %q", i, j, cells[j], want[j])
+			}
+		}
+	}
+	typ, payload, err = ReadFrame(r)
+	if err != nil || typ != FrameTrailer || string(payload) != `{"rows":3,"complete":true}` {
+		t.Fatalf("trailer frame: %q %q %v", typ, payload, err)
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("want clean EOF at the boundary, got %v", err)
+	}
+}
+
+// TestFrameTruncation: EOF inside a frame is ErrUnexpectedEOF, never a
+// silent short read.
+func TestFrameTruncation(t *testing.T) {
+	full := AppendRowFrame(nil, []string{"hello", "world"})
+	for cut := 1; cut < len(full); cut++ {
+		r := bufio.NewReader(bytes.NewReader(full[:cut]))
+		if _, _, err := ReadFrame(r); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// TestFrameOversized: a declared payload length past MaxFramePayload is
+// rejected before any allocation.
+func TestFrameOversized(t *testing.T) {
+	buf := []byte{FrameRow}
+	buf = binary.AppendUvarint(buf, MaxFramePayload+1)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestDecodeRowPayloadCorrupt: malformed row payloads error instead of
+// panicking or fabricating cells.
+func TestDecodeRowPayloadCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"absurd count":   binary.AppendUvarint(nil, 1<<40),
+		"cell too long":  append(binary.AppendUvarint(binary.AppendUvarint(nil, 1), 100), 'x'),
+		"trailing bytes": append(AppendRowFramePayload(t, []string{"a"}), 0xff),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRowPayload(payload); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// AppendRowFramePayload extracts just the payload of a row frame, for
+// corrupting in tests.
+func AppendRowFramePayload(t *testing.T, cells []string) []byte {
+	t.Helper()
+	full := AppendRowFrame(nil, cells)
+	r := bufio.NewReader(bytes.NewReader(full))
+	_, payload, err := ReadFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestOnRowStreamsDuringEval: Request.OnRow sees every row before Eval
+// returns, and returning ErrClientGone stops the enumeration with the
+// rows so far as a partial "client-gone" result.
+func TestOnRowStreamsDuringEval(t *testing.T) {
+	d := MustLookup("presburger")
+	st := NewState(MustScheme(map[string]int{"R": 1}))
+	if err := st.Insert("R", Nat(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("R", Nat(3)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Parse("R(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seen [][]string
+	res, err := Eval(context.Background(), Request{
+		Domain: "presburger", State: st, Formula: f, Mode: ModeEnumerate,
+		Budget: &EnumerationBudget{Rows: 16, Probe: 1 << 20},
+		OnRow: func(vars []string, row Tuple) error {
+			if !reflect.DeepEqual(vars, []string{"x"}) {
+				t.Fatalf("vars %v", vars)
+			}
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = d.Domain.ConstName(v)
+			}
+			seen = append(seen, cells)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Complete || len(seen) != 2 {
+		t.Fatalf("complete=%v seen=%v", res.Answer.Complete, seen)
+	}
+
+	// A sink that gives up after the first row: partial client-gone result.
+	rows := 0
+	res, err = Eval(context.Background(), Request{
+		Domain: "presburger", State: st, Formula: f, Mode: ModeEnumerate,
+		Budget: &EnumerationBudget{Rows: 16, Probe: 1 << 20},
+		OnRow: func(vars []string, row Tuple) error {
+			rows++
+			return ErrClientGone
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stopped != "client-gone" {
+		t.Fatalf("want partial client-gone, got partial=%v stopped=%q", res.Partial, res.Stopped)
+	}
+	if rows != 1 || res.Answer.Rows.Len() != 1 {
+		t.Fatalf("sink rows %d, answer rows %d", rows, res.Answer.Rows.Len())
+	}
+}

@@ -38,6 +38,12 @@ func (c *Ctx) constValue(name string) (domain.Value, error) {
 type Table struct {
 	Cols []string
 	rows map[string][]domain.Value
+	// sorted is an optional prebuilt Rows() snapshot, aligned with rows;
+	// it is shared by memoized base tables and dropped on mutation.
+	sorted [][]domain.Value
+	// shared marks rows (and sorted) as borrowed from a state memo: the
+	// first Add copies them instead of mutating the shared view.
+	shared bool
 }
 
 // NewTable returns an empty table with the given columns.
@@ -50,6 +56,15 @@ func (t *Table) Add(row []domain.Value) error {
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("algebra: row width %d, table width %d", len(row), len(t.Cols))
 	}
+	if t.shared {
+		rows := make(map[string][]domain.Value, len(t.rows)+1)
+		for k, v := range t.rows {
+			rows[k] = v
+		}
+		t.rows = rows
+		t.shared = false
+	}
+	t.sorted = nil
 	t.rows[db.Tuple(row).Key()] = append([]domain.Value(nil), row...)
 	return nil
 }
@@ -57,8 +72,12 @@ func (t *Table) Add(row []domain.Value) error {
 // Len returns the number of rows.
 func (t *Table) Len() int { return len(t.rows) }
 
-// Rows returns the rows sorted by key.
+// Rows returns the rows sorted by key. Callers must not mutate the
+// returned rows (they alias the table's storage, as they always have).
 func (t *Table) Rows() [][]domain.Value {
+	if t.sorted != nil {
+		return t.sorted
+	}
 	keys := make([]string, 0, len(t.rows))
 	for k := range t.rows {
 		keys = append(keys, k)
@@ -115,7 +134,18 @@ type Base struct {
 // Columns implements Expr.
 func (b *Base) Columns() []string { return b.Cols }
 
-// Eval implements Expr.
+// baseSnapshot is a relation materialized as table storage, memoized on
+// the state so every query over an unchanged state shares one copy.
+type baseSnapshot struct {
+	rows   map[string][]domain.Value
+	sorted [][]domain.Value
+}
+
+// Eval implements Expr. The row storage is memoized per relation on the
+// state (column names differ per query, the rows do not), so a workload
+// that runs many queries against one state — a batch request, a probe
+// loop — materializes and sorts each base relation once. The returned
+// table copies the shared storage on its first Add.
 func (b *Base) Eval(ctx *Ctx) (*Table, error) {
 	rel, err := ctx.St.Relation(b.Rel)
 	if err != nil {
@@ -127,13 +157,25 @@ func (b *Base) Eval(ctx *Ctx) (*Table, error) {
 	if err := distinctCols(b.Cols); err != nil {
 		return nil, err
 	}
-	out := NewTable(b.Cols)
-	for _, row := range rel.Tuples() {
-		if err := out.Add(row); err != nil {
-			return nil, err
+	snap := ctx.St.Memo("algebra.base:"+b.Rel, rel.Version(), func() any {
+		tuples := rel.Tuples()
+		s := &baseSnapshot{
+			rows:   make(map[string][]domain.Value, len(tuples)),
+			sorted: make([][]domain.Value, 0, len(tuples)),
 		}
-	}
-	return out, nil
+		for _, t := range tuples {
+			row := append([]domain.Value(nil), t...)
+			s.rows[db.Tuple(row).Key()] = row
+			s.sorted = append(s.sorted, row)
+		}
+		return s
+	}).(*baseSnapshot)
+	return &Table{
+		Cols:   append([]string(nil), b.Cols...),
+		rows:   snap.rows,
+		sorted: snap.sorted,
+		shared: true,
+	}, nil
 }
 
 // String implements Expr.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/domain"
 )
@@ -77,8 +78,9 @@ func (t Tuple) String() string {
 
 // Relation is a finite set of equal-arity tuples.
 type Relation struct {
-	arity int
-	rows  map[string]Tuple
+	arity   int
+	rows    map[string]Tuple
+	version uint64
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -98,8 +100,13 @@ func (r *Relation) Add(t Tuple) error {
 		return fmt.Errorf("db: tuple %v has arity %d, relation has %d", t, len(t), r.arity)
 	}
 	r.rows[t.Key()] = append(Tuple(nil), t...)
+	r.version++
 	return nil
 }
+
+// Version returns a counter that changes on every mutation, so derived
+// read-only views (see State.Memo) can tell whether they are current.
+func (r *Relation) Version() uint64 { return r.version }
 
 // Has reports membership.
 func (r *Relation) Has(t Tuple) bool {
@@ -132,10 +139,26 @@ func (r *Relation) Clone() *Relation {
 
 // State is a database state: finite relations for each scheme relation and
 // values for the scheme's constants.
+//
+// A state also memoizes derived read-only views (materialized base tables,
+// the active domain) keyed by a version counter, so workloads that run many
+// queries against one state — a batch request, an enumeration's probe loop
+// — pay the derivation once instead of per query. Mutating the state (or
+// any relation obtained from it) invalidates the memos on the next lookup.
 type State struct {
 	scheme *Scheme
 	rels   map[string]*Relation
 	consts map[string]domain.Value
+
+	constVersion uint64
+	memoMu       sync.Mutex
+	memo         map[string]memoEntry
+}
+
+// memoEntry is one cached derived view with the version it was built at.
+type memoEntry struct {
+	version uint64
+	value   any
 }
 
 // NewState returns the empty state of a scheme (all relations empty, all
@@ -176,7 +199,37 @@ func (st *State) SetConstant(name string, v domain.Value) error {
 		return fmt.Errorf("db: constant %q not in scheme", name)
 	}
 	st.consts[name] = v
+	st.constVersion++
 	return nil
+}
+
+// Version returns a counter that changes whenever any relation or constant
+// of the state changes. Versions only grow, so equal versions mean an
+// unchanged state.
+func (st *State) Version() uint64 {
+	v := st.constVersion
+	for _, r := range st.rels {
+		v += r.version
+	}
+	return v
+}
+
+// Memo returns the cached derived view under key if it was built at the
+// given version, building and caching it otherwise. The build result must
+// be treated as read-only by every consumer: it is shared across queries
+// (and across goroutines — parallel evaluation workers share a state).
+func (st *State) Memo(key string, version uint64, build func() any) any {
+	st.memoMu.Lock()
+	defer st.memoMu.Unlock()
+	if e, ok := st.memo[key]; ok && e.version == version {
+		return e.value
+	}
+	v := build()
+	if st.memo == nil {
+		st.memo = map[string]memoEntry{}
+	}
+	st.memo[key] = memoEntry{version: version, value: v}
+	return v
 }
 
 // Constant returns the value of a database constant in this state.
@@ -204,7 +257,17 @@ func (st *State) Clone() *State {
 // in a relation or as a database constant, sorted by key. Query constants
 // are the caller's to add ("the set of all constants used in the querying
 // formula and/or elements contained in the database relations").
+//
+// The result is memoized until the state changes; it is built with no spare
+// capacity, so appending to it copies instead of mutating the shared view.
 func (st *State) ActiveDomain() []domain.Value {
+	return st.Memo("db.activedomain", st.Version(), func() any {
+		return st.activeDomain()
+	}).([]domain.Value)
+}
+
+// activeDomain computes ActiveDomain's value.
+func (st *State) activeDomain() []domain.Value {
 	seen := map[string]domain.Value{}
 	for _, r := range st.rels {
 		for _, t := range r.Tuples() {

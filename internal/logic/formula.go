@@ -2,6 +2,7 @@ package logic
 
 import (
 	"strings"
+	"sync/atomic"
 )
 
 // FKind discriminates formula shapes.
@@ -47,6 +48,11 @@ type Formula struct {
 	Sub []*Formula
 	// Var is the bound variable of FExists/FForall.
 	Var string
+
+	// key caches CanonicalKey. Formulas are immutable once built, so the
+	// cache can never go stale; the atomic makes a concurrent first
+	// computation safe (both writers store equal strings).
+	key atomic.Pointer[string]
 }
 
 // True returns the formula "true".

@@ -17,12 +17,22 @@ import (
 // The decision cache (internal/deccache) keys memoized Decide calls by
 // this string; keys are compared byte-for-byte, so equality of keys is
 // collision-safe by construction.
+//
+// The key is computed once per formula node and cached (formulas are
+// immutable), so hot paths that key the same formula repeatedly — the
+// decision cache, qstats, a batch of queries — pay the serialization only
+// the first time.
 func (f *Formula) CanonicalKey() string {
+	if k := f.key.Load(); k != nil {
+		return *k
+	}
 	var b strings.Builder
 	// Rough pre-size: tag + two empty name prefixes + counts per node.
 	b.Grow(f.Size() * 8)
 	appendFormulaKey(&b, f)
-	return b.String()
+	k := b.String()
+	f.key.Store(&k)
+	return k
 }
 
 func appendFormulaKey(b *strings.Builder, f *Formula) {

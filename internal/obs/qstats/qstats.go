@@ -75,7 +75,10 @@ const DefaultMaxWeight = 1 << 21
 
 // stop reasons, indexed into each entry's fixed-size counter array. The
 // set is closed so a malicious client cannot mint unbounded map keys.
-var stopReasons = []string{"complete", "budget", "deadline", "canceled", "error"}
+var stopReasons = []string{"complete", "budget", "deadline", "canceled", "client-gone", "error"}
+
+// numStopReasons sizes each entry's fixed stop-reason counter array.
+const numStopReasons = 6
 
 func stopIndex(reason string) int {
 	switch reason {
@@ -87,8 +90,10 @@ func stopIndex(reason string) int {
 		return 2
 	case "canceled":
 		return 3
+	case "client-gone":
+		return 4
 	}
-	return 4 // anything else is an error outcome
+	return 5 // anything else is an error outcome
 }
 
 // NodeSample is one EXPLAIN profile node's contribution to a query's
@@ -121,7 +126,7 @@ type Sample struct {
 	// Rows is the answer cardinality.
 	Rows int64
 	// Stopped is "" or "complete" for a complete answer, else "budget",
-	// "deadline", "canceled", or "error".
+	// "deadline", "canceled", "client-gone", or "error".
 	Stopped string
 	// CacheHits and CacheMisses attribute decision-cache traffic to this
 	// evaluation (deccache.Tally).
@@ -160,7 +165,7 @@ type entry struct {
 	firstSeen, lastSeen      int64 // registry clock ticks, not wall time
 
 	evals, rows  int64
-	stopped      [5]int64
+	stopped      [numStopReasons]int64
 	hits, misses int64
 
 	plan                 string

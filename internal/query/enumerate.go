@@ -31,6 +31,36 @@ type Enumerable interface {
 	domain.Enumerator
 }
 
+// RowSink receives answer rows as the enumeration finds them, before the
+// final Answer is assembled — the hook streaming delivery hangs on. The
+// tuple is shared with the answer under construction and must not be
+// mutated. A non-nil error stops the enumeration: the rows so far come
+// back as a partial answer alongside the error wrapped in SinkError, so
+// callers can tell a delivery failure (client gone) from an evaluation
+// failure.
+type RowSink func(vars []string, row db.Tuple) error
+
+// SinkError wraps a RowSink's error so callers can distinguish delivery
+// failures from evaluation failures.
+type SinkError struct{ Err error }
+
+func (e *SinkError) Error() string { return "query: row sink: " + e.Err.Error() }
+
+// Unwrap exposes the sink's error to errors.Is/As.
+func (e *SinkError) Unwrap() error { return e.Err }
+
+// deliverRow hands a freshly found row to the sink, if any, wrapping a
+// sink failure.
+func deliverRow(sink RowSink, vars []string, row db.Tuple) error {
+	if sink == nil {
+		return nil
+	}
+	if err := sink(vars, row); err != nil {
+		return &SinkError{Err: err}
+	}
+	return nil
+}
+
 // EnumerationAnswer runs the query-answering algorithm of §1.1 of the
 // paper. The query is first translated into a pure domain formula φ'(x̄)
 // over the state. Then, repeatedly:
@@ -67,6 +97,16 @@ func EnumerationAnswer(dom Enumerable, dec domain.Decider, st *db.State,
 // computation.
 func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decider, st *db.State,
 	f *logic.Formula, budget EnumerationBudget) (*Answer, error) {
+	return EnumerationAnswerSinkCtx(ctx, dom, dec, st, f, budget, nil)
+}
+
+// EnumerationAnswerSinkCtx is EnumerationAnswerCtx with per-row delivery:
+// a non-nil sink receives each answer row as it is found, before the next
+// existential decision — the streaming endpoint flushes rows to the
+// client from here. Row order, budget accounting, and partial-answer
+// behavior are identical with and without a sink.
+func EnumerationAnswerSinkCtx(ctx context.Context, dom Enumerable, dec domain.Decider, st *db.State,
+	f *logic.Formula, budget EnumerationBudget, sink RowSink) (*Answer, error) {
 
 	sp := obs.StartSpanCtx(ctx, "query.enumerate")
 	defer sp.End()
@@ -74,7 +114,7 @@ func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decide
 	// Compiled-plan fast path: an algebra-tier plan materializes the
 	// answer once and the probe loop replays against it — identical rows,
 	// order, and budget accounting, no per-probe decision procedure.
-	if ans, err, ok := planEnumerationAnswer(ctx, sp, dom, st, f, budget); ok {
+	if ans, err, ok := planEnumerationAnswer(ctx, sp, dom, st, f, budget, sink); ok {
 		return ans, err
 	}
 	pure, err := Translate(dom, st, f)
@@ -151,6 +191,10 @@ func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decide
 		rows++
 		if err := ans.Rows.Add(row); err != nil {
 			return nil, err
+		}
+		if err := deliverRow(sink, vars, row); err != nil {
+			sp.Arg("rows", int64(ans.Rows.Len()))
+			return ans, err
 		}
 	}
 	mEnumExhausted.Inc()

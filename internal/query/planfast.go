@@ -60,7 +60,7 @@ func planActiveAnswer(ctx context.Context, sp *obs.Span, dom domain.Domain, st *
 // order, row order, and partial-answer behavior replicate the generic
 // loop exactly.
 func planEnumerationAnswer(ctx context.Context, sp *obs.Span, dom Enumerable, st *db.State,
-	f *logic.Formula, budget EnumerationBudget) (*Answer, error, bool) {
+	f *logic.Formula, budget EnumerationBudget, sink RowSink) (*Answer, error, bool) {
 
 	if !plan.Enabled() {
 		return nil, nil, false
@@ -145,6 +145,10 @@ func planEnumerationAnswer(ctx context.Context, sp *obs.Span, dom Enumerable, st
 		rows++
 		if err := ans.Rows.Add(row); err != nil {
 			return nil, err, true
+		}
+		if err := deliverRow(sink, vars, row); err != nil {
+			sp.Arg("rows", int64(ans.Rows.Len()))
+			return ans, err, true
 		}
 	}
 	mEnumExhausted.Inc()

@@ -8,36 +8,10 @@ import (
 	"strconv"
 
 	finq "repro"
+	"repro/apiv1"
 	"repro/internal/domain"
 	"repro/internal/obs/qstats"
 )
-
-// EvalRequest is the body of POST /v1/eval. Formula syntax, state format,
-// and budget semantics are exactly the library's: the request is a wire
-// form of finq.Request.
-type EvalRequest struct {
-	// Domain names a registered domain (GET /v1/domains lists them).
-	Domain string `json:"domain"`
-	// Formula is the query in the domain's concrete syntax.
-	Formula string `json:"formula"`
-	// State is the database state in the stateJSON format; omitted means
-	// the empty state.
-	State json.RawMessage `json:"state,omitempty"`
-	// Mode is "active" (default) or "enumerate".
-	Mode string `json:"mode,omitempty"`
-	// Workers > 1 fans active-domain evaluation over a worker pool.
-	Workers int `json:"workers,omitempty"`
-	// Budget bounds enumerate mode; omitted means the default budget.
-	Budget *BudgetJSON `json:"budget,omitempty"`
-	// Profile asks for a per-node EXPLAIN profile in the response.
-	Profile bool `json:"profile,omitempty"`
-}
-
-// BudgetJSON is the wire form of an enumeration budget.
-type BudgetJSON struct {
-	Rows  int `json:"rows"`
-	Probe int `json:"probe"`
-}
 
 // decodeBody unmarshals a request body strictly, so misspelled fields are
 // 400s instead of silently ignored options.
@@ -70,41 +44,62 @@ func parseDomainFormula(domainName, formula string, st *finq.State) (finq.Domain
 	return d, f, nil
 }
 
-func (s *Server) handleEval(ctx context.Context, body []byte) (any, error) {
-	var req EvalRequest
-	if err := decodeBody(body, &req); err != nil {
+// parseStateOpt parses an optional state body over the named domain; no
+// state means nil (the library's empty-state default).
+func parseStateOpt(domainName string, raw json.RawMessage) (*finq.State, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	d, err := finq.Lookup(domainName)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	st, err := finq.ParseState(d, raw)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	return st, nil
+}
+
+// libRequest converts the wire form of one evaluation into the library's.
+func libRequest(domainName string, st *finq.State, f *finq.Formula,
+	mode string, workers int, budget *apiv1.Budget, profile bool) finq.Request {
+
+	lreq := finq.Request{
+		Domain:  domainName,
+		State:   st,
+		Formula: f,
+		Mode:    finq.EvalMode(mode),
+		Workers: workers,
+		Profile: profile,
+	}
+	if budget != nil {
+		lreq.Budget = &finq.EnumerationBudget{Rows: budget.Rows, Probe: budget.Probe}
+	}
+	return lreq
+}
+
+func (s *Server) handleEval(ctx context.Context, env *handlerEnv) (any, error) {
+	var req apiv1.EvalRequest
+	if err := decodeBody(env.body, &req); err != nil {
 		return nil, err
 	}
-	var st *finq.State
-	if len(req.State) > 0 {
-		d, err := finq.Lookup(req.Domain)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
-		}
-		st, err = finq.ParseState(d, req.State)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "%v", err)
-		}
+	st, err := parseStateOpt(req.Domain, req.State)
+	if err != nil {
+		return nil, err
 	}
 	d, f, err := parseDomainFormula(req.Domain, req.Formula, st)
 	if err != nil {
 		return nil, err
 	}
-	lreq := finq.Request{
-		Domain:  req.Domain,
-		State:   st,
-		Formula: f,
-		Mode:    finq.EvalMode(req.Mode),
-		Workers: req.Workers,
-		Profile: req.Profile,
-	}
-	if req.Budget != nil {
-		lreq.Budget = &finq.EnumerationBudget{Rows: req.Budget.Rows, Probe: req.Budget.Probe}
-	}
+	lreq := libRequest(req.Domain, st, f, req.Mode, req.Workers, req.Budget, req.Profile)
 	// Feed the tail sampler: the canonical key marks this request as a
 	// sighting of its query, so each distinct query's first request gets a
 	// retained trace.
 	noteQueryKey(ctx, f.CanonicalKey())
+	if enc := streamEncoding(env.r); enc != "" {
+		return s.streamEval(ctx, env, enc, d, lreq)
+	}
 	res, err := finq.Eval(ctx, lreq)
 	if err != nil {
 		return nil, err
@@ -118,20 +113,9 @@ func (s *Server) handleEval(ctx context.Context, body []byte) (any, error) {
 	return finq.EncodeResult(d, res), nil
 }
 
-// DecideRequest is the body of POST /v1/decide.
-type DecideRequest struct {
-	Domain   string `json:"domain"`
-	Sentence string `json:"sentence"`
-}
-
-// DecideResponse is its answer.
-type DecideResponse struct {
-	Truth bool `json:"truth"`
-}
-
-func (s *Server) handleDecide(ctx context.Context, body []byte) (any, error) {
-	var req DecideRequest
-	if err := decodeBody(body, &req); err != nil {
+func (s *Server) handleDecide(ctx context.Context, env *handlerEnv) (any, error) {
+	var req apiv1.DecideRequest
+	if err := decodeBody(env.body, &req); err != nil {
 		return nil, err
 	}
 	d, f, err := parseDomainFormula(req.Domain, req.Sentence, nil)
@@ -142,24 +126,12 @@ func (s *Server) handleDecide(ctx context.Context, body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return DecideResponse{Truth: truth}, nil
+	return apiv1.DecideResponse{Truth: truth}, nil
 }
 
-// QERequest is the body of POST /v1/qe.
-type QERequest struct {
-	Domain  string `json:"domain"`
-	Formula string `json:"formula"`
-}
-
-// QEResponse carries the quantifier-free equivalent, rendered in the
-// domain's concrete syntax.
-type QEResponse struct {
-	Formula string `json:"formula"`
-}
-
-func (s *Server) handleQE(ctx context.Context, body []byte) (any, error) {
-	var req QERequest
-	if err := decodeBody(body, &req); err != nil {
+func (s *Server) handleQE(ctx context.Context, env *handlerEnv) (any, error) {
+	var req apiv1.QERequest
+	if err := decodeBody(env.body, &req); err != nil {
 		return nil, err
 	}
 	d, f, err := parseDomainFormula(req.Domain, req.Formula, nil)
@@ -170,26 +142,12 @@ func (s *Server) handleQE(ctx context.Context, body []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return QEResponse{Formula: g.String()}, nil
+	return apiv1.QEResponse{Formula: g.String()}, nil
 }
 
-// SafetyRequest is the body of POST /v1/safety.
-type SafetyRequest struct {
-	Domain  string          `json:"domain"`
-	Formula string          `json:"formula"`
-	State   json.RawMessage `json:"state,omitempty"`
-}
-
-// SafetyResponse reports the relative-safety verdict: "holds" (the answer
-// is finite in this state), "fails", or "unknown" (the budgeted
-// semi-decision over the trace domain gave up).
-type SafetyResponse struct {
-	Verdict finq.Verdict `json:"verdict"`
-}
-
-func (s *Server) handleSafety(ctx context.Context, body []byte) (any, error) {
-	var req SafetyRequest
-	if err := decodeBody(body, &req); err != nil {
+func (s *Server) handleSafety(ctx context.Context, env *handlerEnv) (any, error) {
+	var req apiv1.SafetyRequest
+	if err := decodeBody(env.body, &req); err != nil {
 		return nil, err
 	}
 	d, err := finq.Lookup(req.Domain)
@@ -224,16 +182,11 @@ func (s *Server) handleSafety(ctx context.Context, body []byte) (any, error) {
 		if out.err != nil {
 			return nil, out.err
 		}
-		return SafetyResponse{Verdict: out.verdict}, nil
+		return apiv1.SafetyResponse{Verdict: out.verdict}, nil
 	case <-ctx.Done():
-		return nil, errf(http.StatusServiceUnavailable, "safety analysis exceeded the deadline: %v", ctx.Err())
+		return nil, errc(http.StatusServiceUnavailable, apiv1.CodeDeadline,
+			"safety analysis exceeded the deadline: %v", ctx.Err())
 	}
-}
-
-// DomainJSON is one entry of GET /v1/domains.
-type DomainJSON struct {
-	Name string `json:"name"`
-	Doc  string `json:"doc"`
 }
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
@@ -241,15 +194,17 @@ func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	out := []DomainJSON{}
+	out := apiv1.DomainsResponse{}
 	for _, d := range finq.Domains() {
-		out = append(out, DomainJSON{Name: d.Name, Doc: d.Doc})
+		out = append(out, apiv1.Domain{Name: d.Name, Doc: d.Doc})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// QueryStatsResponse is the body of GET /v1/stats/queries.
-type QueryStatsResponse struct {
+// queryStatsJSON is the served shape of GET /v1/stats/queries; its wire
+// contract is apiv1.QueryStatsResponse (Queries there is raw JSON so the
+// client does not depend on the qstats internals).
+type queryStatsJSON struct {
 	By      string             `json:"by"`
 	Queries []qstats.EntryView `json:"queries"`
 }
@@ -284,7 +239,7 @@ func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
 	if entries == nil {
 		entries = []qstats.EntryView{}
 	}
-	writeJSON(w, http.StatusOK, QueryStatsResponse{By: by, Queries: entries})
+	writeJSON(w, http.StatusOK, queryStatsJSON{By: by, Queries: entries})
 }
 
 // handleDebugQueries serves GET /debug/queries: the same per-query stats

@@ -1,11 +1,10 @@
 package server
 
-import "net/http"
+import (
+	"net/http"
 
-// healthJSON is the body of /healthz and /readyz.
-type healthJSON struct {
-	Status string `json:"status"`
-}
+	"repro/apiv1"
+)
 
 // handleHealthz is liveness: the process is up and serving HTTP. It stays
 // 200 through a drain — a draining process is alive, just not accepting
@@ -15,7 +14,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, healthJSON{Status: "ok"})
+	writeJSON(w, http.StatusOK, apiv1.Health{Status: "ok"})
 }
 
 // handleReadyz is readiness: 200 while the server accepts new work, 503
@@ -28,10 +27,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, healthJSON{Status: "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, apiv1.Health{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthJSON{Status: "ready"})
+	writeJSON(w, http.StatusOK, apiv1.Health{Status: "ready"})
 }
 
 // StartDrain flips /readyz to 503 without touching the listener: new

@@ -80,6 +80,10 @@ func (w *respWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so the
+// streaming handler can flush through this wrapper.
+func (w *respWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // redSet is one endpoint's RED family: request and error counters plus a
 // latency histogram (exposed on /metrics with cumulative buckets and
 // _sum/_count via the obs Prometheus writer).
@@ -92,8 +96,8 @@ type redSet struct {
 // redEndpoints is the closed set of endpoint labels; unknown paths fold
 // into "other" so a path scan cannot mint unbounded metric families.
 var redEndpoints = []string{
-	"eval", "decide", "qe", "safety", "domains", "stats", "slo", "version",
-	"healthz", "readyz", "metrics", "debug", "other",
+	"eval", "batch", "decide", "qe", "safety", "domains", "stats", "slo",
+	"version", "healthz", "readyz", "metrics", "debug", "other",
 }
 
 var red = func() map[string]*redSet {
@@ -116,6 +120,8 @@ func endpointName(path string) string {
 	switch path {
 	case "/v1/eval":
 		return "eval"
+	case "/v1/eval/batch":
+		return "batch"
 	case "/v1/decide":
 		return "decide"
 	case "/v1/qe":

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/apiv1"
 	"repro/internal/obs/logctx"
 	"repro/internal/obs/trace"
 )
@@ -128,8 +129,8 @@ func TestRequestIDEchoed(t *testing.T) {
 	if resp.Header.Get("X-Request-Id") != "err-id-2" {
 		t.Fatalf("400 response misses the ID header: %v", resp.Header)
 	}
-	var body errorJSON
-	if err := json.Unmarshal(data, &body); err != nil || body.RequestID != "err-id-2" {
+	var body apiv1.ErrorEnvelope
+	if err := json.Unmarshal(data, &body); err != nil || body.Error.RequestID != "err-id-2" {
 		t.Fatalf("400 body should quote the request ID: %s (%v)", data, err)
 	}
 }
@@ -153,9 +154,12 @@ func TestRequestIDOnPanic500(t *testing.T) {
 	if rec.Header().Get("X-Request-Id") != "panic-id-3" {
 		t.Fatal("panic 500 misses the ID header")
 	}
-	var body errorJSON
-	if err := json.Unmarshal(rec.body.Bytes(), &body); err != nil || body.RequestID != "panic-id-3" {
+	var body apiv1.ErrorEnvelope
+	if err := json.Unmarshal(rec.body.Bytes(), &body); err != nil || body.Error.RequestID != "panic-id-3" {
 		t.Fatalf("panic 500 body should quote the request ID: %s", rec.body.Bytes())
+	}
+	if body.Error.Code != apiv1.CodeInternal {
+		t.Fatalf("panic 500 code %q, want %q", body.Error.Code, apiv1.CodeInternal)
 	}
 	found := false
 	for _, rec := range cap.lines(t) {
@@ -238,9 +242,12 @@ func TestRequestIDOn429Shed(t *testing.T) {
 	if resp.Header.Get("X-Request-Id") != "shed-id-4" {
 		t.Fatal("429 misses the ID header")
 	}
-	var body errorJSON
-	if err := json.Unmarshal(data, &body); err != nil || body.RequestID != "shed-id-4" {
+	var body apiv1.ErrorEnvelope
+	if err := json.Unmarshal(data, &body); err != nil || body.Error.RequestID != "shed-id-4" {
 		t.Fatalf("429 body should quote the request ID: %s", data)
+	}
+	if body.Error.Code != apiv1.CodeOverCapacity {
+		t.Fatalf("429 code %q, want %q", body.Error.Code, apiv1.CodeOverCapacity)
 	}
 	waitFor(t, "shed access-log line", func() bool {
 		for _, rec := range cap.lines(t) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	finq "repro"
+	"repro/apiv1"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
 )
@@ -24,7 +25,7 @@ import (
 
 // sloEndpoints are the pooled evaluation endpoints the default objectives
 // cover; health probes and metric scrapes don't get SLOs.
-var sloEndpoints = []string{"eval", "decide", "qe", "safety"}
+var sloEndpoints = []string{"eval", "batch", "decide", "qe", "safety"}
 
 // buildObjectives turns the config's scalar SLO knobs into one objective
 // per pooled endpoint. Explicit cfg.SLOObjectives win; otherwise a zero
@@ -305,26 +306,17 @@ func (s *Server) handleProfileCapture(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, *c)
 }
 
-// VersionResponse is the body of GET /v1/version: the build identity the
-// binary already embeds (finq.Build), so profiles, traces, and stats
-// snapshots can be pinned to the exact build that produced them.
-type VersionResponse struct {
-	Version     string `json:"version"`
-	GoVersion   string `json:"go_version,omitempty"`
-	VCSRevision string `json:"vcs_revision,omitempty"`
-	VCSTime     string `json:"vcs_time,omitempty"`
-	Modified    bool   `json:"modified,omitempty"`
-	Line        string `json:"line"`
-}
-
-// handleVersion serves GET /v1/version.
+// handleVersion serves GET /v1/version: the build identity the binary
+// already embeds (finq.Build), in the apiv1.VersionResponse wire form, so
+// profiles, traces, and stats snapshots can be pinned to the exact build
+// that produced them.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	b := finq.Build()
-	writeJSON(w, http.StatusOK, VersionResponse{
+	writeJSON(w, http.StatusOK, apiv1.VersionResponse{
 		Version:     b.Version,
 		GoVersion:   b.GoVersion,
 		VCSRevision: b.VCSRevision,

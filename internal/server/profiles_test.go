@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/apiv1"
 	"repro/internal/obs/prof"
 )
 
@@ -34,7 +35,7 @@ func getJSON(t *testing.T, url string, v any) int {
 // TestVersionEndpoint: GET /v1/version serves the build identity.
 func TestVersionEndpoint(t *testing.T) {
 	_, base := startServer(t, Config{})
-	var v VersionResponse
+	var v apiv1.VersionResponse
 	if code := getJSON(t, base+"/v1/version", &v); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}

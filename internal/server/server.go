@@ -7,7 +7,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/eval           evaluate a formula over a domain and state
+//	POST /v1/eval           evaluate a formula over a domain and state;
+//	                        ?stream=1 or an Accept of application/x-ndjson
+//	                        or application/x-finq-frames streams enumeration
+//	                        rows as they are found (stream.go)
+//	POST /v1/eval/batch     evaluate many queries against one shared state
+//	                        under one per-batch deadline (batch.go)
 //	POST /v1/decide         decide a pure-domain sentence
 //	POST /v1/qe             quantifier-eliminate a formula
 //	POST /v1/safety         relative-safety analysis of a query
@@ -40,6 +45,11 @@
 // beyond that is rejected with 429 so overload degrades by shedding rather
 // than by queueing without bound. Handler panics become 500s. Shutdown
 // flips /readyz, then drains in-flight requests.
+//
+// The wire contract — request and response bodies, the error envelope with
+// its closed code set, the streaming line/frame types — is defined once in
+// package apiv1; every handler builds against those types, and the typed
+// client package decodes them.
 package server
 
 import (
@@ -54,6 +64,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/apiv1"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
 )
@@ -76,6 +87,9 @@ type Config struct {
 	DecideTimeout time.Duration
 	// MaxBody bounds request bodies in bytes; <= 0 means 1 MiB.
 	MaxBody int64
+	// MaxBatchItems bounds the items of one POST /v1/eval/batch request;
+	// <= 0 means 256.
+	MaxBatchItems int
 	// SlowRequest is the duration at or above which a request gets a
 	// slow-query capture (span subtree + warning log); <= 0 means 1s.
 	SlowRequest time.Duration
@@ -141,6 +155,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBody <= 0 {
 		c.MaxBody = 1 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	if c.SlowRequest <= 0 {
 		c.SlowRequest = time.Second
@@ -251,6 +268,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/slo", s.handleSLO)
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.Handle("/v1/eval", s.endpoint("eval", s.cfg.EvalTimeout, s.handleEval))
+	mux.Handle("/v1/eval/batch", s.endpoint("batch", s.cfg.EvalTimeout, s.handleBatch))
 	mux.Handle("/v1/decide", s.endpoint("decide", s.cfg.DecideTimeout, s.handleDecide))
 	mux.Handle("/v1/qe", s.endpoint("qe", s.cfg.DecideTimeout, s.handleQE))
 	mux.Handle("/v1/safety", s.endpoint("safety", s.cfg.DecideTimeout, s.handleSafety))
@@ -295,23 +313,74 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.http.Shutdown(ctx)
 }
 
-// apiError carries an HTTP status code out of a handler. Handlers return
-// it for client mistakes; any other error is a 422 (the request was
+// apiError carries an HTTP status and a machine-readable code from the
+// apiv1 closed set out of a handler. Handlers return it for client
+// mistakes; any other error is a 422 eval_failed (the request was
 // well-formed but the evaluation failed).
 type apiError struct {
-	code int
-	msg  string
+	status  int
+	errCode string
+	msg     string
 }
 
 func (e *apiError) Error() string { return e.msg }
 
-func errf(code int, format string, args ...any) error {
-	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+// errf builds an apiError whose code is derived from the status (the
+// common case: one code per status).
+func errf(status int, format string, args ...any) error {
+	return &apiError{status: status, errCode: codeForStatus(status), msg: fmt.Sprintf(format, args...)}
 }
 
+// errc builds an apiError with an explicit code, for the statuses that
+// carry more than one (503 is "unavailable" or "client_gone" or
+// "deadline" depending on what happened).
+func errc(status int, errCode, format string, args ...any) error {
+	return &apiError{status: status, errCode: errCode, msg: fmt.Sprintf(format, args...)}
+}
+
+// codeForStatus maps an HTTP status onto its default machine code from
+// the apiv1 closed set.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return apiv1.CodeBadRequest
+	case http.StatusNotFound:
+		return apiv1.CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return apiv1.CodeMethodNotAllowed
+	case http.StatusConflict:
+		return apiv1.CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return apiv1.CodePayloadTooLarge
+	case http.StatusUnprocessableEntity:
+		return apiv1.CodeEvalFailed
+	case http.StatusTooManyRequests:
+		return apiv1.CodeOverCapacity
+	case http.StatusServiceUnavailable:
+		return apiv1.CodeUnavailable
+	default:
+		return apiv1.CodeInternal
+	}
+}
+
+// handlerEnv is what a pooled endpoint's handler gets to work with: the
+// decoded-size-checked body plus the raw request and writer, so the eval
+// handler can negotiate streaming and take over the response.
+type handlerEnv struct {
+	w    http.ResponseWriter
+	r    *http.Request
+	body []byte
+}
+
+// streamed is a handler's sentinel return value: the handler already
+// wrote the response (a streaming body), so endpoint must not encode
+// anything.
+type streamed struct{}
+
 // handlerFunc is a pooled endpoint's core: decode the body, compute under
-// the deadline, return the response value (encoded as JSON) or an error.
-type handlerFunc func(ctx context.Context, body []byte) (any, error)
+// the deadline, return the response value (encoded as JSON) or an error —
+// or streamed{} after writing the response directly.
+type handlerFunc func(ctx context.Context, env *handlerEnv) (any, error)
 
 // endpoint wraps a handler with the service plumbing, in order: method
 // check, admission control (queue-depth limit then worker slot), body
@@ -340,7 +409,8 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 		case <-r.Context().Done():
 			// The client gave up while queued; nothing is listening for
 			// the response, but complete the exchange anyway.
-			writeError(w, http.StatusServiceUnavailable, "client went away while queued")
+			writeErrorCode(w, http.StatusServiceUnavailable, apiv1.CodeClientGone,
+				"client went away while queued")
 			return
 		}
 		defer func() { <-s.slots }()
@@ -363,17 +433,20 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 		// below it — are greppable by ID in the exported trace.
 		sp := obs.StartSpanCtx(ctx, "server."+name)
 		t0 := time.Now()
-		out, err := h(ctx, body)
+		out, err := h(ctx, &handlerEnv{w: w, r: r, body: body})
 		sp.End()
 		hLatency.ObserveCtx(ctx, time.Since(t0).Microseconds())
 		if err != nil {
 			mErrors.Inc()
 			if ae, ok := err.(*apiError); ok {
-				writeError(w, ae.code, "%s", ae.msg)
+				writeErrorCode(w, ae.status, ae.errCode, "%s", ae.msg)
 				return
 			}
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
+		}
+		if _, ok := out.(streamed); ok {
+			return // the handler wrote the response itself
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -397,31 +470,39 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 	})
 }
 
-// errorJSON is every error response's body. RequestID lets a client quote
-// the failing request in a bug report and the operator grep the logs and
-// traces for it.
-type errorJSON struct {
-	Error     string `json:"error"`
-	RequestID string `json:"request_id,omitempty"`
+// writeError writes the uniform apiv1 error envelope with the code
+// derived from the status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorCode(w, status, codeForStatus(status), format, args...)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	body := errorJSON{Error: fmt.Sprintf(format, args...)}
+// writeErrorCode writes the uniform apiv1 error envelope:
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "..."}}
+//
+// Every error site goes through here — 429 sheds and panic 500s included
+// — so clients see one error shape with a code from the closed set.
+func writeErrorCode(w http.ResponseWriter, status int, errCode, format string, args ...any) {
+	body := apiv1.ErrorEnvelope{Error: apiv1.Error{
+		Code:    errCode,
+		Message: fmt.Sprintf(format, args...),
+	}}
 	// The instrument middleware's writer carries the request ID down to
 	// every error site — including 429 sheds and panic 500s — without each
 	// call threading a context.
 	if rw, ok := w.(*respWriter); ok {
-		body.RequestID = rw.reqID
+		body.Error.RequestID = rw.reqID
 	}
-	writeJSON(w, code, body)
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		// The response value failed to encode; there is nothing better to
-		// send than a plain 500.
-		http.Error(w, fmt.Sprintf(`{"error": %q}`, err), http.StatusInternalServerError)
+		// The response value failed to encode; send a hand-built envelope so
+		// even this path keeps the error shape.
+		http.Error(w, fmt.Sprintf(`{"error": {"code": %q, "message": %q}}`,
+			apiv1.CodeInternal, err.Error()), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	finq "repro"
+	"repro/apiv1"
 )
 
 func post(t *testing.T, client *http.Client, url, body string) (int, []byte) {
@@ -291,7 +292,7 @@ func TestEndpointsRoundTrip(t *testing.T) {
 	}
 	domData, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	var doms []DomainJSON
+	var doms []apiv1.Domain
 	if err := json.Unmarshal(domData, &doms); err != nil || len(doms) != len(finq.Domains()) {
 		t.Fatalf("domains: %v %s", err, domData)
 	}
