@@ -10,6 +10,16 @@
 // Answer and result bodies reuse the library's wire forms
 // (finq.AnswerJSON, finq.ResultJSON): the HTTP layer adds envelopes and
 // transport semantics, not a second encoding of answers.
+//
+// Every request additionally carries W3C trace context: the server reads
+// the `traceparent` (and `tracestate`) request header, parses it strictly
+// but never rejects it (a malformed or absent header mints a fresh root),
+// and echoes the request span's own position as a `traceparent` response
+// header on every response — errors, batch responses, and stream
+// trailers included. Callers that forward work parent the next hop on
+// exactly the echoed position; `trace_id` appears alongside `request_id`
+// in error envelopes, stream trailers, the access log, and /debug/slow
+// captures.
 package apiv1
 
 import (
@@ -104,6 +114,11 @@ type BatchItemResult struct {
 	// an evaluation error, or the batch deadline expiring before the item
 	// ran. Its code is from the same closed set as top-level errors.
 	Error *Error `json:"error,omitempty"`
+	// SpanID is the item's span ID (16 lowercase hex chars) when the
+	// request carried a trace and the flight recorder was armed: each
+	// batch item evaluates under its own child span of the request span,
+	// and this ID locates the item's subtree in the exported trace.
+	SpanID string `json:"span_id,omitempty"`
 }
 
 // DecideRequest is the body of POST /v1/decide.

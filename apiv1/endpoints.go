@@ -95,6 +95,12 @@ func Endpoints() []Endpoint {
 			Doc:      "Tail-sampled request captures (slow, errored, first-seen-query).",
 		},
 		{
+			Method: "GET", Path: "/debug/trace/export",
+			Response: "—",
+			Params:   "`?format=otlp|jsonl|chrome` selects the encoding (default otlp)",
+			Doc:      "The armed flight recorder's ring: OTLP/JSON resource spans, the stitchable JSONL dump (`finq trace stitch`), or a Chrome trace.",
+		},
+		{
 			Method: "GET", Path: "/debug/queries",
 			Response: "—",
 			Params:   "`?by=…` as /v1/stats/queries",

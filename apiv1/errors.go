@@ -14,6 +14,11 @@ type Error struct {
 	// RequestID is the request's X-Request-Id (absent on batch-item
 	// errors, which live inside an identified response already).
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the request's W3C trace ID (32 lowercase hex chars),
+	// matching the `traceparent` response header, the access log's
+	// trace_id, and the flight-recorder events — one grep correlates all
+	// of them. Absent on batch-item errors, like RequestID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Error implements the error interface, so a decoded wire error can flow

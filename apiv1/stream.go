@@ -58,4 +58,8 @@ type StreamTrailer struct {
 	// Error reports an evaluation failure after streaming began (the
 	// status line was already 200 by then).
 	Error *Error `json:"error,omitempty"`
+	// TraceID is the request's W3C trace ID (32 lowercase hex chars),
+	// matching the `traceparent` response header — the stream's rows were
+	// produced under spans of this trace.
+	TraceID string `json:"trace_id,omitempty"`
 }

@@ -18,13 +18,44 @@ import (
 
 	finq "repro"
 	"repro/apiv1"
+	"repro/internal/obs/tracectx"
 )
 
 // Client calls one finqd instance. The zero value is not usable; New
 // binds the base URL.
+//
+// Distributed-trace propagation: when the call context carries a trace
+// position (tracectx.With), every request goes out with `traceparent`
+// (and `tracestate`) headers, so the server's spans become children of
+// the caller's — one trace ID spans both processes. The server echoes
+// the request span's position back as the response's `traceparent`;
+// OnResponse observes it.
 type Client struct {
 	base string
 	http *http.Client
+
+	// OnResponse, when non-nil, observes every HTTP response's status and
+	// headers before the body is decoded — the `traceparent` echo (the
+	// server-side request span's position) and the X-Request-Id. Set it
+	// before issuing requests; it runs on the calling goroutine.
+	OnResponse func(status int, header http.Header)
+}
+
+// inject adds the outbound trace headers from ctx, if any.
+func inject(ctx context.Context, h http.Header) {
+	if tc, ok := tracectx.From(ctx); ok {
+		h.Set("traceparent", tc.Traceparent())
+		if tc.State != "" {
+			h.Set("tracestate", tc.State)
+		}
+	}
+}
+
+// observe reports a response to the OnResponse hook, if set.
+func (c *Client) observe(resp *http.Response) {
+	if c.OnResponse != nil {
+		c.OnResponse(resp.StatusCode, resp.Header)
+	}
 }
 
 // New returns a client for the service at baseURL (for example
@@ -87,11 +118,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", apiv1.ContentTypeJSON)
 	}
+	inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	c.observe(resp)
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -239,11 +272,13 @@ func (c *Client) EvalStream(ctx context.Context, req apiv1.EvalRequest, encoding
 	}
 	hreq.Header.Set("Content-Type", apiv1.ContentTypeJSON)
 	hreq.Header.Set("Accept", encoding)
+	inject(ctx, hreq.Header)
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	c.observe(resp)
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
 		return nil, decodeError(resp.StatusCode, body)

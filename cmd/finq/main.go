@@ -58,6 +58,8 @@ func main() {
 		err = runAlgebra(args[1:])
 	case "repl":
 		err = runREPL(args[1:])
+	case "trace":
+		err = runTrace(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -79,6 +81,7 @@ func usage() {
   finq algebra   -domain <name> -state file.json "<safe-range formula>"
   finq repl      -domain <name> [-state file.json]
   finq stats     [-queries] [-by latency|count|selectivity|allocs] [-k n] [-json] [-import file] [-export file]
+  finq trace     stitch [-out file] <dump.jsonl> ...
   finq version
 
 global flags:

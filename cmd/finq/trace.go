@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs/trace"
+)
+
+// runTrace dispatches the `finq trace` verbs. The only verb today is
+// stitch, which merges per-process flight-recorder dumps into one
+// Chrome trace:
+//
+//	finq trace stitch -out merged.json shard-0.jsonl shard-1.jsonl
+//
+// Each input is a JSONL dump as written by ?format=jsonl on
+// /debug/trace/export or by finqload -trace-dir: a metadata header line
+// ({"finq_trace":1, "process":..., "epoch_unix_ns":...}) followed by one
+// event per line. Stitching assigns each dump its own process lane,
+// aligns timestamps onto the earliest epoch, and draws flow arrows where
+// a span in one process parents a span in another — so a request
+// forwarded between two finqd instances renders as one connected tree.
+func runTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: finq trace stitch [-out file] <dump.jsonl> ...")
+	}
+	switch args[0] {
+	case "stitch":
+		return runTraceStitch(args[1:])
+	default:
+		return fmt.Errorf("unknown trace verb %q (want stitch)", args[0])
+	}
+}
+
+func runTraceStitch(args []string) error {
+	fs := flag.NewFlagSet("trace stitch", flag.ContinueOnError)
+	out := fs.String("out", "stitched.trace.json", `merged Chrome trace output path ("-" for stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("trace stitch: need at least one JSONL dump to stitch")
+	}
+	var dumps []trace.ProcessDump
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		meta, events, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("trace stitch: %s: %w", path, err)
+		}
+		name := meta.Process
+		if name == "" {
+			// An anonymous dump is labeled by its file name so the lane is
+			// still recognizable in the viewer.
+			name = filepath.Base(path)
+		}
+		dumps = append(dumps, trace.ProcessDump{Name: name, Meta: meta, Events: events})
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	stats, err := trace.Stitch(w, dumps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"finq trace stitch: %d processes, %d events, %d traces, %d cross-process edges",
+		stats.Processes, stats.Events, stats.Traces, stats.CrossEdges)
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, " -> %s", *out)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}

@@ -94,12 +94,14 @@ func main() {
 	profDur := fs.Duration("profile-dur", 2*time.Second, "CPU window of each triggered profile capture")
 	profRing := fs.Int("profile-ring", 8, "profile captures retained before the oldest is evicted")
 	profCooldown := fs.Duration("profile-cooldown", 5*time.Minute, "suppress repeat captures for one trigger reason this long")
+	service := fs.String("service", "finqd", "service name stamped on exported trace resources (see /debug/trace/export)")
 	smoke := fs.Bool("smoke", false, "start on an ephemeral port, exercise every endpoint once, exit")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	cfg := server.Config{
 		Addr:                   *addr,
+		ServiceName:            *service,
 		Workers:                *workers,
 		QueueDepth:             *queue,
 		EvalTimeout:            *timeoutEval,

@@ -18,6 +18,8 @@ import (
 	apiclient "repro/client"
 	"repro/internal/obs/logctx"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/trace"
+	"repro/internal/obs/tracectx"
 	"repro/internal/server"
 )
 
@@ -132,6 +134,10 @@ func runSmoke(cfg server.Config) error {
 		return err
 	}
 	cfg.Logger = logger
+	// Arm the flight recorder so the trace-context checks below exercise
+	// span-identity minting and a non-empty /debug/trace/export.
+	trace.Arm(1 << 12)
+	defer trace.Disarm()
 	srv := server.New(cfg)
 	addr, err := srv.Start()
 	if err != nil {
@@ -192,6 +198,78 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("access log does not carry the request id %q", smokeID)
 	}
 	fmt.Printf("smoke %-22s ok  X-Request-Id echoed and in access log\n", "request-id")
+
+	// Trace-context contract: a caller's W3C traceparent is adopted — the
+	// response echoes the same trace ID at the server's own span position
+	// (a freshly minted child span ID, not the caller's) — and a malformed
+	// traceparent is replaced by a fresh root rather than rejected.
+	const smokeTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sentTC, ok := tracectx.Parse(smokeTP, "")
+	if !ok {
+		return fmt.Errorf("traceparent check: the smoke's own traceparent does not parse")
+	}
+	traceReq := func(tp string) (tracectx.TC, error) {
+		req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/decide",
+			strings.NewReader(`{"domain": "eq", "sentence": "forall x. x = x"}`))
+		if err != nil {
+			return tracectx.TC{}, err
+		}
+		req.Header.Set("traceparent", tp)
+		resp, err := client.Do(req)
+		if err != nil {
+			return tracectx.TC{}, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		echo := resp.Header.Get("traceparent")
+		tc, ok := tracectx.Parse(echo, "")
+		if !ok {
+			return tracectx.TC{}, fmt.Errorf("response traceparent %q does not parse", echo)
+		}
+		return tc, nil
+	}
+	echoTC, err := traceReq(smokeTP)
+	if err != nil {
+		return fmt.Errorf("traceparent check: %w", err)
+	}
+	if echoTC.TraceID != sentTC.TraceID {
+		return fmt.Errorf("traceparent check: sent trace %s, response carries %s",
+			sentTC.TraceID, echoTC.TraceID)
+	}
+	if echoTC.SpanID == sentTC.SpanID {
+		return fmt.Errorf("traceparent check: response span position %s is the caller's, not a minted child", echoTC.SpanID)
+	}
+	freshTC, err := traceReq("garbage-not-a-traceparent")
+	if err != nil {
+		return fmt.Errorf("traceparent check (malformed): %w", err)
+	}
+	if freshTC.TraceID == sentTC.TraceID || freshTC.TraceID.IsZero() {
+		return fmt.Errorf("traceparent check (malformed): want a fresh root, got trace %s", freshTC.TraceID)
+	}
+	fmt.Printf("smoke %-22s ok  trace adopted with child span; malformed re-rooted\n", "traceparent")
+
+	// Trace-export contract: the ring serves as OTLP/JSON resource spans
+	// carrying the smoke's trace ID, and as a stitchable JSONL dump with
+	// the metadata header line.
+	for _, check := range []struct{ query, want string }{
+		{"", `"resourceSpans"`},
+		{"", `"` + echoTC.TraceID.String() + `"`},
+		{"?format=jsonl", `"finq_trace"`},
+	} {
+		resp, err := client.Get("http://" + addr + "/debug/trace/export" + check.query)
+		if err != nil {
+			return fmt.Errorf("trace-export check: %w", err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("trace-export check (%s): status %d err %v", check.query, resp.StatusCode, err)
+		}
+		if !strings.Contains(string(data), check.want) {
+			return fmt.Errorf("trace-export check (%s): response misses %q", check.query, check.want)
+		}
+	}
+	fmt.Printf("smoke %-22s ok  OTLP carries the smoke trace; JSONL has the meta header\n", "trace-export")
 
 	// From here on the typed client package drives the checks — the same
 	// client cmd/finqload and the server tests use — so the smoke also

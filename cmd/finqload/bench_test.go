@@ -57,13 +57,13 @@ func TestWriteBenchServe(t *testing.T) {
 	)
 	var single, batch *loadResult
 	for round := 0; round < rounds; round++ {
-		s, err := runLoad(ctx, api, corpus, loadOptions{
+		s, err := runLoad(ctx, []*apiclient.Client{api}, corpus, loadOptions{
 			Mode: "eval", Workers: 4, Warmup: 300 * time.Millisecond, Duration: time.Second,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := runLoad(ctx, api, corpus, loadOptions{
+		b, err := runLoad(ctx, []*apiclient.Client{api}, corpus, loadOptions{
 			Mode: "batch", Batch: batchSize, Workers: 4,
 			Warmup: 300 * time.Millisecond, Duration: time.Second,
 		})

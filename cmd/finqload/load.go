@@ -12,6 +12,7 @@ import (
 
 	"repro/apiv1"
 	apiclient "repro/client"
+	"repro/internal/obs/tracectx"
 )
 
 // corpusDoc is a replayable query corpus: one shared state and a list of
@@ -83,9 +84,15 @@ type loadResult struct {
 
 // runLoad drives the closed loop: Workers goroutines each fire their next
 // request the moment the previous one returns, cycling the corpus via a
-// shared counter, until warmup+duration elapses. Only samples completed
-// after the warmup window count.
-func runLoad(ctx context.Context, api *apiclient.Client, corpus *corpusDoc, opts loadOptions) (*loadResult, error) {
+// shared counter — and, with several clients, round-robin across the
+// shard fleet — until warmup+duration elapses. Only samples completed
+// after the warmup window count. Each request carries a freshly minted
+// trace root, so the servers' flight recorders attribute every span to a
+// distinct distributed trace.
+func runLoad(ctx context.Context, apis []*apiclient.Client, corpus *corpusDoc, opts loadOptions) (*loadResult, error) {
+	if len(apis) == 0 {
+		return nil, fmt.Errorf("runLoad: no clients")
+	}
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
@@ -112,12 +119,16 @@ func runLoad(ctx context.Context, api *apiclient.Client, corpus *corpusDoc, opts
 			var local []sample
 			for time.Now().Before(deadline) {
 				i := int(next.Add(1) - 1)
+				api := apis[i%len(apis)]
+				// One root per synthetic request: the client injects it as
+				// the traceparent header, the server parents under it.
+				rctx := tracectx.With(ctx, tracectx.NewRoot())
 				s := sample{queries: 1}
 				t0 := time.Now()
 				switch opts.Mode {
 				case "eval":
 					q := corpus.Queries[i%len(corpus.Queries)]
-					_, err := api.Eval(ctx, apiv1.EvalRequest{
+					_, err := api.Eval(rctx, apiv1.EvalRequest{
 						Domain: corpus.Domain, State: corpus.State,
 						Formula: q.Formula, Mode: q.Mode, Budget: q.Budget,
 					})
@@ -129,7 +140,7 @@ func runLoad(ctx context.Context, api *apiclient.Client, corpus *corpusDoc, opts
 						items[j] = apiv1.BatchItem{Formula: q.Formula, Mode: q.Mode, Budget: q.Budget}
 					}
 					s.queries = opts.Batch
-					resp, err := api.EvalBatch(ctx, apiv1.BatchRequest{
+					resp, err := api.EvalBatch(rctx, apiv1.BatchRequest{
 						Domain: corpus.Domain, State: corpus.State, Items: items,
 					})
 					if err != nil {
@@ -147,7 +158,7 @@ func runLoad(ctx context.Context, api *apiclient.Client, corpus *corpusDoc, opts
 					if mode == "" {
 						mode = "enumerate"
 					}
-					res, err := api.EvalStream(ctx, apiv1.EvalRequest{
+					res, err := api.EvalStream(rctx, apiv1.EvalRequest{
 						Domain: corpus.Domain, State: corpus.State,
 						Formula: q.Formula, Mode: mode, Budget: q.Budget,
 					}, opts.Encoding, func(row []string) error {

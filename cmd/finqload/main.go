@@ -15,11 +15,19 @@
 // reports per-request p50/p95/p99 and per-query throughput; -out writes
 // the same summary as JSON (the shape embedded in BENCH_serve.json).
 //
+// Every synthetic request is minted a W3C trace root, so the servers
+// record identity-carrying spans; with -shards N the in-process fleet is
+// N finqd instances (round-robin across workers), each with its own
+// flight recorder, and -trace-dir dumps each shard's ring as a JSONL
+// file on exit — the inputs `finq trace stitch` merges into one
+// cross-process Chrome trace.
+//
 // Examples:
 //
 //	go run ./cmd/finqload -duration 5s                    # self-hosted
 //	go run ./cmd/finqload -addr 127.0.0.1:8080 -mode batch -batch 32
 //	go run ./cmd/finqload -mode stream -encoding frames
+//	go run ./cmd/finqload -shards 2 -trace-dir /tmp/dumps # stitchable
 package main
 
 import (
@@ -30,10 +38,12 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/apiv1"
 	apiclient "repro/client"
+	"repro/internal/obs/trace"
 	"repro/internal/server"
 )
 
@@ -48,6 +58,8 @@ func main() {
 		batch    = flag.Int("batch", 32, "queries per request in batch mode")
 		encoding = flag.String("encoding", "ndjson", "stream encoding: ndjson or frames")
 		out      = flag.String("out", "", "write the summary as JSON to this file")
+		shards   = flag.Int("shards", 1, "in-process finqd instances to boot and round-robin (needs empty -addr)")
+		traceDir = flag.String("trace-dir", "", "arm each in-process shard's flight recorder and dump JSONL traces here on exit")
 	)
 	flag.Parse()
 	if err := run(*addr, *corpus, loadOptions{
@@ -57,32 +69,60 @@ func main() {
 		Warmup:   *warmup,
 		Batch:    *batch,
 		Encoding: *encoding,
-	}, *out); err != nil {
+	}, *out, *shards, *traceDir); err != nil {
 		fmt.Fprintln(os.Stderr, "finqload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, corpusPath string, opts loadOptions, outPath string) error {
+func run(addr, corpusPath string, opts loadOptions, outPath string, shards int, traceDir string) error {
 	corpus, err := loadCorpus(corpusPath)
 	if err != nil {
 		return err
 	}
-	if addr == "" {
-		// The access log would dwarf the summary (and cost throughput) at
-		// load-generator request rates; the self-hosted server is quiet.
-		srv := server.New(server.Config{Logger: quietLogger()})
-		a, err := srv.Start()
-		if err != nil {
-			return fmt.Errorf("booting in-process finqd: %w", err)
+	var addrs []string
+	if addr != "" {
+		if shards > 1 || traceDir != "" {
+			return fmt.Errorf("-shards and -trace-dir need the in-process fleet (leave -addr empty); fetch a remote ring from /debug/trace/export?format=jsonl instead")
 		}
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			srv.Shutdown(ctx)
-		}()
-		addr = a
-		fmt.Printf("finqload: in-process finqd on %s\n", addr)
+		addrs = []string{addr}
+	} else {
+		if shards < 1 {
+			shards = 1
+		}
+		if traceDir != "" {
+			if err := os.MkdirAll(traceDir, 0o755); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < shards; i++ {
+			name := fmt.Sprintf("finqd-%d", i)
+			rec := trace.NewRecorder()
+			if traceDir != "" {
+				rec.Arm(0)
+			}
+			// The access log would dwarf the summary (and cost throughput) at
+			// load-generator request rates; the self-hosted servers are quiet.
+			srv := server.New(server.Config{
+				Logger:        quietLogger(),
+				ServiceName:   name,
+				TraceRecorder: rec,
+			})
+			a, err := srv.Start()
+			if err != nil {
+				return fmt.Errorf("booting in-process finqd shard %d: %w", i, err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			if traceDir != "" {
+				defer dumpShardTrace(traceDir, name, rec)
+			}
+			addrs = append(addrs, a)
+			fmt.Printf("finqload: in-process %s on %s\n", name, a)
+		}
 	}
 	if enc, err := streamEncodingFlag(opts.Encoding); err != nil {
 		return err
@@ -90,8 +130,11 @@ func run(addr, corpusPath string, opts loadOptions, outPath string) error {
 		opts.Encoding = enc
 	}
 
-	api := apiclient.New("http://"+addr, nil)
-	res, err := runLoad(context.Background(), api, corpus, opts)
+	apis := make([]*apiclient.Client, len(addrs))
+	for i, a := range addrs {
+		apis[i] = apiclient.New("http://"+a, nil)
+	}
+	res, err := runLoad(context.Background(), apis, corpus, opts)
 	if err != nil {
 		return err
 	}
@@ -113,6 +156,28 @@ func run(addr, corpusPath string, opts loadOptions, outPath string) error {
 		fmt.Printf("wrote %s\n", outPath)
 	}
 	return nil
+}
+
+// dumpShardTrace disarms one shard's flight recorder and writes its ring
+// as a JSONL dump (metadata header line first) into dir — the per-process
+// input shape `finq trace stitch` merges.
+func dumpShardTrace(dir, name string, rec *trace.Recorder) {
+	rec.Disarm()
+	path := filepath.Join(dir, name+".trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finqload: trace dump %s: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	events := rec.Dump()
+	meta := trace.Meta{Process: name, EpochUnixNano: rec.Epoch().UnixNano()}
+	if err := trace.WriteJSONLMeta(f, meta, events); err != nil {
+		fmt.Fprintf(os.Stderr, "finqload: trace dump %s: %v\n", name, err)
+		return
+	}
+	fmt.Printf("finqload: wrote %d trace events (%d dropped) to %s\n",
+		len(events), rec.Dropped(), path)
 }
 
 // quietLogger drops all log output.

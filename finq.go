@@ -323,8 +323,10 @@ func Eval(ctx context.Context, req Request) (*Result, error) {
 	// The root evaluation span: with a request ID in ctx (finqd, or any
 	// caller using logctx.WithRequestID) its trace events — and those of
 	// every evaluator and QE span below it — carry the ID, so one request's
-	// full lifecycle can be pulled out of a trace by ID.
-	sp := obs.StartSpanCtx(ctx, "finq.eval")
+	// full lifecycle can be pulled out of a trace by ID. With a trace
+	// position in ctx (tracectx.With) the span gets its own W3C span ID and
+	// the evaluator spans below become its children.
+	ctx, sp := obs.StartSpanCtx(ctx, "finq.eval")
 	sp.ArgStr("domain", req.Domain)
 	sp.ArgStr("mode", string(mode))
 	defer sp.End()

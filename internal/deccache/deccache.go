@@ -154,7 +154,7 @@ func (c *Cache) DecideCtx(ctx context.Context, sentence *logic.Formula) (bool, e
 	if !enabled.Load() {
 		return domain.DecideCtx(ctx, c.inner, sentence)
 	}
-	sp := obs.StartSpanCtx(ctx, "deccache.decide")
+	ctx, sp := obs.StartSpanCtx(ctx, "deccache.decide")
 	defer sp.End()
 	key := sentence.CanonicalKey()
 

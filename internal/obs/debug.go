@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+
+	"repro/internal/obs/trace"
 )
 
 // publishOnce guards the one-time expvar publication of the obs snapshot.
@@ -21,16 +23,46 @@ func publishExpvar() {
 
 // Handler returns an http.Handler serving the debug surface:
 //
-//	/debug/obs     the obs snapshot as JSON
-//	/metrics       the snapshot in Prometheus text exposition format
-//	/debug/vars    expvar (including the snapshot under "obs")
-//	/debug/pprof/  the standard pprof profiles
+//	/debug/obs           the obs snapshot as JSON
+//	/metrics             the snapshot in Prometheus text exposition format
+//	/debug/vars          expvar (including the snapshot under "obs")
+//	/debug/pprof/        the standard pprof profiles
+//	/debug/trace/export  the default flight recorder's ring as OTLP/JSON
+//	                     resource spans (?format=jsonl and ?format=chrome
+//	                     select the other exporters); finqd overrides this
+//	                     route with its own recorder's export
 func Handler() http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(Take().JSON())
+	})
+	mux.HandleFunc("/debug/trace/export", func(w http.ResponseWriter, r *http.Request) {
+		rec := trace.Default()
+		events := rec.Dump()
+		// Zero epoch (never armed) stays 0 in the dump header; UnixNano()
+		// of the zero time would be a nonsense negative anchor.
+		var epochNanos int64
+		if epoch := rec.Epoch(); !epoch.IsZero() {
+			epochNanos = epoch.UnixNano()
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "otlp":
+			w.Header().Set("Content-Type", "application/json")
+			trace.WriteOTLP(w, "finq", rec.Epoch(), events)
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			trace.WriteJSONLMeta(w, trace.Meta{
+				Process:       "finq",
+				EpochUnixNano: epochNanos,
+			}, events)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			trace.WriteChrome(w, events)
+		default:
+			http.Error(w, "unknown format (want otlp, jsonl, or chrome)", http.StatusBadRequest)
+		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

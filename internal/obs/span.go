@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs/logctx"
 	"repro/internal/obs/trace"
+	"repro/internal/obs/tracectx"
 )
 
 // spanStat aggregates all finished spans sharing one aggregation key: a
@@ -25,17 +26,24 @@ type spanStat struct {
 // branch on the toggle.
 //
 // When the flight recorder is armed (internal/obs/trace), every span also
-// emits a begin/end event pair carrying any Arg key=values, so the same
-// call sites feed both the aggregate histograms and the per-execution
-// timeline.
+// emits a begin/end event pair carrying any Arg key=values. If the context
+// additionally carries a distributed trace position (internal/obs/tracectx),
+// StartSpanCtx mints a W3C child span ID for the region, so the recorded
+// events form a real tree — TraceID/SpanID/ParentID — instead of a flat
+// stream, and the same call sites feed the aggregate histograms, the
+// per-execution timeline, and the cross-process trace.
 type Span struct {
 	path   string
 	labels string
 	start  time.Time
 	// tid is the trace goroutine id captured at start when the recorder
 	// was armed; 0 means no trace events for this span.
-	tid  int64
-	args []trace.Arg
+	tid int64
+	// rec is the recorder the begin event went to (and the end event must
+	// go to); nil when tid is 0.
+	rec   *trace.Recorder
+	ident trace.Ident
+	args  []trace.Arg
 }
 
 // spanCache gives spanStatFor a lock-free hit path; the registry map
@@ -60,31 +68,51 @@ func spanStatFor(key string) *spanStat {
 // StartSpan opens a span. Labels are "key=value" strings folded into the
 // duration-aggregation key. Returns nil when observation is off.
 func StartSpan(path string, labels ...string) *Span {
-	return startSpan(path, nil, labels)
+	return startSpan(trace.Default(), trace.Ident{}, path, nil, labels)
 }
 
-// StartSpanCtx is StartSpan for request-scoped code: when the context
-// carries a request ID (logctx.WithRequestID) and the flight recorder is
-// armed, the span's begin and end trace events both carry the ID as a
-// "req" argument — so one request's events can be grepped out of the JSONL
-// or Chrome trace by ID. Without an ID (or with tracing disarmed) it
-// behaves exactly like StartSpan.
-func StartSpanCtx(ctx context.Context, path string, labels ...string) *Span {
+// StartSpanCtx is StartSpan for request-scoped code, and the point where a
+// span acquires identity. Events go to the recorder carried by ctx
+// (trace.WithRecorder; the process default otherwise). When that recorder
+// is armed:
+//
+//   - a request ID on ctx (logctx.WithRequestID) is attached to the begin
+//     and end events as a "req" argument, and
+//   - a trace position on ctx (tracectx.With) mints a fresh W3C child span
+//     ID for this region — the events carry TraceID/SpanID/ParentID, and
+//     the returned context carries the child position so spans opened
+//     beneath it (and outbound requests made with it) become children.
+//
+// The returned context is ctx itself whenever there is nothing to thread
+// through. Without a request ID or trace position (or with tracing
+// disarmed) the span behaves exactly like StartSpan.
+func StartSpanCtx(ctx context.Context, path string, labels ...string) (context.Context, *Span) {
 	if !enabled.Load() {
-		return nil
+		return ctx, nil
 	}
+	rec := trace.FromContext(ctx)
 	var beginArgs []trace.Arg
-	if trace.Armed() {
+	var ident trace.Ident
+	if rec.Armed() {
 		if id := logctx.RequestID(ctx); id != "" {
 			beginArgs = []trace.Arg{trace.Str("req", id)}
 		}
+		if tc, ok := tracectx.From(ctx); ok {
+			child := tc.Child()
+			ident = trace.Ident{
+				Trace:  child.TraceID.String(),
+				Span:   child.SpanID.String(),
+				Parent: tc.SpanID.String(),
+			}
+			ctx = tracectx.With(ctx, child)
+		}
 	}
-	return startSpan(path, beginArgs, labels)
+	return ctx, startSpan(rec, ident, path, beginArgs, labels)
 }
 
 // startSpan is the shared implementation: beginArgs (the request ID, when
 // present) go on the trace begin event and are copied onto the end event.
-func startSpan(path string, beginArgs []trace.Arg, labels []string) *Span {
+func startSpan(rec *trace.Recorder, ident trace.Ident, path string, beginArgs []trace.Arg, labels []string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
@@ -92,21 +120,38 @@ func startSpan(path string, beginArgs []trace.Arg, labels []string) *Span {
 	for _, l := range labels {
 		sp.labels += "{" + l + "}"
 	}
-	if trace.Armed() {
-		sp.tid = trace.Begin(path, "span", beginArgs...)
+	if rec.Armed() {
+		sp.tid = rec.Begin(path, "span", ident, beginArgs...)
+		sp.rec = rec
+		sp.ident = ident
 		sp.args = append(sp.args, beginArgs...)
 	}
 	spanStatFor(path).open.Add(1)
 	return sp
 }
 
-// Child opens a sub-span whose path extends the receiver's. On a nil
+// Child opens a sub-span whose path extends the receiver's. When the
+// receiver has a trace identity, the child gets a freshly minted span ID
+// with the receiver as parent, keeping the recorded tree honest for
+// fan-out that doesn't thread a context (per-row spans, workers). On a nil
 // receiver (observation off) it returns nil.
 func (s *Span) Child(name string, labels ...string) *Span {
 	if s == nil {
 		return nil
 	}
-	return StartSpan(s.path+"/"+name, labels...)
+	rec := s.rec
+	if rec == nil {
+		rec = trace.Default()
+	}
+	var ident trace.Ident
+	if s.ident.Span != "" {
+		ident = trace.Ident{
+			Trace:  s.ident.Trace,
+			Span:   tracectx.NewSpanID().String(),
+			Parent: s.ident.Span,
+		}
+	}
+	return startSpan(rec, ident, s.path+"/"+name, nil, labels)
 }
 
 // Label adds a "key=value" label to the span's duration-aggregation key.
@@ -121,6 +166,24 @@ func (s *Span) Label(kv string) {
 // Traced reports whether the span is feeding the flight recorder; use it
 // to guard Arg values that are themselves costly to compute.
 func (s *Span) Traced() bool { return s != nil && s.tid != 0 }
+
+// TraceID returns the span's distributed trace ID in lowercase hex (""
+// when the span has no identity). Nil-safe.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.ident.Trace
+}
+
+// SpanID returns the span's distributed span ID in lowercase hex (""
+// when the span has no identity). Nil-safe.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.ident.Span
+}
 
 // Arg attaches an integer key=value to the span's trace end event. It is
 // recorded only while the flight recorder is armed (and is a no-op — no
@@ -147,7 +210,7 @@ func (s *Span) End() {
 		return
 	}
 	if s.tid != 0 {
-		trace.End(s.path, "span", s.tid, s.start, s.args...)
+		s.rec.End(s.path, "span", s.tid, s.start, s.ident, s.args...)
 	}
 	spanStatFor(s.path).open.Add(-1)
 	spanStatFor(s.path + s.labels).hist.observe(time.Since(s.start).Microseconds())

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// This file renders the flight-recorder ring in the OTLP/JSON resource-span
+// shape (the proto3 JSON mapping of opentelemetry.proto.trace.v1), so any
+// OTLP-speaking backend can ingest /debug/trace/export without a collector
+// sidecar. Only span events that carry a distributed identity become OTLP
+// spans — the format requires traceId/spanId — which is exactly the set
+// recorded under a request; identity-less internals remain visible in the
+// JSONL and Chrome exports.
+
+// otlp proto3-JSON shapes. Nanosecond timestamps are strings because
+// proto3 maps fixed64 to JSON strings.
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string   `json:"traceId"`
+	SpanID            string   `json:"spanId"`
+	ParentSpanID      string   `json:"parentSpanId,omitempty"`
+	Name              string   `json:"name"`
+	Kind              int      `json:"kind"`
+	StartTimeUnixNano string   `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string   `json:"endTimeUnixNano"`
+	Attributes        []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpKV struct {
+	Key   string   `json:"key"`
+	Value otlppVal `json:"value"`
+}
+
+type otlppVal struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"` // proto3 JSON: int64 as string
+}
+
+func otlpStr(key, v string) otlpKV { return otlpKV{Key: key, Value: otlppVal{StringValue: &v}} }
+
+func otlpInt(key string, v int64) otlpKV {
+	s := strconv.FormatInt(v, 10)
+	return otlpKV{Key: key, Value: otlppVal{IntValue: &s}}
+}
+
+// otlpSpanKindInternal is the only kind the recorder distinguishes; server
+// /client spans are identifiable by name ("server.*", client-minted roots).
+const otlpSpanKindInternal = 1
+
+// WriteOTLP writes the identity-carrying spans among events as one OTLP/
+// JSON resource-span document. service names the resource; epoch anchors
+// the events' relative µs timestamps to the wall clock (the recorder's
+// Epoch). B events are paired with their E by span ID; a span still open
+// when the ring was read gets a zero-length rendering, and a span whose B
+// was evicted by ring wrap-around is reconstructed from its E alone.
+func WriteOTLP(w io.Writer, service string, epoch time.Time, events []Event) error {
+	base := epoch.UnixNano()
+	type open struct {
+		e     Event
+		endTS int64
+		endAt int // index, for stable ordering
+		args  []Arg
+	}
+	spans := make(map[string]*open)
+	order := make([]string, 0, len(events)/2)
+	for i, e := range events {
+		if e.Span == "" {
+			continue
+		}
+		switch e.Phase {
+		case PhaseBegin:
+			if _, ok := spans[e.Span]; !ok {
+				order = append(order, e.Span)
+			}
+			spans[e.Span] = &open{e: e, endTS: e.TS, endAt: i, args: e.Args}
+		case PhaseEnd:
+			sp, ok := spans[e.Span]
+			if !ok {
+				// The matching B was overwritten; synthesize the start from
+				// the recorded duration.
+				b := e
+				b.TS = e.TS - e.Dur
+				if b.TS < 0 {
+					b.TS = 0
+				}
+				spans[e.Span] = &open{e: b, endTS: e.TS, endAt: i, args: e.Args}
+				order = append(order, e.Span)
+				continue
+			}
+			sp.endTS = e.TS
+			sp.endAt = i
+			// End args are a superset of begin args (the span accumulates).
+			if len(e.Args) > len(sp.args) {
+				sp.args = e.Args
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return spans[order[i]].e.TS < spans[order[j]].e.TS
+	})
+	out := make([]otlpSpan, 0, len(order))
+	for _, id := range order {
+		sp := spans[id]
+		attrs := make([]otlpKV, 0, len(sp.args)+1)
+		if sp.e.Cat != "" {
+			attrs = append(attrs, otlpStr("finq.cat", sp.e.Cat))
+		}
+		for _, a := range sp.args {
+			if a.IsStr {
+				attrs = append(attrs, otlpStr(a.Key, a.Str))
+			} else {
+				attrs = append(attrs, otlpInt(a.Key, a.Int))
+			}
+		}
+		out = append(out, otlpSpan{
+			TraceID:           sp.e.Trace,
+			SpanID:            sp.e.Span,
+			ParentSpanID:      sp.e.Parent,
+			Name:              sp.e.Name,
+			Kind:              otlpSpanKindInternal,
+			StartTimeUnixNano: strconv.FormatInt(base+sp.e.TS*1000, 10),
+			EndTimeUnixNano:   strconv.FormatInt(base+sp.endTS*1000, 10),
+			Attributes:        attrs,
+		})
+	}
+	doc := otlpExport{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{
+			otlpStr("service.name", service),
+			otlpInt("process.pid", int64(os.Getpid())),
+			otlpStr("telemetry.sdk.name", "repro/internal/obs/trace"),
+			otlpStr("telemetry.sdk.language", "go"),
+		}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "repro/internal/obs/trace"},
+			Spans: out,
+		}},
+	}}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

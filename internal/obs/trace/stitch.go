@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file merges flight-recorder dumps from N processes into one Chrome
+// trace: each process becomes its own pid lane (named via "M" metadata
+// events), per-process epochs align the lanes on a shared timeline, and
+// parent→child span edges whose ends live in different processes — the
+// request a client forwarded to another shard — are drawn as flow arrows.
+// `finq trace stitch` is the CLI face of Stitch.
+
+// ProcessDump is one process's contribution to a stitched trace.
+type ProcessDump struct {
+	// Name labels the process lane ("finqd-a", "shard-1"); when empty the
+	// Meta.Process name, then a positional name, is used.
+	Name string
+	// Meta is the dump's metadata header (zero when the JSONL had none).
+	Meta Meta
+	// Events are the dump's recorded events.
+	Events []Event
+}
+
+// StitchStats summarizes what a stitch produced.
+type StitchStats struct {
+	// Processes is the number of input dumps (pid lanes).
+	Processes int
+	// Events is the total recorded events written (flows and metadata not
+	// counted).
+	Events int
+	// Traces is the number of distinct trace IDs seen.
+	Traces int
+	// CrossEdges is the number of parent→child span edges that connect two
+	// different processes — the stitch's reason to exist.
+	CrossEdges int
+}
+
+// Stitch merges the dumps into one Chrome trace written to w. Dumps are
+// assigned pid lanes in order (pid 1, 2, ...). When every dump carries an
+// epoch (WriteJSONLMeta), events are shifted onto the earliest epoch's
+// timeline so cross-process durations read true; without epochs the dumps
+// share the trace's zero point as-is.
+func Stitch(w io.Writer, dumps []ProcessDump) (StitchStats, error) {
+	var stats StitchStats
+	if len(dumps) == 0 {
+		return stats, fmt.Errorf("trace: nothing to stitch")
+	}
+	stats.Processes = len(dumps)
+
+	// A shared timeline needs every dump anchored; one missing epoch and
+	// shifting would misalign rather than align.
+	allAnchored := true
+	minEpoch := int64(0)
+	for _, d := range dumps {
+		if d.Meta.EpochUnixNano <= 0 {
+			allAnchored = false
+			break
+		}
+		if minEpoch == 0 || d.Meta.EpochUnixNano < minEpoch {
+			minEpoch = d.Meta.EpochUnixNano
+		}
+	}
+	shiftFor := func(d ProcessDump) int64 {
+		if !allAnchored {
+			return 0
+		}
+		return (d.Meta.EpochUnixNano - minEpoch) / 1000
+	}
+
+	out := make([]chromeEvent, 0, 64)
+	begins := make(map[string]spanSite)
+	traces := make(map[string]struct{})
+	for i, d := range dumps {
+		pid := int64(i + 1)
+		name := d.Name
+		if name == "" {
+			name = d.Meta.Process
+		}
+		if name == "" {
+			name = fmt.Sprintf("process-%d", pid)
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+		shift := shiftFor(d)
+		indexBegins(begins, d.Events, pid, shift)
+		for _, e := range d.Events {
+			out = append(out, chromeFromEvent(e, pid, shift))
+			if e.Trace != "" {
+				traces[e.Trace] = struct{}{}
+			}
+		}
+		stats.Events += len(d.Events)
+	}
+	// Flow arrows for every cross-lane edge; count the cross-process ones.
+	for i, d := range dumps {
+		pid := int64(i + 1)
+		shift := shiftFor(d)
+		before := len(out)
+		out = crossFlows(begins, d.Events, pid, shift, out)
+		for _, fe := range out[before:] {
+			if fe.Phase == "s" && fe.PID != pid {
+				stats.CrossEdges++
+			}
+		}
+	}
+	stats.Traces = len(traces)
+
+	// Keep the output deterministic and viewer-friendly: metadata first,
+	// then by timestamp (stable, so same-ts events keep emission order).
+	sort.SliceStable(out, func(a, b int) bool {
+		ma, mb := out[a].Phase == "M", out[b].Phase == "M"
+		if ma != mb {
+			return ma
+		}
+		return out[a].TS < out[b].TS
+	})
+	return stats, writeChromeArray(w, out)
+}

@@ -7,10 +7,17 @@
 // package answers "what happened, in order, in *this* run" — which
 // subformula blew up during Cooper elimination, why one enumeration row
 // cost 100× the previous one, where a Turing simulation spent its budget.
-// Events carry microsecond timestamps relative to the arming instant and
-// the emitting goroutine's id, so the two exporters (JSONL and the Chrome
-// trace-event format, loadable in Perfetto or chrome://tracing) reconstruct
-// the full nested timeline per goroutine.
+// Events carry microsecond timestamps relative to the arming instant, the
+// emitting goroutine's id, and (when the computation has a distributed
+// trace identity, see internal/obs/tracectx) the W3C trace/span/parent
+// IDs, so the exporters (JSONL, the Chrome trace-event format loadable in
+// Perfetto or chrome://tracing, and OTLP/JSON resource spans) reconstruct
+// the full span tree — within one process and, via Stitch, across many.
+//
+// The recorder is an instantiable type so multiple server instances in one
+// process (tests, cmd/finqload shards) each get their own ring; Default()
+// is the process-wide instance the package-level functions delegate to,
+// and WithRecorder/FromContext carry a specific recorder on a context.
 //
 // Tracing is disarmed by default. Every emit site first checks Armed() —
 // a single atomic load — so the disarmed cost matches the obs toggle's
@@ -23,6 +30,7 @@
 package trace
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -66,18 +74,33 @@ func (a Arg) Value() any {
 	return a.Int
 }
 
+// Ident is a span's position in a distributed trace: lowercase-hex W3C
+// trace, span, and parent-span IDs (tracectx renders them). All fields
+// empty means the event has no distributed identity — recorded before
+// propagation existed or outside any request.
+type Ident struct {
+	Trace  string
+	Span   string
+	Parent string
+}
+
 // Event is one recorded occurrence. TS and Dur are microseconds; TS is
-// measured from the Arm call. Seq is a global emission sequence number used
-// to order and deduplicate events across the ring and the slow-op log.
+// measured from the Arm call. Seq is a per-recorder emission sequence
+// number used to order and deduplicate events across the ring and the
+// slow-op log. Trace/Span/Parent place span events in the distributed
+// trace tree (empty when the computation had no trace identity).
 type Event struct {
-	Seq   int64
-	Phase Phase
-	Name  string
-	Cat   string
-	TS    int64
-	Dur   int64 // PhaseComplete and PhaseEnd only
-	TID   int64
-	Args  []Arg
+	Seq    int64
+	Phase  Phase
+	Name   string
+	Cat    string
+	TS     int64
+	Dur    int64 // PhaseComplete and PhaseEnd only
+	TID    int64
+	Trace  string
+	Span   string
+	Parent string
+	Args   []Arg
 }
 
 // DefaultCapacity is the ring size used when Arm is given a non-positive
@@ -87,8 +110,10 @@ const DefaultCapacity = 1 << 16
 // defaultSlowCap bounds the slow-op log.
 const defaultSlowCap = 256
 
-// recorder is the package-global flight recorder.
-var rec struct {
+// Recorder is one flight recorder: an armed gate, a bounded event ring,
+// and a slow-op log. The zero value is ready to use (disarmed, 1ms slow
+// threshold applied on first Arm); NewRecorder spells that out.
+type Recorder struct {
 	armed atomic.Bool
 
 	mu      sync.Mutex
@@ -103,43 +128,89 @@ var rec struct {
 	slowThresh int64 // µs; End/Complete events at least this slow are retained
 }
 
-func init() { rec.slowThresh = 1000 } // 1ms
+// NewRecorder returns a fresh, disarmed recorder with the default 1ms
+// slow-op threshold.
+func NewRecorder() *Recorder {
+	return &Recorder{slowThresh: 1000}
+}
+
+// defaultRec is the process-wide recorder behind the package-level API.
+var defaultRec = NewRecorder()
+
+// Default returns the process-wide recorder the package-level functions
+// (Arm, Begin, Events, ...) operate on.
+func Default() *Recorder { return defaultRec }
+
+// recCtxKey carries a *Recorder on a context.
+type recCtxKey struct{}
+
+// WithRecorder returns a context that routes span events emitted under it
+// to r instead of the process-wide default. A nil r returns ctx unchanged.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recCtxKey{}, r)
+}
+
+// FromContext returns the recorder carried by ctx, or Default() when none
+// (or ctx is nil) — callers always get a usable recorder.
+func FromContext(ctx context.Context) *Recorder {
+	if ctx != nil {
+		if r, ok := ctx.Value(recCtxKey{}).(*Recorder); ok && r != nil {
+			return r
+		}
+	}
+	return defaultRec
+}
 
 // Arm starts recording into a fresh ring of the given capacity
 // (DefaultCapacity when cap ≤ 0). Arming resets previously recorded events,
 // the drop counter, and the timestamp epoch.
-func Arm(capacity int) {
+func (r *Recorder) Arm(capacity int) {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	rec.mu.Lock()
-	rec.ring = make([]Event, capacity)
-	rec.next = 0
-	rec.wrapped = false
-	rec.seq = 0
-	rec.dropped = 0
-	rec.slow = nil
-	rec.epoch = time.Now()
-	rec.mu.Unlock()
-	rec.armed.Store(true)
+	r.mu.Lock()
+	r.ring = make([]Event, capacity)
+	r.next = 0
+	r.wrapped = false
+	r.seq = 0
+	r.dropped = 0
+	r.slow = nil
+	r.epoch = time.Now()
+	if r.slowThresh == 0 {
+		r.slowThresh = 1000
+	}
+	r.mu.Unlock()
+	r.armed.Store(true)
 }
 
 // Disarm stops recording. Events already in the ring remain readable via
 // Events/Dump until the next Arm.
-func Disarm() { rec.armed.Store(false) }
+func (r *Recorder) Disarm() { r.armed.Store(false) }
 
 // Armed reports whether the recorder is accepting events. Emit sites check
 // this (one atomic load) before building arguments, so the disarmed cost of
 // an instrumented site is a single branch.
-func Armed() bool { return rec.armed.Load() }
+func (r *Recorder) Armed() bool { return r.armed.Load() }
 
 // SetSlowThreshold sets the duration at or above which ending spans and
 // complete events are additionally retained in the slow-op log, surviving
 // ring wrap-around. The default is 1ms.
-func SetSlowThreshold(d time.Duration) {
-	rec.mu.Lock()
-	rec.slowThresh = d.Microseconds()
-	rec.mu.Unlock()
+func (r *Recorder) SetSlowThreshold(d time.Duration) {
+	r.mu.Lock()
+	r.slowThresh = d.Microseconds()
+	r.mu.Unlock()
+}
+
+// Epoch returns the arming instant — the zero point of every event's TS.
+// Its wall-clock reading anchors exported traces (OTLP unix nanos, stitch
+// alignment across processes). Zero before the first Arm.
+func (r *Recorder) Epoch() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
 }
 
 // GoID returns the calling goroutine's id, parsed from the runtime stack
@@ -163,114 +234,119 @@ func GoID() int64 {
 // emit appends one event to the ring (and, when slow enough, to the
 // slow-op log). The timestamp is taken under the lock so it is consistent
 // with the epoch even across a concurrent re-Arm.
-func emit(ph Phase, name, cat string, tid, dur int64, args []Arg) {
-	rec.mu.Lock()
-	if !rec.armed.Load() || len(rec.ring) == 0 {
-		rec.mu.Unlock()
+func (r *Recorder) emit(ph Phase, name, cat string, tid, dur int64, id Ident, args []Arg) {
+	r.mu.Lock()
+	if !r.armed.Load() || len(r.ring) == 0 {
+		r.mu.Unlock()
 		return
 	}
-	rec.seq++
+	r.seq++
 	e := Event{
-		Seq:   rec.seq,
-		Phase: ph,
-		Name:  name,
-		Cat:   cat,
-		TS:    time.Since(rec.epoch).Microseconds(),
-		Dur:   dur,
-		TID:   tid,
-		Args:  args,
+		Seq:    r.seq,
+		Phase:  ph,
+		Name:   name,
+		Cat:    cat,
+		TS:     time.Since(r.epoch).Microseconds(),
+		Dur:    dur,
+		TID:    tid,
+		Trace:  id.Trace,
+		Span:   id.Span,
+		Parent: id.Parent,
+		Args:   args,
 	}
-	if rec.wrapped {
-		rec.dropped++
+	if r.wrapped {
+		r.dropped++
 	}
-	rec.ring[rec.next] = e
-	rec.next++
-	if rec.next == len(rec.ring) {
-		rec.next = 0
-		rec.wrapped = true
+	r.ring[r.next] = e
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.wrapped = true
 	}
-	if (ph == PhaseEnd || ph == PhaseComplete) && dur >= rec.slowThresh && len(rec.slow) < defaultSlowCap {
-		rec.slow = append(rec.slow, e)
+	if (ph == PhaseEnd || ph == PhaseComplete) && dur >= r.slowThresh && len(r.slow) < defaultSlowCap {
+		r.slow = append(r.slow, e)
 	}
-	rec.mu.Unlock()
+	r.mu.Unlock()
 }
 
 // Begin emits a span-begin event and returns the goroutine id the matching
-// End must be given (0 when disarmed, which End treats as "skip").
-func Begin(name, cat string, args ...Arg) int64 {
-	if !rec.armed.Load() {
+// End must be given (0 when disarmed, which End treats as "skip"). The
+// Ident places the span in the distributed trace tree; pass the zero Ident
+// for identity-less spans.
+func (r *Recorder) Begin(name, cat string, id Ident, args ...Arg) int64 {
+	if !r.armed.Load() {
 		return 0
 	}
 	tid := GoID()
-	emit(PhaseBegin, name, cat, tid, 0, args)
+	r.emit(PhaseBegin, name, cat, tid, 0, id, args)
 	return tid
 }
 
 // End emits the span-end event matching a Begin that returned tid. The
 // duration is computed from start and drives slow-op retention. No-op when
 // tid is 0.
-func End(name, cat string, tid int64, start time.Time, args ...Arg) {
-	if tid == 0 || !rec.armed.Load() {
+func (r *Recorder) End(name, cat string, tid int64, start time.Time, id Ident, args ...Arg) {
+	if tid == 0 || !r.armed.Load() {
 		return
 	}
-	emit(PhaseEnd, name, cat, tid, time.Since(start).Microseconds(), args)
+	r.emit(PhaseEnd, name, cat, tid, time.Since(start).Microseconds(), id, args)
 }
 
 // Complete emits a self-contained timed event covering start..now.
-func Complete(name, cat string, start time.Time, args ...Arg) {
-	if !rec.armed.Load() {
+func (r *Recorder) Complete(name, cat string, start time.Time, args ...Arg) {
+	if !r.armed.Load() {
 		return
 	}
-	emit(PhaseComplete, name, cat, GoID(), time.Since(start).Microseconds(), args)
+	r.emit(PhaseComplete, name, cat, GoID(), time.Since(start).Microseconds(), Ident{}, args)
 }
 
 // Instant emits a point-in-time mark.
-func Instant(name, cat string, args ...Arg) {
-	if !rec.armed.Load() {
+func (r *Recorder) Instant(name, cat string, args ...Arg) {
+	if !r.armed.Load() {
 		return
 	}
-	emit(PhaseInstant, name, cat, GoID(), 0, args)
+	r.emit(PhaseInstant, name, cat, GoID(), 0, Ident{}, args)
 }
 
 // Events returns the ring contents in emission order (oldest first).
-func Events() []Event {
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	return ringLocked()
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ringLocked()
 }
 
-func ringLocked() []Event {
-	if !rec.wrapped {
-		return append([]Event(nil), rec.ring[:rec.next]...)
+func (r *Recorder) ringLocked() []Event {
+	if !r.wrapped {
+		return append([]Event(nil), r.ring[:r.next]...)
 	}
-	out := make([]Event, 0, len(rec.ring))
-	out = append(out, rec.ring[rec.next:]...)
-	return append(out, rec.ring[:rec.next]...)
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	return append(out, r.ring[:r.next]...)
 }
 
 // SlowEvents returns the slow-op log: End/Complete events whose duration
 // met the slow threshold, retained even after the ring wrapped past them.
-func SlowEvents() []Event {
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	return append([]Event(nil), rec.slow...)
+func (r *Recorder) SlowEvents() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.slow...)
 }
 
 // Dump merges the ring with the slow-op entries that have already been
 // overwritten in the ring, ordered by sequence number — the complete
 // retained record of the run.
-func Dump() []Event {
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	ring := ringLocked()
+func (r *Recorder) Dump() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring := r.ringLocked()
 	oldest := int64(1)
 	if len(ring) > 0 {
 		oldest = ring[0].Seq
 	} else {
-		oldest = rec.seq + 1
+		oldest = r.seq + 1
 	}
 	var evicted []Event
-	for _, e := range rec.slow {
+	for _, e := range r.slow {
 		if e.Seq < oldest {
 			evicted = append(evicted, e)
 		}
@@ -283,18 +359,67 @@ func Dump() []Event {
 
 // Dropped returns how many events were overwritten by ring wrap-around
 // since the last Arm (slow-op retention not counted).
-func Dropped() int64 {
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	return rec.dropped
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Len returns the number of events currently held in the ring.
-func Len() int {
-	rec.mu.Lock()
-	defer rec.mu.Unlock()
-	if rec.wrapped {
-		return len(rec.ring)
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.ring)
 	}
-	return rec.next
+	return r.next
 }
+
+// The package-level functions operate on Default(), preserving the
+// original single-recorder API for the CLIs and any code with no context
+// in hand.
+
+// Arm arms the default recorder.
+func Arm(capacity int) { defaultRec.Arm(capacity) }
+
+// Disarm disarms the default recorder.
+func Disarm() { defaultRec.Disarm() }
+
+// Armed reports whether the default recorder is accepting events.
+func Armed() bool { return defaultRec.Armed() }
+
+// SetSlowThreshold sets the default recorder's slow-op retention threshold.
+func SetSlowThreshold(d time.Duration) { defaultRec.SetSlowThreshold(d) }
+
+// Begin emits a span-begin event on the default recorder (no identity).
+func Begin(name, cat string, args ...Arg) int64 {
+	return defaultRec.Begin(name, cat, Ident{}, args...)
+}
+
+// End emits a span-end event on the default recorder (no identity).
+func End(name, cat string, tid int64, start time.Time, args ...Arg) {
+	defaultRec.End(name, cat, tid, start, Ident{}, args...)
+}
+
+// Complete emits a self-contained timed event on the default recorder.
+func Complete(name, cat string, start time.Time, args ...Arg) {
+	defaultRec.Complete(name, cat, start, args...)
+}
+
+// Instant emits a point-in-time mark on the default recorder.
+func Instant(name, cat string, args ...Arg) { defaultRec.Instant(name, cat, args...) }
+
+// Events returns the default recorder's ring contents.
+func Events() []Event { return defaultRec.Events() }
+
+// SlowEvents returns the default recorder's slow-op log.
+func SlowEvents() []Event { return defaultRec.SlowEvents() }
+
+// Dump returns the default recorder's complete retained record.
+func Dump() []Event { return defaultRec.Dump() }
+
+// Dropped returns the default recorder's wrap-around drop count.
+func Dropped() int64 { return defaultRec.Dropped() }
+
+// Len returns the number of events in the default recorder's ring.
+func Len() int { return defaultRec.Len() }

@@ -1,22 +1,26 @@
-// Package tracetest validates exported Chrome traces in tests, shared
-// between the trace package's own tests and the end-to-end CLI tests in
-// the repository root.
+// Package tracetest validates exported Chrome traces, shared between the
+// trace package's own tests, the end-to-end CLI tests in the repository
+// root, and the CI stitch check (scripts/tracecheck.go). The core is
+// Check, which works without a testing.T so non-test tooling can call it.
 package tracetest
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
-
-	"repro/internal/obs/trace"
 )
 
-// ValidateChrome asserts data is a structurally valid Chrome trace-event
-// array: parseable JSON, only B/E/X/i phases, one pid, X events carrying
-// durations, and per-tid begin/end stack discipline (depth never negative,
-// every span closed, E names matching their B). Returns the event count.
-func ValidateChrome(t *testing.T, data []byte) int {
-	t.Helper()
+// Check validates that data is a structurally sound Chrome trace-event
+// array: parseable JSON; only B/E/X/i/M/s/f phases; X events carrying
+// durations; flow events carrying ids, with every "f" preceded by a
+// matching "s"; consistent pids (every recorded event's pid names a lane
+// introduced by the array, when "M" process_name metadata is present); and
+// per-(pid,tid) begin/end stack discipline — depth never negative, every
+// span closed, E names matching their B. It returns the number of
+// recorded events (metadata and flow arrows excluded) and a list of
+// problems, empty when the trace is valid.
+func Check(data []byte) (n int, problems []string) {
 	var evs []struct {
 		Name  string         `json:"name"`
 		Cat   string         `json:"cat"`
@@ -25,52 +29,98 @@ func ValidateChrome(t *testing.T, data []byte) int {
 		Dur   *int64         `json:"dur"`
 		PID   int64          `json:"pid"`
 		TID   int64          `json:"tid"`
+		ID    string         `json:"id"`
+		BP    string         `json:"bp"`
 		Args  map[string]any `json:"args"`
 	}
 	if err := json.Unmarshal(data, &evs); err != nil {
-		t.Fatalf("export is not a JSON array: %v", err)
+		return 0, []string{fmt.Sprintf("export is not a JSON array: %v", err)}
 	}
 	if len(evs) == 0 {
-		t.Fatal("export holds no events")
+		return 0, []string{"export holds no events"}
 	}
-	stacks := make(map[int64][]string) // per-tid open span names
+	errf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	type lane struct{ pid, tid int64 }
+	stacks := make(map[lane][]string) // open span names per (pid, tid)
+	namedPIDs := make(map[int64]bool) // pids introduced by "M" process_name
+	openFlows := make(map[string]int) // flow id -> outstanding "s" count
+	hasMeta := false
 	for i, e := range evs {
 		if e.Name == "" {
-			t.Errorf("event %d has no name", i)
-		}
-		if e.PID != trace.ChromePID {
-			t.Errorf("event %d pid %d, want %d", i, e.PID, trace.ChromePID)
+			errf("event %d has no name", i)
 		}
 		switch e.Phase {
 		case "B":
-			stacks[e.TID] = append(stacks[e.TID], e.Name)
+			l := lane{e.PID, e.TID}
+			stacks[l] = append(stacks[l], e.Name)
 		case "E":
-			st := stacks[e.TID]
+			l := lane{e.PID, e.TID}
+			st := stacks[l]
 			if len(st) == 0 {
-				t.Errorf("event %d: E %q on tid %d with no open span", i, e.Name, e.TID)
+				errf("event %d: E %q on pid %d tid %d with no open span", i, e.Name, e.PID, e.TID)
 				continue
 			}
 			if top := st[len(st)-1]; top != e.Name {
-				t.Errorf("event %d: E %q closes open span %q on tid %d", i, e.Name, top, e.TID)
+				errf("event %d: E %q closes open span %q on pid %d tid %d", i, e.Name, top, e.PID, e.TID)
 			}
-			stacks[e.TID] = st[:len(st)-1]
+			stacks[l] = st[:len(st)-1]
 		case "X":
 			if e.Dur == nil {
-				t.Errorf("event %d: X %q without dur", i, e.Name)
+				errf("event %d: X %q without dur", i, e.Name)
 			}
 		case "i":
 			// fine: instants carry no pairing obligations
+		case "M":
+			hasMeta = true
+			if e.Name == "process_name" {
+				namedPIDs[e.PID] = true
+			}
+		case "s":
+			if e.ID == "" {
+				errf("event %d: flow start without id", i)
+			}
+			openFlows[e.ID]++
+		case "f":
+			if e.ID == "" {
+				errf("event %d: flow finish without id", i)
+			}
+			if openFlows[e.ID] == 0 {
+				errf("event %d: flow finish %q without a start", i, e.ID)
+			} else {
+				openFlows[e.ID]--
+			}
 		default:
-			t.Errorf("event %d: unexpected phase %q", i, e.Phase)
+			errf("event %d: unexpected phase %q", i, e.Phase)
 		}
 		if e.TS < 0 {
-			t.Errorf("event %d: negative ts %d", i, e.TS)
+			errf("event %d: negative ts %d", i, e.TS)
+		}
+		switch e.Phase {
+		case "B", "E", "X", "i":
+			n++
+			if hasMeta && len(namedPIDs) > 0 && !namedPIDs[e.PID] {
+				errf("event %d: pid %d has no process_name lane", i, e.PID)
+			}
 		}
 	}
-	for tid, st := range stacks {
+	for l, st := range stacks {
 		if len(st) != 0 {
-			t.Errorf("tid %d ends with %d unclosed spans: %s", tid, len(st), strings.Join(st, ", "))
+			errf("pid %d tid %d ends with %d unclosed spans: %s", l.pid, l.tid, len(st), strings.Join(st, ", "))
 		}
 	}
-	return len(evs)
+	return n, problems
+}
+
+// ValidateChrome asserts data is a structurally valid Chrome trace and
+// returns the recorded-event count; each problem Check finds becomes a
+// test error.
+func ValidateChrome(t *testing.T, data []byte) int {
+	t.Helper()
+	n, problems := Check(data)
+	for _, p := range problems {
+		t.Error(p)
+	}
+	return n
 }

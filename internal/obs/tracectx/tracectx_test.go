@@ -1,0 +1,210 @@
+package tracectx
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const (
+	goodTP    = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	goodTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	goodSpan  = "00f067aa0ba902b7"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		name        string
+		traceparent string
+		tracestate  string
+		ok          bool
+		sampled     bool
+		state       string
+	}{
+		{name: "canonical sampled", traceparent: goodTP, ok: true, sampled: true},
+		{name: "canonical unsampled", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", ok: true},
+		{name: "unknown flag bits keep sampled bit", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-ff", ok: true, sampled: true},
+		{name: "empty", traceparent: "", ok: false},
+		{name: "garbage", traceparent: "garbage-not-a-traceparent", ok: false},
+		{name: "truncated trace id", traceparent: "00-4bf92f3577b34da6a3ce929d0e4736-00f067aa0ba902b7-01", ok: false},
+		{name: "truncated span id", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01", ok: false},
+		{name: "missing flags", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", ok: false},
+		{name: "all-zero trace id", traceparent: "00-00000000000000000000000000000000-00f067aa0ba902b7-01", ok: false},
+		{name: "all-zero span id", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", ok: false},
+		{name: "uppercase hex", traceparent: "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", ok: false},
+		{name: "non-hex version", traceparent: "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", ok: false},
+		{name: "non-hex trace id", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", ok: false},
+		{name: "non-hex span id", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01", ok: false},
+		{name: "non-hex flags", traceparent: "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", ok: false},
+		{name: "forbidden version ff", traceparent: "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", ok: false},
+		{name: "version 00 with trailing field", traceparent: goodTP + "-extra", ok: false},
+		{name: "future version exact", traceparent: "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", ok: true, sampled: true},
+		{name: "future version with extra field", traceparent: "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-deadbeef", ok: true, sampled: true},
+		{name: "future version with bad suffix", traceparent: "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01deadbeef", ok: false},
+		{name: "wrong separators", traceparent: "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01", ok: false},
+		{name: "tracestate carried", traceparent: goodTP, tracestate: "vendor=opaque", ok: true, sampled: true, state: "vendor=opaque"},
+		{name: "oversized tracestate dropped", traceparent: goodTP, tracestate: strings.Repeat("x", MaxTracestateLen+1), ok: true, sampled: true},
+		{name: "tracestate at cap kept", traceparent: goodTP, tracestate: strings.Repeat("x", MaxTracestateLen), ok: true, sampled: true, state: strings.Repeat("x", MaxTracestateLen)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc, ok := Parse(c.traceparent, c.tracestate)
+			if ok != c.ok {
+				t.Fatalf("Parse(%q) ok = %v, want %v", c.traceparent, ok, c.ok)
+			}
+			if !ok {
+				if tc != (TC{}) {
+					t.Fatalf("rejected parse returned a non-zero TC: %+v", tc)
+				}
+				return
+			}
+			if got := tc.TraceID.String(); got != goodTrace {
+				t.Errorf("trace ID %s, want %s", got, goodTrace)
+			}
+			if got := tc.SpanID.String(); got != goodSpan {
+				t.Errorf("span ID %s, want %s", got, goodSpan)
+			}
+			if tc.Sampled != c.sampled {
+				t.Errorf("sampled = %v, want %v", tc.Sampled, c.sampled)
+			}
+			if tc.State != c.state {
+				t.Errorf("state = %q, want %q", tc.State, c.state)
+			}
+		})
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc, ok := Parse(goodTP, "")
+	if !ok {
+		t.Fatal("canonical traceparent rejected")
+	}
+	if got := tc.Traceparent(); got != goodTP {
+		t.Fatalf("round trip: %q, want %q", got, goodTP)
+	}
+	tc.Sampled = false
+	back, ok := Parse(tc.Traceparent(), "")
+	if !ok || back != tc {
+		t.Fatalf("unsampled round trip: %+v vs %+v (ok=%v)", back, tc, ok)
+	}
+}
+
+func TestNewRootAndChild(t *testing.T) {
+	root := NewRoot()
+	if !root.Valid() || !root.Sampled {
+		t.Fatalf("NewRoot minted an unusable root: %+v", root)
+	}
+	// A root's wire form must parse back to itself.
+	back, ok := Parse(root.Traceparent(), "")
+	if !ok || back != root {
+		t.Fatalf("root does not survive the wire: %+v vs %+v", back, root)
+	}
+	child := root.Child()
+	if child.TraceID != root.TraceID {
+		t.Errorf("child changed trace ID: %s vs %s", child.TraceID, root.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Errorf("child kept the parent's span ID %s", child.SpanID)
+	}
+	if root2 := NewRoot(); root2.TraceID == root.TraceID {
+		t.Errorf("two roots share trace ID %s", root.TraceID)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := From(ctx); ok {
+		t.Fatal("empty context claims a trace position")
+	}
+	if _, ok := From(nil); ok {
+		t.Fatal("nil context claims a trace position")
+	}
+	// An invalid TC must not displace anything.
+	if got := With(ctx, TC{}); got != ctx {
+		t.Fatal("With stored an invalid TC")
+	}
+	root := NewRoot()
+	ctx = With(ctx, root)
+	got, ok := From(ctx)
+	if !ok || got != root {
+		t.Fatalf("From = %+v (ok=%v), want %+v", got, ok, root)
+	}
+}
+
+// TestChildSpanIDUniqueness hammers concurrent child minting from one
+// shared parent position — the exact shape of parallel per-row spans
+// under one request — and demands globally unique span IDs. Run with
+// -race this also proves Child/NewSpanID share no unsynchronized state.
+func TestChildSpanIDUniqueness(t *testing.T) {
+	const (
+		workers = 16
+		perW    = 2048
+	)
+	parent := NewRoot()
+	ids := make([][]SpanID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]SpanID, perW)
+			for i := range local {
+				c := parent.Child()
+				if c.TraceID != parent.TraceID {
+					t.Errorf("worker %d: child switched trace", w)
+					return
+				}
+				local[i] = c.SpanID
+			}
+			ids[w] = local
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[SpanID]bool, workers*perW)
+	for _, local := range ids {
+		for _, id := range local {
+			if id.IsZero() {
+				t.Fatal("minted an all-zero span ID")
+			}
+			if seen[id] {
+				t.Fatalf("span ID %s minted twice", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// FuzzParseTraceparent asserts the totality contract: Parse never
+// panics, never returns ok with invalid IDs, and every accepted v00
+// header round-trips through Traceparent back to the same position.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add(goodTP, "")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", "vendor=x")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-suffix", "")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00", "")
+	f.Add("", "")
+	f.Add("00-", strings.Repeat("k", 600))
+	f.Fuzz(func(t *testing.T, traceparent, tracestate string) {
+		tc, ok := Parse(traceparent, tracestate)
+		if !ok {
+			if tc != (TC{}) {
+				t.Fatalf("rejected parse leaked state: %+v", tc)
+			}
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("accepted an invalid position from %q", traceparent)
+		}
+		if len(tc.State) > MaxTracestateLen {
+			t.Fatalf("accepted an oversized tracestate (%d bytes)", len(tc.State))
+		}
+		// v00 inputs must round-trip exactly (the flags byte collapses to
+		// the sampled bit, so compare the parsed forms).
+		back, ok2 := Parse(tc.Traceparent(), tc.State)
+		if !ok2 || back != tc {
+			t.Fatalf("round trip diverged: %+v vs %+v (ok=%v)", back, tc, ok2)
+		}
+	})
+}

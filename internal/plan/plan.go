@@ -224,7 +224,7 @@ func For(ctx context.Context, scheme *db.Scheme, domainName, key string, f *logi
 	cache.mu.Unlock()
 	mCacheMisses.Inc()
 
-	sp := obs.StartSpanCtx(ctx, "plan.compile")
+	_, sp := obs.StartSpanCtx(ctx, "plan.compile")
 	t0 := time.Now()
 	p := compile(scheme, key, f)
 	hCompileUS.Observe(time.Since(t0).Microseconds())

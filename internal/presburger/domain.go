@@ -79,7 +79,7 @@ var ErrTooLarge = fmt.Errorf("presburger: intermediate formula exceeds the size 
 
 // Eliminate implements domain.Eliminator.
 func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
-	sp := obs.StartSpanCtx(e.ctx, "qe.presburger.eliminate")
+	_, sp := obs.StartSpanCtx(e.ctx, "qe.presburger.eliminate")
 	defer sp.End()
 	mCooperCalls.Inc()
 	sizeIn := int64(f.Size())

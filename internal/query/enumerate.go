@@ -108,7 +108,7 @@ func EnumerationAnswerCtx(ctx context.Context, dom Enumerable, dec domain.Decide
 func EnumerationAnswerSinkCtx(ctx context.Context, dom Enumerable, dec domain.Decider, st *db.State,
 	f *logic.Formula, budget EnumerationBudget, sink RowSink) (*Answer, error) {
 
-	sp := obs.StartSpanCtx(ctx, "query.enumerate")
+	ctx, sp := obs.StartSpanCtx(ctx, "query.enumerate")
 	defer sp.End()
 	mEnumCalls.Inc()
 	// Compiled-plan fast path: an algebra-tier plan materializes the

@@ -42,7 +42,7 @@ func EvalActiveParallelCtx(ctx context.Context, dom domain.Domain, st *db.State,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sp := obs.StartSpanCtx(ctx, "query.eval_active_parallel")
+	ctx, sp := obs.StartSpanCtx(ctx, "query.eval_active_parallel")
 	defer sp.End()
 	gParWorkers.SetMax(int64(workers))
 	rng, err := activeRange(dom, st, f)

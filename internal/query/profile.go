@@ -181,7 +181,7 @@ func EvalActiveProfiled(dom domain.Domain, st *db.State, f *logic.Formula) (*Ans
 // EvalActiveCtx. On cancellation the answer and profile cover the work
 // done so far (Complete=false) and the context's error is returned.
 func EvalActiveProfiledCtx(ctx context.Context, dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, *Profile, error) {
-	sp := obs.StartSpanCtx(ctx, "query.explain")
+	ctx, sp := obs.StartSpanCtx(ctx, "query.explain")
 	defer sp.End()
 	t0 := time.Now()
 	rng, err := activeRange(dom, st, f)

@@ -187,7 +187,7 @@ func EvalActive(dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, err
 // Complete=false alongside the context's error, so callers can serve a
 // partial answer.
 func EvalActiveCtx(ctx context.Context, dom domain.Domain, st *db.State, f *logic.Formula) (*Answer, error) {
-	sp := obs.StartSpanCtx(ctx, "query.eval_active")
+	ctx, sp := obs.StartSpanCtx(ctx, "query.eval_active")
 	defer sp.End()
 	mEvalCalls.Inc()
 	rng, err := activeRange(dom, st, f)

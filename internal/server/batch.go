@@ -6,6 +6,7 @@ import (
 
 	finq "repro"
 	"repro/apiv1"
+	"repro/internal/obs"
 )
 
 // POST /v1/eval/batch: many queries evaluated against one shared state in
@@ -108,15 +109,21 @@ func (s *Server) evalBatchItem(ctx context.Context, d finq.DomainInfo, st *finq.
 	if bf.err != nil {
 		return apiv1.BatchItemResult{Error: itemError(bf.err)}
 	}
+	// Each item evaluates under its own span — a child of the batch
+	// request's span, with a minted span ID when the request carries a
+	// trace — and the item result quotes that ID, so one item of a slow
+	// batch can be located in the exported trace directly.
+	ctx, sp := obs.StartSpanCtx(ctx, "server.batch_item")
+	defer sp.End()
 	// The first item seen for a query key feeds the tail sampler, same as
 	// a single request; with several distinct formulas per batch the last
 	// key wins the capture, but every key is marked seen.
 	noteQueryKey(ctx, bf.key)
 	res, err := finq.Eval(ctx, libRequest(domainName, st, bf.f, item.Mode, item.Workers, item.Budget, item.Profile))
 	if err != nil {
-		return apiv1.BatchItemResult{Error: itemError(err)}
+		return apiv1.BatchItemResult{Error: itemError(err), SpanID: sp.SpanID()}
 	}
-	return apiv1.BatchItemResult{Result: finq.EncodeResult(d, res)}
+	return apiv1.BatchItemResult{Result: finq.EncodeResult(d, res), SpanID: sp.SpanID()}
 }
 
 // itemError converts a handler error into the item-scoped wire error: an

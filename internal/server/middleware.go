@@ -10,6 +10,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/logctx"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/trace"
+	"repro/internal/obs/tracectx"
 )
 
 // reqState is the per-request scratchpad the middleware shares with the
@@ -18,6 +20,7 @@ import (
 // goroutine (the recovered middleware included), so plain fields suffice.
 type reqState struct {
 	id       string
+	traceID  string
 	endpoint string
 	rows     int64
 	stopped  string
@@ -58,12 +61,13 @@ func noteQueryKey(ctx context.Context, key string) {
 }
 
 // respWriter captures the response status for the access log and carries
-// the request ID to writeError (so JSON error bodies can quote it without
-// every call site threading the context).
+// the request and trace IDs to writeError (so JSON error bodies can quote
+// them without every call site threading the context).
 type respWriter struct {
 	http.ResponseWriter
-	status int
-	reqID  string
+	status  int
+	reqID   string
+	traceID string
 }
 
 func (w *respWriter) WriteHeader(code int) {
@@ -165,10 +169,19 @@ func (s *Server) logger() *slog.Logger {
 //     otherwise, echoed on the response (all statuses, 429 sheds and panic
 //     500s included), stored in the context (so slog records, obs spans,
 //     and trace events carry it), and quoted in JSON error bodies.
+//   - The W3C trace position is extracted from `traceparent`/`tracestate`
+//     when well-formed, minted as a fresh root otherwise (a malformed
+//     header is never an error), and a request span is opened as its
+//     child — so every evaluator span below records under one trace ID
+//     that survives the process boundary. The request span's position is
+//     echoed as the response's `traceparent` (all statuses), and the
+//     trace ID is quoted next to the request ID in the access log and
+//     JSON error bodies.
 //   - Per-endpoint RED metrics: request count, error count (status >= 400),
 //     latency histogram.
-//   - One structured access-log line per request: id, method, endpoint,
-//     status, duration, rows, partial-stop reason, shed/panic flags.
+//   - One structured access-log line per request: id, trace_id, method,
+//     endpoint, status, duration, rows, partial-stop reason, shed/panic
+//     flags.
 //   - Slow, errored, and first-seen-query requests get their span subtree
 //     snapshotted from the flight recorder into the tail sampler
 //     (tailsample.go).
@@ -178,11 +191,21 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if !logctx.ValidID(id) {
 			id = logctx.NewRequestID()
 		}
-		st := &reqState{id: id, endpoint: endpointName(r.URL.Path)}
+		// Extract-or-mint the trace position. The parsed TC is the
+		// *caller's* span (our parent); the request span below descends
+		// from it. A fresh root is minted for headerless (or malformed)
+		// requests so every request has a trace identity.
+		tc, fromPeer := tracectx.Parse(r.Header.Get("traceparent"), r.Header.Get("tracestate"))
+		if !fromPeer {
+			tc = tracectx.NewRoot()
+		}
+		st := &reqState{id: id, traceID: tc.TraceID.String(), endpoint: endpointName(r.URL.Path)}
 		ctx := logctx.WithRequestID(r.Context(), id)
+		ctx = trace.WithRecorder(ctx, s.rec)
+		ctx = tracectx.With(ctx, tc)
 		ctx = context.WithValue(ctx, reqStateKey{}, st)
 		r = r.WithContext(ctx)
-		rw := &respWriter{ResponseWriter: w, reqID: id}
+		rw := &respWriter{ResponseWriter: w, reqID: id, traceID: st.traceID}
 		rw.Header().Set("X-Request-Id", id)
 
 		t0 := time.Now()
@@ -190,7 +213,21 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		// taken while this request is in flight attributes to its endpoint
 		// and request ID (finq.Eval adds query_key below this).
 		prof.Do(ctx, func(ctx context.Context) {
+			// The request span: when the recorder is armed it mints this
+			// request's own span ID (child of the caller's position, or of
+			// the fresh root), and the returned context carries that
+			// position so handler spans nest beneath it. The echoed
+			// traceparent is exactly the position handlers inherit — a
+			// downstream hop parenting on the echo attaches to this span.
+			ctx, rsp := obs.StartSpanCtx(ctx, "server.request")
+			if cur, ok := tracectx.From(ctx); ok {
+				rw.Header().Set("traceparent", cur.Traceparent())
+				if cur.State != "" {
+					rw.Header().Set("tracestate", cur.State)
+				}
+			}
 			next.ServeHTTP(rw, r.WithContext(ctx))
+			rsp.End()
 		}, "endpoint", st.endpoint, "request_id", id)
 		dur := time.Since(t0)
 
@@ -210,6 +247,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 
 		attrs := []slog.Attr{
 			slog.String("id", id),
+			slog.String("trace_id", st.traceID),
 			slog.String("method", r.Method),
 			slog.String("endpoint", st.endpoint),
 			slog.String("path", r.URL.Path),

@@ -67,6 +67,7 @@ import (
 	"repro/apiv1"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/trace"
 )
 
 // Config tunes the service. The zero value serves on an ephemeral local
@@ -101,6 +102,16 @@ type Config struct {
 	// slog.Default() (which cliutil.Setup configures from -log-level and
 	// -log-format).
 	Logger *slog.Logger
+	// ServiceName names this process in exported traces: the OTLP
+	// service.name resource attribute of /debug/trace/export and the
+	// process lane label of stitched multi-process traces. "" means
+	// "finqd".
+	ServiceName string
+	// TraceRecorder routes this server's flight-recorder events to a
+	// dedicated recorder instance, so several servers in one process
+	// (tests, finqload shards) record into separate rings; nil means the
+	// process-wide default recorder.
+	TraceRecorder *trace.Recorder
 
 	// SLOLatency enables the SLO burn-rate engine: each pooled endpoint
 	// (eval, decide, qe, safety) gets a latency objective at this threshold
@@ -165,6 +176,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOLatencyTarget <= 0 {
 		c.SLOLatencyTarget = 0.99
 	}
+	if c.ServiceName == "" {
+		c.ServiceName = "finqd"
+	}
 	if c.SLOErrorTarget <= 0 {
 		c.SLOErrorTarget = 0.999
 	}
@@ -203,6 +217,10 @@ type Server struct {
 	ln       net.Listener
 	draining atomic.Bool
 	sampStop func()
+	// rec is the server's flight recorder (Config.TraceRecorder, or the
+	// process default): request spans record into it, /debug/trace/export
+	// reads it, and the tail sampler snapshots subtrees from it.
+	rec *trace.Recorder
 	tailSampler
 
 	// Profile-guided observability: the capture store always exists (the
@@ -218,6 +236,10 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, slots: make(chan struct{}, cfg.Workers)}
+	s.rec = cfg.TraceRecorder
+	if s.rec == nil {
+		s.rec = trace.Default()
+	}
 	s.profStore = prof.NewStore(prof.StoreConfig{
 		Ring:        cfg.ProfileRing,
 		CPUDuration: cfg.ProfileCPUDuration,
@@ -258,6 +280,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", debug)
 	mux.Handle("/debug/", debug)
 	mux.HandleFunc("/debug/slow", s.handleSlow)
+	mux.HandleFunc("/debug/trace/export", s.handleTraceExport)
 	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
@@ -428,10 +451,11 @@ func (s *Server) endpoint(name string, timeout time.Duration, h handlerFunc) htt
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		// The context carries the request ID (instrument middleware), so
-		// this span's begin/end trace events — and every evaluator span
-		// below it — are greppable by ID in the exported trace.
-		sp := obs.StartSpanCtx(ctx, "server."+name)
+		// The context carries the request ID and trace position
+		// (instrument middleware), so this span's begin/end trace events —
+		// and every evaluator span below it — are greppable by ID and form
+		// a tree under the request span in the exported trace.
+		ctx, sp := obs.StartSpanCtx(ctx, "server."+name)
 		t0 := time.Now()
 		out, err := h(ctx, &handlerEnv{w: w, r: r, body: body})
 		sp.End()
@@ -487,11 +511,12 @@ func writeErrorCode(w http.ResponseWriter, status int, errCode, format string, a
 		Code:    errCode,
 		Message: fmt.Sprintf(format, args...),
 	}}
-	// The instrument middleware's writer carries the request ID down to
-	// every error site — including 429 sheds and panic 500s — without each
-	// call threading a context.
+	// The instrument middleware's writer carries the request and trace IDs
+	// down to every error site — including 429 sheds and panic 500s —
+	// without each call threading a context.
 	if rw, ok := w.(*respWriter); ok {
 		body.Error.RequestID = rw.reqID
+		body.Error.TraceID = rw.traceID
 	}
 	writeJSON(w, status, body)
 }

@@ -121,6 +121,11 @@ func (s *Server) streamEval(ctx context.Context, env *handlerEnv, enc string,
 
 	res, err := finq.Eval(evalCtx, lreq)
 	t := apiv1.StreamTrailer{Rows: rows}
+	if st := stateFrom(ctx); st != nil {
+		// The trailer quotes the trace ID (the headers are long gone by
+		// now), so a streamed partial answer still links to its trace.
+		t.TraceID = st.traceID
+	}
 	switch {
 	case err != nil:
 		// The status line was 200 before evaluation began; the failure

@@ -44,6 +44,7 @@ const (
 // one in full.
 type TailCapture struct {
 	RequestID  string      `json:"request_id"`
+	TraceID    string      `json:"trace_id,omitempty"`
 	Endpoint   string      `json:"endpoint"`
 	Status     int         `json:"status"`
 	DurationUS int64       `json:"duration_us"`
@@ -64,14 +65,20 @@ type TailListing struct {
 	Reason     string `json:"reason"`
 }
 
-// SlowEvent is one flight-recorder event of a captured subtree.
+// SlowEvent is one flight-recorder event of a captured subtree. Trace,
+// Span, and Parent are the W3C identities (present when the event was
+// recorded under a trace position), so a capture's hierarchy matches the
+// exported trace's.
 type SlowEvent struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"phase"`
-	TSUS  int64          `json:"ts_us"`
-	DurUS int64          `json:"dur_us,omitempty"`
-	TID   int64          `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
+	Name   string         `json:"name"`
+	Phase  string         `json:"phase"`
+	TSUS   int64          `json:"ts_us"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	TID    int64          `json:"tid"`
+	Trace  string         `json:"trace,omitempty"`
+	Span   string         `json:"span,omitempty"`
+	Parent string         `json:"parent,omitempty"`
+	Args   map[string]any `json:"args,omitempty"`
 }
 
 // tailSampler is the server's bounded tail-sample store: per-endpoint
@@ -107,6 +114,7 @@ func (s *Server) markFirstSeen(key string) bool {
 func (s *Server) captureTail(ctx context.Context, st *reqState, status int, dur time.Duration, reason string) {
 	c := TailCapture{
 		RequestID:  st.id,
+		TraceID:    st.traceID,
 		Endpoint:   st.endpoint,
 		Status:     status,
 		DurationUS: dur.Microseconds(),
@@ -114,7 +122,7 @@ func (s *Server) captureTail(ctx context.Context, st *reqState, status int, dur 
 		QueryKey:   st.queryKey,
 		Rows:       st.rows,
 		Stopped:    st.stopped,
-		Events:     subtreeEvents(st.id),
+		Events:     s.subtreeEvents(st.id, st.traceID),
 	}
 	s.tailMu.Lock()
 	if s.tails == nil {
@@ -134,6 +142,7 @@ func (s *Server) captureTail(ctx context.Context, st *reqState, status int, dur 
 	}
 	s.logger().LogAttrs(ctx, level, msg,
 		slog.String("id", st.id),
+		slog.String("trace_id", st.traceID),
 		slog.String("endpoint", st.endpoint),
 		slog.String("reason", reason),
 		slog.Int64("dur_us", c.DurationUS),
@@ -192,22 +201,23 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "no tail-sample capture for id %q", id)
 }
 
-// subtreeEvents extracts one request's span subtree from the flight
-// recorder. Events whose "req" argument matches the ID anchor the
-// selection; events on the same goroutines within the anchored time
-// windows are the children (per-row spans, QE stages) that don't carry
-// the ID themselves. Returns nil when the recorder holds nothing for the
-// ID (disarmed, or the ring wrapped past the request).
-func subtreeEvents(id string) []SlowEvent {
-	if !trace.Armed() {
+// subtreeEvents extracts one request's span subtree from the server's
+// flight recorder. Events carrying the request's trace ID, or a "req"
+// argument matching the request ID, anchor the selection; events on the
+// same goroutines within the anchored time windows are the children
+// (per-row spans, QE stages) that don't carry either identity themselves.
+// Returns nil when the recorder holds nothing for the request (disarmed,
+// or the ring wrapped past it).
+func (s *Server) subtreeEvents(id, traceID string) []SlowEvent {
+	if !s.rec.Armed() {
 		return nil
 	}
-	events := trace.Events()
+	events := s.rec.Events()
 	// Pass 1: anchored events establish the per-goroutine time windows.
 	type window struct{ lo, hi int64 }
 	windows := map[int64]*window{}
 	for _, e := range events {
-		if !hasReqArg(e, id) {
+		if !hasReqArg(e, id) && (traceID == "" || e.Trace != traceID) {
 			continue
 		}
 		hi := e.TS
@@ -241,11 +251,14 @@ func subtreeEvents(id string) []SlowEvent {
 			continue
 		}
 		se := SlowEvent{
-			Name:  e.Name,
-			Phase: string(rune(e.Phase)),
-			TSUS:  e.TS,
-			DurUS: e.Dur,
-			TID:   e.TID,
+			Name:   e.Name,
+			Phase:  string(rune(e.Phase)),
+			TSUS:   e.TS,
+			DurUS:  e.Dur,
+			TID:    e.TID,
+			Trace:  e.Trace,
+			Span:   e.Span,
+			Parent: e.Parent,
 		}
 		if len(e.Args) > 0 {
 			se.Args = make(map[string]any, len(e.Args))

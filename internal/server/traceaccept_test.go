@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/apiv1"
+	"repro/client"
+	"repro/internal/obs/trace"
+	"repro/internal/obs/trace/tracetest"
+	"repro/internal/obs/tracectx"
+)
+
+// TestCrossProcessTraceStitch is the distributed-tracing acceptance test:
+// two finqd instances with separate flight recorders, one logical request
+// that hops across both (the client calls A, then calls B parented on A's
+// echoed trace position — the forwarding shape), and the proof that a
+// single trace ID spans both rings with correct parentage. The two rings
+// then round-trip through the JSONL dump format and stitch into one
+// structurally valid Chrome trace with a cross-process flow edge.
+func TestCrossProcessTraceStitch(t *testing.T) {
+	recA, recB := trace.NewRecorder(), trace.NewRecorder()
+	recA.Arm(1 << 14)
+	defer recA.Disarm()
+	recB.Arm(1 << 14)
+	defer recB.Disarm()
+	_, baseA := startServer(t, Config{ServiceName: "finqd-a", TraceRecorder: recA})
+	_, baseB := startServer(t, Config{ServiceName: "finqd-b", TraceRecorder: recB})
+
+	echo := func(c *client.Client) *string {
+		s := new(string)
+		c.OnResponse = func(status int, h http.Header) {
+			if tp := h.Get("traceparent"); tp != "" {
+				*s = tp
+			}
+		}
+		return s
+	}
+	body := apiv1.EvalRequest{
+		Domain:  "eq",
+		State:   json.RawMessage(eqStateJSON),
+		Formula: "exists y. F(x, y)",
+	}
+
+	// Hop 1: the client mints the root and calls A.
+	root := tracectx.NewRoot()
+	cA := client.New(baseA, nil)
+	echoA := echo(cA)
+	if _, err := cA.Eval(tracectx.With(context.Background(), root), body); err != nil {
+		t.Fatal(err)
+	}
+	tcA, ok := tracectx.Parse(*echoA, "")
+	if !ok {
+		t.Fatalf("A's response traceparent %q does not parse", *echoA)
+	}
+	if tcA.TraceID != root.TraceID {
+		t.Fatalf("A switched traces: %s, want %s", tcA.TraceID, root.TraceID)
+	}
+	if tcA.SpanID == root.SpanID {
+		t.Fatal("A echoed the caller's span position instead of its own request span")
+	}
+
+	// Hop 2: the request is forwarded — B is called parented on exactly
+	// the position A echoed.
+	cB := client.New(baseB, nil)
+	echoB := echo(cB)
+	if _, err := cB.Eval(tracectx.With(context.Background(), tcA), body); err != nil {
+		t.Fatal(err)
+	}
+	tcB, ok := tracectx.Parse(*echoB, "")
+	if !ok {
+		t.Fatalf("B's response traceparent %q does not parse", *echoB)
+	}
+	if tcB.TraceID != root.TraceID {
+		t.Fatalf("B switched traces: %s, want %s", tcB.TraceID, root.TraceID)
+	}
+	if tcB.SpanID == tcA.SpanID {
+		t.Fatal("B echoed A's span position instead of minting its own")
+	}
+
+	recA.Disarm()
+	recB.Disarm()
+	evA, evB := recA.Dump(), recB.Dump()
+	wantTrace := root.TraceID.String()
+
+	// A's ring actually holds the span whose position A echoed, and B's
+	// server.request is recorded as its child: the cross-process edge.
+	foundEcho := false
+	for _, e := range evA {
+		if e.Span == tcA.SpanID.String() && e.Trace == wantTrace {
+			foundEcho = true
+			break
+		}
+	}
+	if !foundEcho {
+		t.Fatalf("A's ring holds no span at the echoed position %s", tcA.SpanID)
+	}
+	foundChild := false
+	for _, e := range evB {
+		if e.Name == "server.request" && e.Phase == trace.PhaseBegin &&
+			e.Trace == wantTrace && e.Parent == tcA.SpanID.String() {
+			foundChild = true
+			break
+		}
+	}
+	if !foundChild {
+		t.Fatalf("B's ring holds no server.request parented on A's span %s", tcA.SpanID)
+	}
+
+	// Round-trip both rings through the JSONL dump format — the same bytes
+	// finqload -trace-dir and /debug/trace/export?format=jsonl produce.
+	var dumps []trace.ProcessDump
+	for _, p := range []struct {
+		name string
+		rec  *trace.Recorder
+		ev   []trace.Event
+	}{{"finqd-a", recA, evA}, {"finqd-b", recB, evB}} {
+		var buf bytes.Buffer
+		meta := trace.Meta{Process: p.name, EpochUnixNano: p.rec.Epoch().UnixNano()}
+		if err := trace.WriteJSONLMeta(&buf, meta, p.ev); err != nil {
+			t.Fatal(err)
+		}
+		gotMeta, gotEvents, err := trace.ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMeta.Process != p.name || gotMeta.EpochUnixNano != meta.EpochUnixNano {
+			t.Fatalf("meta did not survive the dump: %+v vs %+v", gotMeta, meta)
+		}
+		if len(gotEvents) != len(p.ev) {
+			t.Fatalf("%s: %d events survived the dump, want %d", p.name, len(gotEvents), len(p.ev))
+		}
+		dumps = append(dumps, trace.ProcessDump{Name: p.name, Meta: gotMeta, Events: gotEvents})
+	}
+
+	var stitched bytes.Buffer
+	stats, err := trace.Stitch(&stitched, dumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processes != 2 {
+		t.Fatalf("stitched %d processes, want 2", stats.Processes)
+	}
+	if stats.CrossEdges < 1 {
+		t.Fatalf("stitch drew no cross-process edges; the forwarded hop should link A to B (stats %+v)", stats)
+	}
+	if n := tracetest.ValidateChrome(t, stitched.Bytes()); n == 0 {
+		t.Fatal("stitched trace holds no events")
+	}
+
+	// The stitched output names both process lanes and carries the single
+	// shared trace ID on events from both pids.
+	var arr []struct {
+		Phase string         `json:"ph"`
+		PID   int64          `json:"pid"`
+		Args  map[string]any `json:"args"`
+	}
+	if err := json.Unmarshal(stitched.Bytes(), &arr); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int64]bool{}
+	for _, e := range arr {
+		if e.Phase == "M" {
+			continue
+		}
+		if tid, _ := e.Args["trace_id"].(string); tid == wantTrace {
+			pids[e.PID] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("trace %s spans %d stitched process lanes, want 2", wantTrace, len(pids))
+	}
+}

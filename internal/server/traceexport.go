@@ -1,0 +1,52 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs/trace"
+)
+
+// handleTraceExport serves GET /debug/trace/export: the server's flight-
+// recorder ring (the complete retained record, slow-op log included) in a
+// choice of formats selected by ?format=:
+//
+//	otlp    (default) OTLP/JSON resource spans — identity-carrying spans
+//	        under this service's resource, ingestible by any OTLP backend
+//	jsonl   the flight-recorder JSONL dump with a metadata header line
+//	        (process name + epoch), the input `finq trace stitch` merges
+//	chrome  the Chrome trace-event array, loadable in Perfetto directly
+//
+// The export is a read: it does not arm, disarm, or reset the recorder,
+// so it can be polled while a run is still recording.
+func (s *Server) handleTraceExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	events := s.rec.Dump()
+	// A never-armed recorder has a zero epoch; exporting UnixNano() of the
+	// zero time would stamp a nonsense negative anchor, so leave it 0
+	// (stitch treats 0 as "not anchored").
+	var epochNanos int64
+	if epoch := s.rec.Epoch(); !epoch.IsZero() {
+		epochNanos = epoch.UnixNano()
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "otlp":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteOTLP(w, s.cfg.ServiceName, s.rec.Epoch(), events)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		trace.WriteJSONLMeta(w, trace.Meta{
+			Process:       s.cfg.ServiceName,
+			EpochUnixNano: epochNanos,
+		}, events)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, events)
+	default:
+		writeError(w, http.StatusBadRequest,
+			"unknown format %q (want otlp, jsonl, or chrome)", format)
+	}
+}

@@ -114,7 +114,7 @@ func (e Eliminator) maxExcluded() int {
 // formula equivalent to f over T, in the Reach signature, with ground atoms
 // evaluated away.
 func (e Eliminator) Eliminate(f *logic.Formula) (*logic.Formula, error) {
-	sp := obs.StartSpanCtx(e.ctx, "qe.traces.eliminate")
+	_, sp := obs.StartSpanCtx(e.ctx, "qe.traces.eliminate")
 	defer sp.End()
 	mQECalls.Inc()
 	sizeIn := int64(f.Size())

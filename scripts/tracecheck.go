@@ -1,0 +1,82 @@
+//go:build ignore
+
+// Tracecheck validates a Chrome trace-event file the way the test suite
+// does (internal/obs/trace/tracetest.Check): phase grammar, begin/end
+// stack discipline, flow-event pairing, and process-lane metadata. CI
+// runs it against the stitched multi-process trace from
+// `make trace-stitch-demo`; it exits non-zero listing every structural
+// problem, so a stitch regression fails the build instead of producing a
+// trace that only breaks when a human loads it in Perfetto.
+//
+//	go run scripts/tracecheck.go stitched.trace.json
+//	go run scripts/tracecheck.go -min-events 100 -min-lanes 2 stitched.trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/trace/tracetest"
+)
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "fail unless the trace records at least this many events")
+	minLanes := flag.Int("min-lanes", 1, "fail unless the trace spans at least this many process lanes")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: usage: go run scripts/tracecheck.go [-min-events n] [-min-lanes n] <trace.json> ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			failed = true
+			continue
+		}
+		n, problems := tracetest.Check(data)
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, p)
+		}
+		lanes := countLanes(data)
+		if n < *minEvents {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %d recorded events, want at least %d\n", path, n, *minEvents)
+			failed = true
+		}
+		if lanes < *minLanes {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %d process lanes, want at least %d\n", path, lanes, *minLanes)
+			failed = true
+		}
+		if len(problems) > 0 {
+			failed = true
+			continue
+		}
+		fmt.Printf("tracecheck: %s: %d events across %d process lanes, structurally valid\n", path, n, lanes)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// countLanes counts the distinct pids carrying recorded events (metadata
+// and flow arrows excluded) — the stitched trace's process lanes.
+func countLanes(data []byte) int {
+	var evs []struct {
+		Phase string `json:"ph"`
+		PID   int64  `json:"pid"`
+	}
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return 0
+	}
+	pids := map[int64]bool{}
+	for _, e := range evs {
+		switch e.Phase {
+		case "B", "E", "X", "i":
+			pids[e.PID] = true
+		}
+	}
+	return len(pids)
+}
